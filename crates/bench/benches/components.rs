@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the predictor building blocks: folded
+//! history maintenance, pattern-set matching/allocation, RCR hashing, and
+//! table lookups. These quantify the per-branch cost of each hardware
+//! structure's software model.
+
+use bputil::history::{FoldedHistory, HistoryBuffer};
+use bputil::rng::SplitMix64;
+use bputil::table::SetAssoc;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use llbp_core::rcr::RollingContextRegister;
+use llbp_core::{ContextHistoryKind, PatternSet};
+use std::hint::black_box;
+
+fn bench_folded_history(c: &mut Criterion) {
+    c.bench_function("folded_history_update", |b| {
+        let mut ghr = HistoryBuffer::new(4096);
+        let mut folds: Vec<FoldedHistory> =
+            (1..=21).map(|i| FoldedHistory::new(i * 140 + 6, 13)).collect();
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let bit = rng.chance(1, 2);
+            for f in &mut folds {
+                f.update_before_push(&ghr, bit);
+            }
+            ghr.push(bit);
+            black_box(folds[20].value())
+        });
+    });
+}
+
+fn bench_pattern_set(c: &mut Criterion) {
+    c.bench_function("pattern_set_match", |b| {
+        let mut set = PatternSet::new(16, 4, 16);
+        let mut rng = SplitMix64::new(2);
+        for i in 0..16u8 {
+            set.allocate(i, rng.next_u64() as u32 & 0x1FFF, rng.chance(1, 2), 3);
+        }
+        let tags: Vec<u32> = (0..16).map(|_| rng.next_u64() as u32 & 0x1FFF).collect();
+        b.iter(|| black_box(set.find_longest(black_box(&tags))));
+    });
+
+    c.bench_function("pattern_set_allocate", |b| {
+        let mut rng = SplitMix64::new(3);
+        b.iter_batched(
+            || PatternSet::new(16, 4, 16),
+            |mut set| {
+                for _ in 0..16 {
+                    set.allocate(
+                        rng.below(16) as u8,
+                        rng.next_u64() as u32 & 0x1FFF,
+                        rng.chance(1, 2),
+                        3,
+                    );
+                }
+                black_box(set.occupancy())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rcr(c: &mut Criterion) {
+    c.bench_function("rcr_push_and_cid", |b| {
+        let mut rcr = RollingContextRegister::new(8, 4, 14, ContextHistoryKind::Unconditional);
+        let mut rng = SplitMix64::new(4);
+        b.iter(|| {
+            rcr.push(rng.next_u64());
+            black_box((rcr.current_cid(), rcr.prefetch_cid()))
+        });
+    });
+}
+
+fn bench_set_assoc(c: &mut Criterion) {
+    c.bench_function("set_assoc_lookup_hit", |b| {
+        let mut t: SetAssoc<u64> = SetAssoc::new(11, 7);
+        for i in 0..14_000u64 {
+            t.insert_lru(i, i >> 11, i);
+        }
+        let mut rng = SplitMix64::new(5);
+        b.iter(|| {
+            let i = rng.below(14_000);
+            black_box(t.get(i, i >> 11).copied())
+        });
+    });
+}
+
+criterion_group!(benches, bench_folded_history, bench_pattern_set, bench_rcr, bench_set_assoc);
+criterion_main!(benches);

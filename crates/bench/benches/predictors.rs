@@ -1,0 +1,50 @@
+//! Criterion end-to-end benchmarks: throughput of each predictor design
+//! over a fixed synthetic trace (branches per second of simulation), the
+//! simulator-side counterpart of the paper's "15–45 min per
+//! configuration" artifact note.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llbp_core::LlbpParams;
+use llbp_sim::{PredictorKind, SimConfig};
+use llbp_trace::{Trace, Workload, WorkloadSpec};
+use std::hint::black_box;
+
+const BRANCHES: usize = 30_000;
+
+fn trace() -> Trace {
+    WorkloadSpec::named(Workload::Tpcc).with_branches(BRANCHES).generate()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = trace();
+    let cfg = SimConfig { warmup_fraction: 0.0, track_per_branch: false };
+    let mut group = c.benchmark_group("simulate");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+
+    for (name, kind) in [
+        ("64k_tsl", PredictorKind::Tsl64K),
+        ("512k_tsl", PredictorKind::TslScaled(8)),
+        ("inf_tsl", PredictorKind::InfTsl),
+        ("llbp", PredictorKind::Llbp(LlbpParams::default())),
+        ("llbp_0lat", PredictorKind::Llbp(LlbpParams::zero_latency())),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(cfg.run(kind.clone(), black_box(&trace))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.throughput(Throughput::Elements(BRANCHES as u64));
+    group.sample_size(10);
+    group.bench_function("synthetic_workload", |b| {
+        b.iter(|| black_box(trace()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_trace_generation);
+criterion_main!(benches);

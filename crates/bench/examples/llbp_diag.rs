@@ -1,0 +1,57 @@
+//! Deep-dive diagnostics of one LLBP run: match/override rates, context
+//! and prefetch behaviour, transfer counts, and front-end reset sources.
+//!
+//! ```sh
+//! cargo run --release -p llbp-bench --example llbp_diag [branches]
+//! ```
+
+use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_sim::SimConfig;
+use llbp_trace::{Workload, WorkloadSpec};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+    for w in [Workload::NodeApp, Workload::Tomcat] {
+        let trace = WorkloadSpec::named(w).with_branches(n).generate();
+        let mut p = LlbpPredictor::new(LlbpParams::default());
+        let r = SimConfig::default().run_predictor(&mut p, &trace);
+        let s = p.stats();
+        println!("== {w}: mpki={:.2}", r.mpki());
+        println!(
+            "  predictions={} matches={} ({:.1}%)",
+            s.predictions,
+            s.llbp_matches,
+            100.0 * s.match_rate()
+        );
+        println!("  contexts_created={} pattern_allocs={}", s.contexts_created, s.pattern_allocs);
+        println!(
+            "  cd_lookups={} cd_hits={} ({:.1}%)",
+            s.cd_lookups,
+            s.cd_hits,
+            100.0 * s.cd_hits as f64 / s.cd_lookups.max(1) as f64
+        );
+        println!(
+            "  pb_hits={} ({:.1}% of preds) late={} ({:.1}%)",
+            s.pb_hits,
+            100.0 * s.pb_hits as f64 / s.predictions.max(1) as f64,
+            s.late_prefetches,
+            100.0 * s.late_prefetches as f64 / s.predictions.max(1) as f64
+        );
+        println!(
+            "  reads={} writes={} resets={} (over {} branches)",
+            s.storage_reads,
+            s.storage_writes,
+            s.pipeline_resets,
+            trace.len()
+        );
+        println!(
+            "  overrides: good={} bad={} both_correct={} both_wrong={} no_override={}",
+            s.good_override, s.bad_override, s.both_correct, s.both_wrong, s.no_override
+        );
+        let fe = p.frontend().stats();
+        println!(
+            "  frontend resets: btb={} ras={} indirect={}",
+            fe.btb_resets, fe.ras_resets, fe.indirect_resets
+        );
+    }
+}

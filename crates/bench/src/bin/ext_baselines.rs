@@ -1,0 +1,51 @@
+//! Extension experiment: historical baselines vs TAGE-SC-L vs LLBP.
+//!
+//! Not a paper figure — context for the headline numbers: three decades
+//! of direction predictors (gshare → two-level local → hashed perceptron
+//! → TAGE-SC-L → TAGE-SC-L + LLBP) on the same workloads, with storage
+//! budgets for scale.
+
+use llbp_bench::{parallel_over_workloads, Opts};
+use llbp_core::LlbpParams;
+use llbp_sim::report::{f2, Table};
+use llbp_sim::{PredictorKind, SimConfig};
+use llbp_tage::classic::{Gshare, HashedPerceptron, TwoLevelLocal};
+
+fn main() {
+    let opts = Opts::from_args();
+    let cfg = SimConfig::default();
+
+    let rows = parallel_over_workloads(&opts, |_w, trace| {
+        // Budgets loosely matched to 64 KiB-class designs.
+        let mut gshare = Gshare::new(18, 16); // 64 KiB
+        let mut twolevel = TwoLevelLocal::new(15, 14); // ≈64 KiB
+        let mut perceptron = HashedPerceptron::new(8, 13, 6); // 64 KiB
+        let g = cfg.run_predictor(&mut gshare, trace).mpki();
+        let t = cfg.run_predictor(&mut twolevel, trace).mpki();
+        let p = cfg.run_predictor(&mut perceptron, trace).mpki();
+        let tsl = cfg.run(PredictorKind::Tsl64K, trace).mpki();
+        let llbp = cfg.run(PredictorKind::Llbp(LlbpParams::default()), trace).mpki();
+        (g, t, p, tsl, llbp)
+    });
+
+    println!("# Extension — predictor generations (MPKI)");
+    println!("(equal ≈64 KiB budgets; LLBP adds its 517 KiB second level)\n");
+    let mut table =
+        Table::new(["workload", "gshare", "2level", "perceptron", "64K TSL", "+LLBP"]);
+    let mut sums = [0.0f64; 5];
+    for (w, (g, t, p, tsl, llbp)) in &rows {
+        for (s, v) in sums.iter_mut().zip([g, t, p, tsl, llbp]) {
+            *s += *v / rows.len() as f64;
+        }
+        table.row([w.to_string(), f2(*g), f2(*t), f2(*p), f2(*tsl), f2(*llbp)]);
+    }
+    table.row([
+        "Mean".to_string(),
+        f2(sums[0]),
+        f2(sums[1]),
+        f2(sums[2]),
+        f2(sums[3]),
+        f2(sums[4]),
+    ]);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,49 @@
+//! Extension experiment: front-end pipeline-reset sources.
+//!
+//! LLBP's prefetcher is reset-sensitive (§VI, §VII-A): every late
+//! front-end redirect squashes in-flight pattern-set prefetches. This
+//! harness attributes resets to their source — direction mispredictions,
+//! BTB misses on taken branches, return-stack mismatches, and
+//! indirect-target mispredictions — per workload, explaining why
+//! indirect-heavy workloads (PHPWiki) lose more of LLBP's benefit.
+
+use llbp_bench::{parallel_over_workloads, Opts};
+use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_sim::report::{f2, Table};
+use llbp_sim::SimConfig;
+
+fn main() {
+    let opts = Opts::from_args();
+    let cfg = SimConfig::default();
+
+    let rows = parallel_over_workloads(&opts, |_w, trace| {
+        let mut p = LlbpPredictor::new(LlbpParams::default());
+        let result = cfg.run_predictor(&mut p, trace);
+        let fe = *p.frontend().stats();
+        let dir_resets = p.stats().pipeline_resets - fe.total_resets();
+        (result.mispredictions, fe, dir_resets, trace.len() as u64)
+    });
+
+    println!("# Extension — pipeline-reset sources (per kilo-branch)");
+    println!("(every reset squashes LLBP's in-flight prefetches, §VI)\n");
+    let mut table = Table::new([
+        "workload",
+        "direction",
+        "BTB miss",
+        "RAS mismatch",
+        "indirect target",
+        "total/kbr",
+    ]);
+    for (w, (_mis, fe, dir, branches)) in &rows {
+        let per_kbr = |v: u64| f2(v as f64 * 1000.0 / *branches as f64);
+        table.row([
+            w.to_string(),
+            per_kbr(*dir),
+            per_kbr(fe.btb_resets),
+            per_kbr(fe.ras_resets),
+            per_kbr(fe.indirect_resets),
+            per_kbr(*dir + fe.total_resets()),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,61 @@
+//! Figure 11: LLBP ↔ pattern-buffer transfer bandwidth vs PB size,
+//! compared with L1-I miss traffic.
+//!
+//! Paper values: 16-entry PB reads 9.9 bits/inst + 2.2 writes (≈20% of
+//! reads); 64 entries −18.9% combined; 256 entries < 8 bits/inst total;
+//! the 64-entry PB read traffic is ~41% below L1I↔L2 traffic.
+
+use llbp_bench::{parallel_over_workloads, Opts};
+use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_sim::report::{f1, Table};
+use llbp_sim::{L1iCache, SimConfig};
+
+const PB_SIZES: [usize; 3] = [16, 64, 256];
+
+fn main() {
+    let opts = Opts::from_args();
+    let cfg = SimConfig::default();
+    let set_bits = LlbpParams::default().pattern_set_bits();
+
+    let rows = parallel_over_workloads(&opts, |_w, trace| {
+        let mut out = Vec::new();
+        for &pb in &PB_SIZES {
+            let params = LlbpParams::default().with_pb_entries(pb);
+            let mut p = LlbpPredictor::new(params);
+            let _ = cfg.run_predictor(&mut p, trace);
+            let s = p.stats();
+            out.push((s.read_bits_per_inst(set_bits), s.write_bits_per_inst(set_bits)));
+        }
+        let l1i = L1iCache::traffic_per_instruction(trace);
+        (out, l1i)
+    });
+
+    let n = rows.len().max(1) as f64;
+    let mut avg_read = [0.0f64; 3];
+    let mut avg_write = [0.0f64; 3];
+    let mut avg_l1i = 0.0;
+    for (_w, (per_pb, l1i)) in &rows {
+        for (i, (r, w)) in per_pb.iter().enumerate() {
+            avg_read[i] += r / n;
+            avg_write[i] += w / n;
+        }
+        avg_l1i += l1i / n;
+    }
+
+    println!("# Figure 11 — transfer bandwidth (bits per instruction, mean over workloads)");
+    println!(
+        "(paper: 16-entry PB 9.9 read + 2.2 write; 64-entry −18.9% combined; \
+         256-entry < 8 total; 64-entry reads ≈41% below L1I miss traffic)\n"
+    );
+    let mut table = Table::new(["config", "read b/inst", "write b/inst", "total b/inst"]);
+    for (i, &pb) in PB_SIZES.iter().enumerate() {
+        table.row([
+            format!("{pb}-entry PB"),
+            f1(avg_read[i]),
+            f1(avg_write[i]),
+            f1(avg_read[i] + avg_write[i]),
+        ]);
+    }
+    table.row(["L1I misses".to_string(), f1(avg_l1i), String::new(), f1(avg_l1i)]);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,70 @@
+//! Figure 14: sensitivity of the MPKI reduction and the LLBP capacity to
+//! the number of contexts (pattern sets) and the pattern-set size.
+//!
+//! Paper: 16K contexts × 8 patterns ≈ −11%; doubling the set to 16 adds
+//! ≈2.6%; 32 adds 1.4% more and 64 almost nothing; reduction scales
+//! near-linearly with the context count until ≈14K and slows beyond;
+//! ≈512 KiB (14K × 16) is the local optimum chosen for LLBP.
+//!
+//! Study mode (as in the paper): highly-associative context index, wide
+//! context tags, no bucketing, zero latency. Context counts are powers of
+//! two here (the paper also samples 10/12/14K).
+
+use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_core::LlbpParams;
+use llbp_sim::report::{f1, Table};
+use llbp_sim::{PredictorKind, SimConfig};
+
+const CONTEXTS: [usize; 5] = [8_192, 16_384, 32_768, 65_536, 131_072];
+const SET_SIZES: [usize; 4] = [8, 16, 32, 64];
+
+fn main() {
+    let opts = Opts::from_args();
+    let cfg = SimConfig::default();
+
+    let rows = parallel_over_workloads(&opts, |_w, trace| {
+        let base = cfg.run(PredictorKind::Tsl64K, trace);
+        let mut grid = Vec::new();
+        for &set_size in &SET_SIZES {
+            let mut per_ctx = Vec::new();
+            for &contexts in &CONTEXTS {
+                let params = LlbpParams::study_full_assoc(contexts, set_size);
+                let r = cfg.run(PredictorKind::Llbp(params), trace);
+                per_ctx.push(r.mpki_reduction_vs(&base));
+            }
+            grid.push(per_ctx);
+        }
+        grid
+    });
+
+    println!("# Figure 14 — contexts × pattern-set size (mean MPKI reduction & capacity)");
+    println!("(paper: 16K×8 ≈ −11%; ×16 +2.6 more; ×32 +1.4; ×64 ≈ +0; ≈512KiB local optimum)\n");
+    let mut table = Table::new(
+        std::iter::once("patterns/set".to_string())
+            .chain(CONTEXTS.iter().map(|c| format!("{}K ctx", c / 1024))),
+    );
+    for (si, &set_size) in SET_SIZES.iter().enumerate() {
+        let mut cells = vec![set_size.to_string()];
+        for (ci, _) in CONTEXTS.iter().enumerate() {
+            let vals: Vec<f64> = rows.iter().map(|(_, grid)| grid[si][ci]).collect();
+            cells.push(format!("{}%", f1(mean_reduction(&vals))));
+        }
+        table.row(cells);
+    }
+    println!("{}", table.to_markdown());
+
+    let mut cap = Table::new(
+        std::iter::once("patterns/set".to_string())
+            .chain(CONTEXTS.iter().map(|c| format!("{}K ctx", c / 1024))),
+    );
+    for &set_size in &SET_SIZES {
+        let mut cells = vec![set_size.to_string()];
+        for &contexts in &CONTEXTS {
+            let params = LlbpParams::study_full_assoc(contexts, set_size);
+            cells.push(format!("{} KiB", params.storage_bits() / 8192));
+        }
+        cap.row(cells);
+    }
+    println!("## LLBP capacity per configuration\n");
+    println!("{}", cap.to_markdown());
+}

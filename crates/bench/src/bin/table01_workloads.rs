@@ -1,0 +1,31 @@
+//! Table I: the evaluated workloads, plus the measured characteristics of
+//! their synthetic stand-ins (working set, branch mix — §IV-2 cites a
+//! 3.89 conditional-to-unconditional ratio).
+
+use llbp_bench::{parallel_over_workloads, Opts};
+use llbp_sim::report::{f2, Table};
+
+fn main() {
+    let opts = Opts::from_args();
+
+    let rows = parallel_over_workloads(&opts, |_w, trace| trace.stats());
+
+    println!("# Table I — workloads (synthetic stand-ins; see DESIGN.md §3)\n");
+    let mut table = Table::new([
+        "application",
+        "description",
+        "static cond. branches",
+        "cond:uncond",
+        "taken rate",
+    ]);
+    for (w, s) in &rows {
+        table.row([
+            w.to_string(),
+            w.description().to_string(),
+            s.static_conditional.to_string(),
+            f2(s.cond_per_uncond().unwrap_or(0.0)),
+            f2(s.taken_rate().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+}

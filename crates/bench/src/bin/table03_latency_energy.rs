@@ -1,0 +1,42 @@
+//! Table III: access latency and energy of the LLBP structures relative
+//! to 64K TSL, from the calibrated analytic model (substituting for
+//! CACTI 7.0 at 22 nm — DESIGN.md §3).
+//!
+//! Paper anchors: 512KiB TSL 2.55× latency / 4 cycles / 4.58× energy;
+//! LLBP 2.68× / 4 / 4.44×; CD 0.8× / 1 / 0.3×; PB 0.62× / 1 / 0.25×.
+
+use llbp_core::LlbpParams;
+use llbp_sim::report::{f2, Table};
+use llbp_sim::EnergyModel;
+
+fn main() {
+    let model = EnergyModel::default();
+    let params = LlbpParams::default();
+
+    println!("# Table III — relative access latency & energy (4 GHz)\n");
+    let mut table =
+        Table::new(["component", "rel. latency", "cycles", "rel. energy", "paper (lat/cyc/energy)"]);
+    let paper: [(&str, &str); 5] = [
+        ("64KiB TSL", "1.00 / 2 / 1.00"),
+        ("512KiB TSL", "2.55 / 4 / 4.58"),
+        ("LLBP", "2.68 / 4 / 4.44"),
+        ("CD", "0.80 / 1 / 0.30"),
+        ("PB (64 entries)", "0.62 / 1 / 0.25"),
+    ];
+    for (row, (_, paper_vals)) in model.table3(&params).iter().zip(paper) {
+        table.row([
+            row.name.clone(),
+            f2(row.relative_latency),
+            row.cycles.to_string(),
+            f2(row.relative_energy),
+            paper_vals.to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "\nPrefetch delay used by the simulator: CD ({} cycle) + LLBP ({} cycles) + 1 logic = {} cycles",
+        model.cycles(params.cd_bits() as f64),
+        model.cycles(params.storage_bits() as f64),
+        model.cycles(params.cd_bits() as f64) + model.cycles(params.storage_bits() as f64) + 1
+    );
+}

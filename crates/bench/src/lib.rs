@@ -1,0 +1,164 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every `fig*`/`table*` binary regenerates one table or figure of the
+//! paper. All of them accept:
+//!
+//! * `--quick` — a much shorter trace, for CI smoke runs;
+//! * `--branches N` — explicit trace length in branch records;
+//! * `--workloads a,b,c` — restrict to a subset of workload names.
+//!
+//! Results print as markdown tables so they can be pasted straight into
+//! `EXPERIMENTS.md`.
+
+use llbp_trace::{Trace, Workload, WorkloadSpec};
+
+/// Default branch records per workload for full experiment runs.
+pub const FULL_BRANCHES: usize = 1_000_000;
+/// Branch records per workload under `--quick`.
+pub const QUICK_BRANCHES: usize = 150_000;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opts {
+    /// Branch records per generated trace.
+    pub branches: usize,
+    /// The workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Whether `--quick` was requested.
+    pub quick: bool,
+}
+
+impl Opts {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (these are
+    /// developer-facing binaries).
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts =
+            Self { branches: FULL_BRANCHES, workloads: Workload::ALL.to_vec(), quick: false };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts.quick = true;
+                    opts.branches = QUICK_BRANCHES;
+                }
+                "--branches" => {
+                    let v = iter.next().unwrap_or_else(|| usage("missing value for --branches"));
+                    opts.branches =
+                        v.parse().unwrap_or_else(|_| usage(&format!("bad --branches: {v}")));
+                }
+                "--workloads" => {
+                    let v = iter.next().unwrap_or_else(|| usage("missing value for --workloads"));
+                    opts.workloads = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<Workload>()
+                                .unwrap_or_else(|e| usage(&e))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => usage("") ,
+                other => usage(&format!("unknown argument: {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Generates the trace for one workload at the configured length.
+    #[must_use]
+    pub fn trace(&self, workload: Workload) -> Trace {
+        WorkloadSpec::named(workload).with_branches(self.branches).generate()
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--quick] [--branches N] [--workloads A,B,C]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Runs `f` for every workload on its own thread and returns the results
+/// in workload order. The closure receives the workload and its trace.
+pub fn parallel_over_workloads<T, F>(opts: &Opts, f: F) -> Vec<(Workload, T)>
+where
+    T: Send,
+    F: Fn(Workload, &Trace) -> T + Sync,
+{
+    let workloads = opts.workloads.clone();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|&w| {
+                let f = &f;
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    let trace = opts.trace(w);
+                    (w, f(w, &trace))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
+    })
+}
+
+/// Geometric-mean helper over positive percentage reductions expressed as
+/// ratios; falls back to the arithmetic mean when any value is
+/// non-positive (reductions can legitimately be negative).
+#[must_use]
+pub fn mean_reduction(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let o = Opts::parse(Vec::<String>::new());
+        assert_eq!(o.branches, FULL_BRANCHES);
+        assert_eq!(o.workloads.len(), 14);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn parse_quick_and_filters() {
+        let o = Opts::parse(
+            ["--quick", "--workloads", "Tomcat,HTTP"].iter().map(ToString::to_string),
+        );
+        assert!(o.quick);
+        assert_eq!(o.branches, QUICK_BRANCHES);
+        assert_eq!(o.workloads, vec![Workload::Tomcat, Workload::Http]);
+    }
+
+    #[test]
+    fn parse_explicit_branches() {
+        let o = Opts::parse(["--branches", "1234"].iter().map(ToString::to_string));
+        assert_eq!(o.branches, 1234);
+    }
+
+    #[test]
+    fn mean_reduction_averages() {
+        assert!((mean_reduction(&[10.0, 20.0]) - 15.0).abs() < 1e-12);
+        assert_eq!(mean_reduction(&[]), 0.0);
+    }
+}

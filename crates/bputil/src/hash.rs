@@ -1,0 +1,127 @@
+//! Small integer mixing functions for table indices, tags and context IDs.
+//!
+//! Branch predictors hash program counters and histories into narrow table
+//! indices. These helpers provide well-distributed, cheap, deterministic
+//! mixes. None of them are cryptographic — they only need to decorrelate
+//! nearby PCs.
+
+/// Finalization mix from SplitMix64 / MurmurHash3's 64-bit finalizer.
+///
+/// A strong full-avalanche mix: every input bit affects every output bit.
+///
+/// # Example
+///
+/// ```
+/// use bputil::hash::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// ```
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Folds a 64-bit value down to `bits` by repeated XOR of `bits`-wide limbs.
+///
+/// Unlike simple truncation this preserves entropy from the high bits,
+/// which matters when hashing shifted PCs (LLBP's context-ID hash).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 63.
+#[must_use]
+pub fn fold_to_bits(mut x: u64, bits: u32) -> u64 {
+    assert!((1..=63).contains(&bits), "fold width out of range: {bits}");
+    let m = (1u64 << bits) - 1;
+    let mut acc = 0u64;
+    while x != 0 {
+        acc ^= x & m;
+        x >>= bits;
+    }
+    acc
+}
+
+/// Combines a PC with folded index history and path history in the style of
+/// TAGE's table-index hash (`gindex` in Seznec's CBP code).
+#[must_use]
+pub fn tage_index(pc: u64, folded_index: u32, path: u64, table: u32, index_bits: u32) -> u64 {
+    let pc_part = pc ^ (pc >> (index_bits as u64 + 1)) ^ (pc >> (2 * index_bits as u64 + 2));
+    let mixed = pc_part ^ u64::from(folded_index) ^ path_mix(path, table, index_bits);
+    fold_to_bits(mix64(mixed ^ u64::from(table) << 57), index_bits)
+}
+
+/// Combines a PC with two folded tag histories in the style of TAGE's tag
+/// hash (`gtag`).
+#[must_use]
+pub fn tage_tag(pc: u64, folded_tag0: u32, folded_tag1: u32, tag_bits: u32) -> u32 {
+    let mixed = pc ^ u64::from(folded_tag0) ^ (u64::from(folded_tag1) << 1);
+    (fold_to_bits(mix64(mixed), tag_bits)) as u32
+}
+
+/// The auxiliary path-history mix TAGE applies per table.
+fn path_mix(path: u64, table: u32, index_bits: u32) -> u64 {
+    let m = (1u64 << index_bits) - 1;
+    let size = u64::from(index_bits.min(16));
+    let mut a = path & ((1u64 << size.min(32)) - 1).max(1);
+    let a1 = a & m;
+    let a2 = a >> index_bits;
+    a = a1 ^ a2.rotate_left(table % index_bits.max(1));
+    a & m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_avalanches_nearby_inputs() {
+        let h1 = mix64(0x4000_0000);
+        let h2 = mix64(0x4000_0004);
+        let differing = (h1 ^ h2).count_ones();
+        assert!(differing > 16, "only {differing} bits differ");
+    }
+
+    #[test]
+    fn fold_to_bits_stays_in_range() {
+        for bits in 1..=20 {
+            let v = fold_to_bits(u64::MAX, bits);
+            assert!(v < (1 << bits));
+        }
+    }
+
+    #[test]
+    fn fold_to_bits_uses_high_bits() {
+        // Two values differing only in the high bits must fold differently
+        // (for this particular pair).
+        assert_ne!(fold_to_bits(0x8000_0000_0000_0000, 10), fold_to_bits(0, 10));
+    }
+
+    #[test]
+    fn tage_index_distributes_sequential_pcs() {
+        let mut seen = HashSet::new();
+        for pc in (0x1000u64..0x3000).step_by(4) {
+            seen.insert(tage_index(pc, 0xabc, 0x55, 3, 10));
+        }
+        // 2048 PCs into 1024 slots: expect to hit most of the table.
+        assert!(seen.len() > 600, "poor distribution: {} distinct", seen.len());
+    }
+
+    #[test]
+    fn tage_tag_depends_on_history() {
+        let t1 = tage_tag(0x1234, 0x0, 0x0, 12);
+        let t2 = tage_tag(0x1234, 0x1, 0x0, 12);
+        assert_ne!(t1, t2);
+        assert!(t1 < (1 << 12) && t2 < (1 << 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "fold width")]
+    fn fold_to_zero_bits_panics() {
+        let _ = fold_to_bits(1, 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Statistics helpers for experiment reporting: percentiles, means,
+//! geometric means and simple histograms.
+
+/// Returns the `p`-th percentile (0–100, nearest-rank) of `values`.
+///
+/// Returns `None` for an empty slice. The input is copied and sorted.
+///
+/// # Example
+///
+/// ```
+/// use bputil::stats::percentile;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 50.0), Some(2.0));
+/// assert_eq!(percentile(&v, 100.0), Some(4.0));
+/// ```
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean; `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive (geometric mean is undefined there).
+#[must_use]
+pub fn gmean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "gmean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// A power-of-two-bucketed histogram of `u64` samples, used for
+/// patterns-per-context distributions (Fig. 5 style reporting).
+///
+/// # Example
+///
+/// ```
+/// use bputil::stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// h.record(100);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max(), Some(100));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Largest sample, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Smallest sample, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Nearest-rank percentile of the recorded samples.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Arithmetic mean of the samples.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+    }
+
+    /// The raw samples, unsorted, in recording order.
+    #[must_use]
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Bucket counts keyed by bucket start: bucket `0` holds the value 0 and
+    /// bucket `2^k` holds samples in `[2^k, 2^(k+1) - 1]`.
+    #[must_use]
+    pub fn log2_buckets(&self) -> Vec<(u64, usize)> {
+        let max = match self.max() {
+            Some(m) => m,
+            None => return Vec::new(),
+        };
+        let nb = 64 - max.leading_zeros() as usize + 1;
+        let mut buckets = vec![0usize; nb + 1];
+        for &s in &self.samples {
+            let b = if s == 0 { 0 } else { 64 - s.leading_zeros() as usize };
+            buckets[b] += 1;
+        }
+        buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        Self { samples: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 95.0), Some(95.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn mean_and_gmean() {
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        let g = gmean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let h: Histogram = (1..=1000u64).collect();
+        assert_eq!(h.percentile(50.0), Some(500));
+        assert_eq!(h.percentile(95.0), Some(950));
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(1));
+    }
+
+    #[test]
+    fn histogram_log2_buckets() {
+        let mut h = Histogram::new();
+        h.extend([0u64, 1, 2, 3, 4, 8]);
+        let buckets = h.log2_buckets();
+        // 0 -> bucket 0; 1 -> bucket [1,1]; 2,3 -> bucket [2,3]; 4 -> [4,7];
+        // 8 -> [8,15].
+        assert!(buckets.contains(&(0, 1)));
+        assert!(buckets.contains(&(1, 1)));
+        assert!(buckets.contains(&(2, 2)));
+        assert!(buckets.contains(&(4, 1)));
+        assert!(buckets.contains(&(8, 1)));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.log2_buckets().is_empty());
+    }
+}

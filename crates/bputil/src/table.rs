@@ -1,0 +1,389 @@
+//! Direct-mapped and set-associative lookup tables.
+//!
+//! These model the SRAM arrays of a predictor: a fixed geometry (sets ×
+//! ways) with tag match and a victim-selection policy. [`SetAssoc`] keeps
+//! per-way LRU ranks and supports custom victim selection for policies like
+//! LLBP's confidence-based Context Directory replacement.
+
+/// A direct-mapped table of `V` indexed by a masked index.
+///
+/// # Example
+///
+/// ```
+/// use bputil::table::DirectMapped;
+///
+/// let mut t: DirectMapped<u32> = DirectMapped::new(4); // 16 entries
+/// *t.entry_mut(0x33) = 7; // index masked to 0x3
+/// assert_eq!(*t.entry(0x3), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectMapped<V> {
+    entries: Vec<V>,
+    index_bits: u32,
+}
+
+impl<V: Default + Clone> DirectMapped<V> {
+    /// Creates a table with `2^index_bits` default-initialised entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` exceeds 28 (guard against absurd allocations).
+    #[must_use]
+    pub fn new(index_bits: u32) -> Self {
+        assert!(index_bits <= 28, "table too large: 2^{index_bits} entries");
+        Self { entries: vec![V::default(); 1usize << index_bits], index_bits }
+    }
+}
+
+impl<V> DirectMapped<V> {
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table has no entries (never the case after `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index width in bits.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    fn mask(&self, index: u64) -> usize {
+        (index as usize) & (self.entries.len() - 1)
+    }
+
+    /// Shared access to the entry for `index` (masked to the table size).
+    #[must_use]
+    pub fn entry(&self, index: u64) -> &V {
+        &self.entries[self.mask(index)]
+    }
+
+    /// Exclusive access to the entry for `index` (masked to the table size).
+    pub fn entry_mut(&mut self, index: u64) -> &mut V {
+        let i = self.mask(index);
+        &mut self.entries[i]
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably over all entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.entries.iter_mut()
+    }
+}
+
+/// One way of a set-associative table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Way<V> {
+    tag: u64,
+    valid: bool,
+    /// Monotonic timestamp of last touch; larger = more recent.
+    lru: u64,
+    value: V,
+}
+
+/// A set-associative table with per-set LRU and custom victim selection.
+///
+/// Keys are split by the caller into a set `index` and a `tag`; the table
+/// masks the index to its set count and matches tags within the set.
+///
+/// # Example
+///
+/// ```
+/// use bputil::table::SetAssoc;
+///
+/// let mut t: SetAssoc<&'static str> = SetAssoc::new(2, 2); // 4 sets, 2 ways
+/// t.insert_lru(1, 0xAA, "a");
+/// t.insert_lru(1, 0xBB, "b");
+/// assert_eq!(t.get(1, 0xAA), Some(&"a"));
+/// t.insert_lru(1, 0xCC, "c"); // evicts LRU ("a" was touched by get? yes)
+/// assert!(t.get(1, 0xBB).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssoc<V> {
+    sets: Vec<Vec<Way<V>>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> SetAssoc<V> {
+    /// Creates a table with `2^index_bits` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or `index_bits` exceeds 24.
+    #[must_use]
+    pub fn new(index_bits: u32, ways: usize) -> Self {
+        assert!(ways > 0, "need at least one way");
+        assert!(index_bits <= 24, "table too large: 2^{index_bits} sets");
+        let sets = (0..1usize << index_bits).map(|_| Vec::with_capacity(ways)).collect();
+        Self { sets, ways, tick: 0, hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total lookup hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookup misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total evictions of valid entries so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn set_of(&self, index: u64) -> usize {
+        (index as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up `(index, tag)`, refreshing LRU state on hit.
+    pub fn get(&mut self, index: u64, tag: u64) -> Option<&V> {
+        let s = self.set_of(index);
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[s];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = tick;
+            self.hits += 1;
+            Some(&w.value)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Like [`SetAssoc::get`] but returning a mutable reference.
+    pub fn get_mut(&mut self, index: u64, tag: u64) -> Option<&mut V> {
+        let s = self.set_of(index);
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[s];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = tick;
+            self.hits += 1;
+            Some(&mut w.value)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Checks presence without disturbing LRU or hit/miss statistics.
+    #[must_use]
+    pub fn peek(&self, index: u64, tag: u64) -> Option<&V> {
+        let s = self.set_of(index);
+        self.sets[s].iter().find(|w| w.valid && w.tag == tag).map(|w| &w.value)
+    }
+
+    /// Inserts with LRU victim selection. Returns the evicted `(tag, value)`
+    /// if a valid entry was displaced. If the tag is already present, its
+    /// value is replaced (and nothing is evicted).
+    pub fn insert_lru(&mut self, index: u64, tag: u64, value: V) -> Option<(u64, V)> {
+        self.insert_with(index, tag, value, |ways| {
+            ways.iter().enumerate().min_by_key(|(_, w)| w.0).map(|(i, _)| i).unwrap_or(0)
+        })
+    }
+
+    /// Inserts with a caller-selected victim. `select` receives, for each
+    /// valid way in the target set, `(lru_timestamp, &value)` and must return
+    /// the position of the way to evict. Invalid ways are filled first
+    /// without consulting `select`.
+    ///
+    /// Returns the evicted `(tag, value)` when a valid entry is displaced.
+    pub fn insert_with<F>(&mut self, index: u64, tag: u64, value: V, select: F) -> Option<(u64, V)>
+    where
+        F: FnOnce(&[(u64, &V)]) -> usize,
+    {
+        let s = self.set_of(index);
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set = &mut self.sets[s];
+
+        // Same-tag replacement.
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.value = value;
+            w.lru = tick;
+            return None;
+        }
+        // Fill an empty way.
+        if set.len() < ways {
+            set.push(Way { tag, valid: true, lru: tick, value });
+            return None;
+        }
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way { tag, valid: true, lru: tick, value };
+            return None;
+        }
+        // Evict.
+        let candidates: Vec<(u64, &V)> = set.iter().map(|w| (w.lru, &w.value)).collect();
+        let victim = select(&candidates).min(set.len() - 1);
+        self.evictions += 1;
+        let old = std::mem::replace(&mut set[victim], Way { tag, valid: true, lru: tick, value });
+        Some((old.tag, old.value))
+    }
+
+    /// Removes `(index, tag)`, returning its value if present.
+    pub fn remove(&mut self, index: u64, tag: u64) -> Option<V> {
+        let s = self.set_of(index);
+        let set = &mut self.sets[s];
+        let pos = set.iter().position(|w| w.valid && w.tag == tag)?;
+        let way = set.swap_remove(pos);
+        Some(way.value)
+    }
+
+    /// Invalidates everything.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of valid entries across all sets.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().filter(|w| w.valid).count()).sum()
+    }
+
+    /// Iterates over `(set_index, tag, &value)` of all valid entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &V)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.iter().filter(|w| w.valid).map(move |w| (i, w.tag, &w.value)))
+    }
+
+    /// Iterates mutably over `(set_index, tag, &mut value)` of valid entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, u64, &mut V)> {
+        self.sets.iter_mut().enumerate().flat_map(|(i, s)| {
+            s.iter_mut().filter(|w| w.valid).map(move |w| (i, w.tag, &mut w.value))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_masks_index() {
+        let mut t: DirectMapped<u8> = DirectMapped::new(3);
+        *t.entry_mut(8) = 42; // masks to 0
+        assert_eq!(*t.entry(0), 42);
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn set_assoc_hit_and_miss_counting() {
+        let mut t: SetAssoc<u32> = SetAssoc::new(1, 2);
+        assert!(t.get(0, 1).is_none());
+        t.insert_lru(0, 1, 10);
+        assert_eq!(t.get(0, 1), Some(&10));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t: SetAssoc<&str> = SetAssoc::new(0, 2); // one set, 2 ways
+        t.insert_lru(0, 1, "one");
+        t.insert_lru(0, 2, "two");
+        let _ = t.get(0, 1); // touch "one" -> "two" becomes LRU
+        let evicted = t.insert_lru(0, 3, "three");
+        assert_eq!(evicted, Some((2, "two")));
+        assert!(t.peek(0, 1).is_some());
+        assert!(t.peek(0, 3).is_some());
+    }
+
+    #[test]
+    fn same_tag_insert_replaces_value() {
+        let mut t: SetAssoc<u32> = SetAssoc::new(0, 2);
+        t.insert_lru(0, 7, 1);
+        let evicted = t.insert_lru(0, 7, 2);
+        assert!(evicted.is_none());
+        assert_eq!(t.peek(0, 7), Some(&2));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn custom_victim_selection() {
+        let mut t: SetAssoc<u32> = SetAssoc::new(0, 3);
+        t.insert_lru(0, 1, 100);
+        t.insert_lru(0, 2, 5);
+        t.insert_lru(0, 3, 50);
+        // Evict the way with the smallest value (confidence-style policy).
+        let evicted = t.insert_with(0, 4, 999, |ways| {
+            ways.iter().enumerate().min_by_key(|(_, (_, v))| **v).map(|(i, _)| i).unwrap()
+        });
+        assert_eq!(evicted, Some((2, 5)));
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut t: SetAssoc<&str> = SetAssoc::new(0, 2);
+        t.insert_lru(0, 1, "one");
+        t.insert_lru(0, 2, "two");
+        let _ = t.peek(0, 1); // must NOT refresh
+        let evicted = t.insert_lru(0, 3, "three");
+        assert_eq!(evicted, Some((1, "one")));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t: SetAssoc<u32> = SetAssoc::new(2, 2);
+        t.insert_lru(0, 1, 1);
+        t.insert_lru(1, 2, 2);
+        assert_eq!(t.remove(0, 1), Some(1));
+        assert_eq!(t.remove(0, 1), None);
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut t: SetAssoc<u32> = SetAssoc::new(2, 1);
+        t.insert_lru(0, 9, 0);
+        t.insert_lru(1, 9, 1);
+        t.insert_lru(2, 9, 2);
+        assert_eq!(t.peek(0, 9), Some(&0));
+        assert_eq!(t.peek(1, 9), Some(&1));
+        assert_eq!(t.peek(2, 9), Some(&2));
+        assert_eq!(t.occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _: SetAssoc<u32> = SetAssoc::new(1, 0);
+    }
+}

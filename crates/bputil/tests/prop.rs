@@ -1,0 +1,108 @@
+//! Property-based tests for the predictor building blocks.
+
+use bputil::counter::{SatCounter, UnsignedCounter};
+use bputil::history::{FoldedHistory, HistoryBuffer};
+use bputil::table::SetAssoc;
+use proptest::prelude::*;
+
+proptest! {
+    /// The incrementally folded history always equals folding the full
+    /// history from scratch, for arbitrary outcome streams and geometries.
+    #[test]
+    fn folded_history_equals_reference(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..1500),
+        olen in 1usize..400,
+        clen in 1u32..=20,
+    ) {
+        let mut ghr = HistoryBuffer::new(512);
+        let mut fh = FoldedHistory::new(olen, clen);
+        for &t in &outcomes {
+            fh.update_before_push(&ghr, t);
+            ghr.push(t);
+        }
+        // Only valid while the GHR still remembers the whole window.
+        prop_assume!(olen <= ghr.capacity());
+        prop_assert_eq!(fh.value(), ghr.fold(olen, clen));
+    }
+
+    /// Saturating counters never leave their representable range and the
+    /// predicted direction equals the sign.
+    #[test]
+    fn sat_counter_stays_in_range(
+        bits in 1u32..=8,
+        updates in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut c = SatCounter::new_signed(bits);
+        for &t in &updates {
+            c.update(t);
+            prop_assert!(c.value() >= c.min() && c.value() <= c.max());
+            prop_assert_eq!(c.taken(), c.value() >= 0);
+        }
+    }
+
+    /// An unsigned counter is exactly `clamp(ups - downs)` when updates are
+    /// applied in a non-interleaved order... more precisely, it never exceeds
+    /// the number of increments and never goes negative.
+    #[test]
+    fn unsigned_counter_bounds(
+        bits in 1u32..=8,
+        ops in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut c = UnsignedCounter::new(bits);
+        let mut ups = 0u32;
+        for &up in &ops {
+            if up { c.increment(); ups += 1; } else { c.decrement(); }
+            prop_assert!(u32::from(c.value()) <= ups);
+            prop_assert!(c.value() <= c.max());
+        }
+    }
+
+    /// A set-associative table never holds two valid entries with the same
+    /// (set, tag), and occupancy never exceeds sets × ways.
+    #[test]
+    fn set_assoc_no_duplicate_tags(
+        index_bits in 0u32..=4,
+        ways in 1usize..=4,
+        ops in proptest::collection::vec((any::<u64>(), 0u64..16), 1..300),
+    ) {
+        let mut t: SetAssoc<u64> = SetAssoc::new(index_bits, ways);
+        for &(tag, idx) in &ops {
+            t.insert_lru(idx, tag, tag);
+            let set_count = 1usize << index_bits;
+            prop_assert!(t.occupancy() <= set_count * ways);
+        }
+        // No duplicates: every (set, tag) pair appears at most once.
+        let mut seen = std::collections::HashSet::new();
+        for (set, tag, _) in t.iter() {
+            prop_assert!(seen.insert((set, tag)), "duplicate (set={}, tag={})", set, tag);
+        }
+    }
+
+    /// Lookup after insert always hits (within the same set and tag), and the
+    /// stored value round-trips.
+    #[test]
+    fn set_assoc_insert_then_get(
+        index_bits in 0u32..=4,
+        ways in 1usize..=8,
+        idx in any::<u64>(),
+        tag in any::<u64>(),
+        value in any::<u64>(),
+    ) {
+        let mut t: SetAssoc<u64> = SetAssoc::new(index_bits, ways);
+        t.insert_lru(idx, tag, value);
+        prop_assert_eq!(t.get(idx, tag), Some(&value));
+    }
+
+    /// Histogram percentiles are monotone in `p` and bounded by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(
+        samples in proptest::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let h: bputil::stats::Histogram = samples.iter().copied().collect();
+        let p50 = h.percentile(50.0).unwrap();
+        let p95 = h.percentile(95.0).unwrap();
+        prop_assert!(p50 <= p95);
+        prop_assert!(h.min().unwrap() <= p50);
+        prop_assert!(p95 <= h.max().unwrap());
+    }
+}

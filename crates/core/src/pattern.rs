@@ -1,0 +1,313 @@
+//! Pattern sets: the unit of storage and transfer in LLBP.
+//!
+//! A pattern is `(tag, prediction counter, history length)`; a pattern set
+//! is the full collection of patterns for one program context — 16
+//! patterns grouped into 4 *buckets* of 4, each bucket restricted to a
+//! contiguous range of history lengths (§V-D). Patterns are kept sorted by
+//! history length within their bucket, and buckets cover ascending length
+//! ranges, so "select the longest matching pattern" is a single
+//! right-to-left scan, mirroring TAGE's multiplexer cascade.
+
+use bputil::counter::SatCounter;
+
+/// One LLBP pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pattern {
+    /// Partial tag (hash of PC and folded history of this length).
+    pub tag: u32,
+    /// Index into the global LLBP history-length list.
+    pub len_idx: u8,
+    /// Signed prediction counter; sign = direction.
+    pub ctr: SatCounter,
+}
+
+/// The pattern set of one program context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    slots: Vec<Option<Pattern>>,
+    num_buckets: usize,
+    /// History lengths per bucket (global length list size / buckets).
+    lengths_per_bucket: usize,
+}
+
+impl PatternSet {
+    /// Creates an empty set of `slots` patterns in `num_buckets` buckets,
+    /// for a global length list of `num_lengths` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `num_lengths` is not a multiple of
+    /// `num_buckets`, or any argument is zero.
+    #[must_use]
+    pub fn new(slots: usize, num_buckets: usize, num_lengths: usize) -> Self {
+        assert!(slots > 0 && num_buckets > 0 && num_lengths > 0);
+        assert_eq!(slots % num_buckets, 0, "slots must divide into buckets");
+        assert_eq!(num_lengths % num_buckets, 0, "lengths must divide into buckets");
+        Self {
+            slots: vec![None; slots],
+            num_buckets,
+            lengths_per_bucket: num_lengths / num_buckets,
+        }
+    }
+
+    /// Number of pattern slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// The bucket that owns history-length index `len_idx`.
+    #[must_use]
+    pub fn bucket_of(&self, len_idx: u8) -> usize {
+        (usize::from(len_idx) / self.lengths_per_bucket).min(self.num_buckets - 1)
+    }
+
+    fn bucket_range(&self, bucket: usize) -> std::ops::Range<usize> {
+        let per = self.slots.len() / self.num_buckets;
+        bucket * per..(bucket + 1) * per
+    }
+
+    /// Finds the longest matching pattern given the per-length tags
+    /// computed from the current history. Returns the slot index.
+    ///
+    /// `tags[i]` must be the tag hash for history length `i` of the global
+    /// list.
+    #[must_use]
+    pub fn find_longest(&self, tags: &[u32]) -> Option<usize> {
+        // Slots are sorted ascending by length (buckets ascending, sorted
+        // within), so the right-most match has the longest history.
+        self.slots.iter().enumerate().rev().find_map(|(i, slot)| {
+            let p = slot.as_ref()?;
+            (tags.get(usize::from(p.len_idx)) == Some(&p.tag)).then_some(i)
+        })
+    }
+
+    /// Shared access to the pattern in `slot`.
+    #[must_use]
+    pub fn pattern(&self, slot: usize) -> Option<&Pattern> {
+        self.slots.get(slot)?.as_ref()
+    }
+
+    /// Exclusive access to the pattern in `slot`.
+    pub fn pattern_mut(&mut self, slot: usize) -> Option<&mut Pattern> {
+        self.slots.get_mut(slot)?.as_mut()
+    }
+
+    /// Allocates a pattern for history-length index `len_idx` (§V-D steps
+    /// 2–4): victimise the least-confident pattern in the owning bucket
+    /// (empty slots first, ties to the lower-order slot), write the new
+    /// pattern with a weak counter in the resolved direction, and restore
+    /// the bucket's sorted-by-length order.
+    pub fn allocate(&mut self, len_idx: u8, tag: u32, taken: bool, counter_bits: u32) {
+        let bucket = self.bucket_of(len_idx);
+        let range = self.bucket_range(bucket);
+
+        // If the same (length, tag) already exists, just refresh it.
+        if let Some(existing) = self.slots[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|p| p.len_idx == len_idx && p.tag == tag)
+        {
+            existing.ctr = SatCounter::weak(counter_bits, taken);
+            return;
+        }
+
+        let victim = self.slots[range.clone()]
+            .iter()
+            .position(Option::is_none)
+            .map(|off| range.start + off)
+            .unwrap_or_else(|| {
+                // Least-confident pattern; ties resolve to the left-most
+                // (lower-order) slot because `min_by_key` keeps the first.
+                self.slots[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, p)| p.as_ref().map_or(0, |p| p.ctr.confidence()))
+                    .map(|(off, _)| range.start + off)
+                    .expect("bucket is non-empty")
+            });
+
+        self.slots[victim] =
+            Some(Pattern { tag, len_idx, ctr: SatCounter::weak(counter_bits, taken) });
+
+        // Step 4: restore sorted order within the bucket (empties first).
+        self.slots[range].sort_by_key(|p| p.as_ref().map_or(-1, |p| i16::from(p.len_idx)));
+    }
+
+    /// Number of high-confidence patterns, saturated at a 2-bit count —
+    /// the CD replacement metadata (§V-D step 1).
+    #[must_use]
+    pub fn confident_count(&self, threshold: u32) -> u16 {
+        (self.slots.iter().flatten().filter(|p| p.ctr.is_confident(threshold)).count() as u16)
+            .min(3)
+    }
+
+    /// Iterates over occupied patterns.
+    pub fn iter(&self) -> impl Iterator<Item = &Pattern> {
+        self.slots.iter().flatten()
+    }
+
+    /// `true` when the sorted-by-length invariant holds in every bucket.
+    /// Exposed for tests and debug assertions.
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        (0..self.num_buckets).all(|b| {
+            let r = self.bucket_range(b);
+            self.slots[r]
+                .windows(2)
+                .all(|w| match (&w[0], &w[1]) {
+                    (Some(a), Some(b)) => a.len_idx <= b.len_idx,
+                    (Some(_), None) => false, // empties sort first
+                    _ => true,
+                })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> PatternSet {
+        PatternSet::new(16, 4, 16)
+    }
+
+    #[test]
+    fn bucket_assignment_matches_paper_layout() {
+        let s = set();
+        // Lengths 0..3 -> bucket 0, 4..7 -> bucket 1, etc.
+        assert_eq!(s.bucket_of(0), 0);
+        assert_eq!(s.bucket_of(3), 0);
+        assert_eq!(s.bucket_of(4), 1);
+        assert_eq!(s.bucket_of(15), 3);
+    }
+
+    #[test]
+    fn allocate_and_find() {
+        let mut s = set();
+        s.allocate(5, 0xABC, true, 3);
+        let mut tags = vec![0u32; 16];
+        tags[5] = 0xABC;
+        let slot = s.find_longest(&tags).expect("pattern must match");
+        let p = s.pattern(slot).unwrap();
+        assert_eq!(p.len_idx, 5);
+        assert!(p.ctr.taken());
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut s = set();
+        s.allocate(2, 0x111, true, 3);
+        s.allocate(14, 0x222, false, 3);
+        let mut tags = vec![0u32; 16];
+        tags[2] = 0x111;
+        tags[14] = 0x222;
+        let slot = s.find_longest(&tags).unwrap();
+        assert_eq!(s.pattern(slot).unwrap().len_idx, 14, "longer history takes precedence");
+    }
+
+    #[test]
+    fn sorted_invariant_held_under_random_allocations() {
+        let mut s = set();
+        let mut rng = bputil::rng::SplitMix64::new(1);
+        for _ in 0..200 {
+            let len_idx = rng.below(16) as u8;
+            s.allocate(len_idx, rng.next_u64() as u32 & 0x1FFF, rng.chance(1, 2), 3);
+            assert!(s.is_sorted(), "sorted invariant violated");
+        }
+        assert!(s.occupancy() <= 16);
+    }
+
+    #[test]
+    fn victim_is_least_confident_in_bucket() {
+        let mut s = set();
+        // Fill bucket 0 (lengths 0..3).
+        for len in 0..4u8 {
+            s.allocate(len, 0x100 + u32::from(len), true, 3);
+        }
+        // Strengthen all but the length-2 pattern.
+        let mut tags = [0u32; 16];
+        for len in 0..4u8 {
+            tags[usize::from(len)] = 0x100 + u32::from(len);
+        }
+        for _ in 0..5 {
+            for len in [0u8, 1, 3] {
+                let slot = (0..16)
+                    .find(|&i| s.pattern(i).is_some_and(|p| p.len_idx == len))
+                    .unwrap();
+                s.pattern_mut(slot).unwrap().ctr.update(true);
+            }
+        }
+        // A new allocation in bucket 0 must evict the weak length-2 one.
+        s.allocate(1, 0x999, false, 3);
+        assert!(
+            !s.iter().any(|p| p.len_idx == 2),
+            "least-confident pattern should have been evicted"
+        );
+        assert!(s.iter().any(|p| p.tag == 0x999));
+    }
+
+    #[test]
+    fn allocation_is_confined_to_its_bucket() {
+        let mut s = set();
+        // Fill bucket 3 with confident patterns.
+        for len in 12..16u8 {
+            s.allocate(len, u32::from(len), true, 3);
+        }
+        for _ in 0..6 {
+            for i in 0..16 {
+                if let Some(p) = s.pattern_mut(i) {
+                    p.ctr.update(true);
+                }
+            }
+        }
+        // Allocating a short-history pattern must not touch bucket 3.
+        s.allocate(0, 0x777, true, 3);
+        assert_eq!(s.iter().filter(|p| p.len_idx >= 12).count(), 4);
+        assert!(s.iter().any(|p| p.tag == 0x777));
+    }
+
+    #[test]
+    fn confident_count_saturates_at_three() {
+        let mut s = set();
+        for len in 0..8u8 {
+            s.allocate(len, u32::from(len), true, 3);
+        }
+        for _ in 0..6 {
+            for i in 0..16 {
+                if let Some(p) = s.pattern_mut(i) {
+                    p.ctr.update(true);
+                }
+            }
+        }
+        assert_eq!(s.confident_count(2), 3, "2-bit replacement metadata saturates");
+    }
+
+    #[test]
+    fn same_length_and_tag_refreshes_instead_of_duplicating() {
+        let mut s = set();
+        s.allocate(4, 0xAAA, true, 3);
+        s.allocate(4, 0xAAA, false, 3);
+        assert_eq!(s.iter().filter(|p| p.tag == 0xAAA).count(), 1);
+        assert!(!s.iter().find(|p| p.tag == 0xAAA).unwrap().ctr.taken());
+    }
+
+    #[test]
+    fn unbucketed_mode_uses_whole_set() {
+        let mut s = PatternSet::new(8, 1, 16);
+        for len in [0u8, 15, 7, 3, 9, 12, 1, 14] {
+            s.allocate(len, u32::from(len) + 1, true, 3);
+        }
+        assert_eq!(s.occupancy(), 8);
+        assert!(s.is_sorted());
+        // One more allocation evicts the (weak) left-most.
+        s.allocate(5, 0x5555, true, 3);
+        assert_eq!(s.occupancy(), 8);
+    }
+}

@@ -1,0 +1,160 @@
+//! LLBP runtime statistics: prediction breakdown (Fig. 15), transfer
+//! bandwidth (Fig. 11) and structure access counts (Fig. 12).
+
+/// Classification of one LLBP-matched prediction relative to the baseline
+/// predictor, as in Fig. 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverrideKind {
+    /// LLBP matched but its history was shorter than TAGE's: no override.
+    NoOverride,
+    /// LLBP overrode; LLBP correct, baseline would have been wrong.
+    GoodOverride,
+    /// LLBP overrode; LLBP wrong, baseline would have been correct.
+    BadOverride,
+    /// LLBP overrode but both agreed and were correct (redundant).
+    BothCorrect,
+    /// LLBP overrode but both agreed and were wrong.
+    BothWrong,
+}
+
+/// Aggregated LLBP statistics for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LlbpStats {
+    /// Conditional predictions made (by the composed predictor).
+    pub predictions: u64,
+    /// Predictions where LLBP matched a pattern in the PB.
+    pub llbp_matches: u64,
+    /// Breakdown counters, indexable via [`LlbpStats::count`].
+    pub no_override: u64,
+    /// LLBP overrode and fixed a baseline misprediction.
+    pub good_override: u64,
+    /// LLBP overrode and broke a correct baseline prediction.
+    pub bad_override: u64,
+    /// Redundant override, both correct.
+    pub both_correct: u64,
+    /// Override with both wrong.
+    pub both_wrong: u64,
+    /// Pattern sets read from LLBP storage into the PB.
+    pub storage_reads: u64,
+    /// Dirty pattern sets written back from the PB to LLBP storage.
+    pub storage_writes: u64,
+    /// Context-directory lookups (one per observed context branch).
+    pub cd_lookups: u64,
+    /// CD lookups that found the context resident.
+    pub cd_hits: u64,
+    /// PB lookups that found the current context's set (per prediction
+    /// with a tracked context).
+    pub pb_hits: u64,
+    /// Predictions whose context set existed but had not arrived in the
+    /// PB yet (late prefetch) — the LLBP-vs-0Lat gap.
+    pub late_prefetches: u64,
+    /// Pipeline resets observed (mispredictions incl. indirect targets).
+    pub pipeline_resets: u64,
+    /// New pattern sets created (contexts first tracked).
+    pub contexts_created: u64,
+    /// Patterns allocated into sets.
+    pub pattern_allocs: u64,
+    /// Total instructions observed (for per-instruction rates).
+    pub instructions: u64,
+    /// Total cycles (instructions / fetch width).
+    pub cycles: u64,
+}
+
+impl LlbpStats {
+    /// Records one classified LLBP match.
+    pub fn record_override(&mut self, kind: OverrideKind) {
+        self.llbp_matches += 1;
+        match kind {
+            OverrideKind::NoOverride => self.no_override += 1,
+            OverrideKind::GoodOverride => self.good_override += 1,
+            OverrideKind::BadOverride => self.bad_override += 1,
+            OverrideKind::BothCorrect => self.both_correct += 1,
+            OverrideKind::BothWrong => self.both_wrong += 1,
+        }
+    }
+
+    /// Count for one breakdown class.
+    #[must_use]
+    pub fn count(&self, kind: OverrideKind) -> u64 {
+        match kind {
+            OverrideKind::NoOverride => self.no_override,
+            OverrideKind::GoodOverride => self.good_override,
+            OverrideKind::BadOverride => self.bad_override,
+            OverrideKind::BothCorrect => self.both_correct,
+            OverrideKind::BothWrong => self.both_wrong,
+        }
+    }
+
+    /// Overrides of any kind (LLBP supplied the final direction).
+    #[must_use]
+    pub fn overrides(&self) -> u64 {
+        self.good_override + self.bad_override + self.both_correct + self.both_wrong
+    }
+
+    /// Fraction of conditional predictions where LLBP matched.
+    #[must_use]
+    pub fn match_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.llbp_matches as f64 / self.predictions as f64
+        }
+    }
+
+    /// Read traffic in bits/instruction given the per-set transfer size.
+    #[must_use]
+    pub fn read_bits_per_inst(&self, set_bits: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.storage_reads * set_bits) as f64 / self.instructions as f64
+        }
+    }
+
+    /// Write traffic in bits/instruction given the per-set transfer size.
+    #[must_use]
+    pub fn write_bits_per_inst(&self, set_bits: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.storage_writes * set_bits) as f64 / self.instructions as f64
+        }
+    }
+
+    /// Sanity check: breakdown classes sum to the match count.
+    #[must_use]
+    pub fn breakdown_is_consistent(&self) -> bool {
+        self.no_override + self.overrides() == self.llbp_matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums() {
+        let mut s = LlbpStats::default();
+        s.record_override(OverrideKind::NoOverride);
+        s.record_override(OverrideKind::GoodOverride);
+        s.record_override(OverrideKind::BothCorrect);
+        assert_eq!(s.llbp_matches, 3);
+        assert_eq!(s.overrides(), 2);
+        assert!(s.breakdown_is_consistent());
+        assert_eq!(s.count(OverrideKind::GoodOverride), 1);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = LlbpStats::default();
+        assert_eq!(s.match_rate(), 0.0);
+        assert_eq!(s.read_bits_per_inst(288), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let s = LlbpStats { storage_reads: 10, storage_writes: 2, instructions: 288, ..Default::default() };
+        assert!((s.read_bits_per_inst(288) - 10.0).abs() < 1e-12);
+        assert!((s.write_bits_per_inst(288) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulation configuration and the predictor factory.
+
+use crate::driver::{SimResult, Simulator};
+use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_tage::{Predictor, TageScl, TslConfig};
+use llbp_trace::Trace;
+
+/// Which predictor design to simulate — the paper's §VI model list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictorKind {
+    /// The 64 KiB TAGE-SC-L baseline (`64K TSL`).
+    Tsl64K,
+    /// TSL with TAGE tables scaled by a power-of-two factor
+    /// (`128K/256K/512K/1M TSL`).
+    TslScaled(u32),
+    /// Unbounded TAGE tables, baseline auxiliary components (`Inf TAGE`).
+    InfTage,
+    /// Unbounded TAGE tables and enlarged auxiliaries (`Inf TSL`).
+    InfTsl,
+    /// The Last-Level Branch Predictor over a 64K TSL baseline.
+    Llbp(LlbpParams),
+    /// Any custom TSL configuration.
+    CustomTsl(TslConfig),
+}
+
+impl PredictorKind {
+    /// Instantiates the predictor.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Predictor> {
+        match self {
+            PredictorKind::Tsl64K => Box::new(TageScl::new(TslConfig::cbp64k())),
+            PredictorKind::TslScaled(f) => Box::new(TageScl::new(TslConfig::scaled(*f))),
+            PredictorKind::InfTage => Box::new(TageScl::new(TslConfig::infinite_tage())),
+            PredictorKind::InfTsl => Box::new(TageScl::new(TslConfig::infinite_tsl())),
+            PredictorKind::Llbp(p) => Box::new(LlbpPredictor::new(p.clone())),
+            PredictorKind::CustomTsl(cfg) => Box::new(TageScl::new(cfg.clone())),
+        }
+    }
+
+    /// Report label of the built predictor.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PredictorKind::Tsl64K => "64K TSL".into(),
+            PredictorKind::TslScaled(f) => format!("{}K TSL", 64 * f),
+            PredictorKind::InfTage => "Inf TAGE".into(),
+            PredictorKind::InfTsl => "Inf TSL".into(),
+            PredictorKind::Llbp(p) => p.label.clone(),
+            PredictorKind::CustomTsl(cfg) => cfg.label.clone(),
+        }
+    }
+}
+
+/// Simulation parameters (warmup split, probes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Fraction of records used as warmup: statistics are collected only
+    /// after this point (the paper warms 100M of 300M instructions).
+    pub warmup_fraction: f64,
+    /// Record per-static-branch misprediction counts (Fig. 3 probes).
+    pub track_per_branch: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { warmup_fraction: 1.0 / 3.0, track_per_branch: false }
+    }
+}
+
+impl SimConfig {
+    /// Runs `kind` over `trace` and returns the measured result.
+    #[must_use]
+    pub fn run(&self, kind: PredictorKind, trace: &Trace) -> SimResult {
+        let mut predictor = kind.build();
+        Simulator::new(*self).run(predictor.as_mut(), trace)
+    }
+
+    /// Runs a pre-built predictor (for callers that need to inspect its
+    /// internal state afterwards, e.g. LLBP statistics).
+    #[must_use]
+    pub fn run_predictor(&self, predictor: &mut dyn Predictor, trace: &Trace) -> SimResult {
+        Simulator::new(*self).run(predictor, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llbp_trace::{Workload, WorkloadSpec};
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(PredictorKind::Tsl64K.label(), "64K TSL");
+        assert_eq!(PredictorKind::TslScaled(8).label(), "512K TSL");
+        assert_eq!(PredictorKind::InfTsl.label(), "Inf TSL");
+        assert_eq!(PredictorKind::Llbp(LlbpParams::default()).label(), "LLBP");
+    }
+
+    #[test]
+    fn run_produces_consistent_result() {
+        let trace = WorkloadSpec::named(Workload::Http).with_branches(5_000).generate();
+        let r = SimConfig::default().run(PredictorKind::Tsl64K, &trace);
+        assert!(r.conditional_branches > 0);
+        assert!(r.mispredictions <= r.conditional_branches);
+        assert!(r.mpki() >= 0.0);
+    }
+}

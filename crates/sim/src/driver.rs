@@ -1,0 +1,189 @@
+//! The trace-driven simulation loop.
+
+use crate::config::SimConfig;
+use llbp_tage::{Predictor, ProviderKind};
+use llbp_trace::{BranchKind, Trace};
+use std::collections::HashMap;
+
+/// Measured outcome of one simulation run (post-warmup statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Predictor label ("64K TSL", "LLBP", …).
+    pub label: String,
+    /// Workload/trace name.
+    pub workload: String,
+    /// Instructions represented by the measured region.
+    pub instructions: u64,
+    /// Conditional branches measured.
+    pub conditional_branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredictions: u64,
+    /// Final-direction provider attribution.
+    pub provider_counts: HashMap<&'static str, u64>,
+    /// Per-static-branch misprediction counts, when enabled.
+    pub per_branch_mispredicts: Option<HashMap<u64, u64>>,
+    /// Per-static-branch execution counts, when enabled.
+    pub per_branch_executions: Option<HashMap<u64, u64>>,
+}
+
+impl SimResult {
+    /// Mispredictions per kilo-instruction — the paper's headline metric.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Misprediction rate over conditional branches.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.conditional_branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.conditional_branches as f64
+        }
+    }
+
+    /// Relative MPKI reduction versus a baseline result, in percent
+    /// (positive = better than baseline).
+    #[must_use]
+    pub fn mpki_reduction_vs(&self, baseline: &SimResult) -> f64 {
+        if baseline.mispredictions == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.mpki() / baseline.mpki())
+        }
+    }
+}
+
+/// Drives a [`Predictor`] over a [`Trace`]: warmup, then measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the CBP-style loop: for each conditional branch `predict`,
+    /// compare, `train`; for every branch `update_history`.
+    pub fn run(&self, predictor: &mut dyn Predictor, trace: &Trace) -> SimResult {
+        let warmup = (trace.len() as f64 * self.config.warmup_fraction.clamp(0.0, 1.0)) as usize;
+        let mut result = SimResult {
+            label: predictor.label().to_string(),
+            workload: trace.name().to_string(),
+            instructions: 0,
+            conditional_branches: 0,
+            mispredictions: 0,
+            provider_counts: HashMap::new(),
+            per_branch_mispredicts: self.config.track_per_branch.then(HashMap::new),
+            per_branch_executions: self.config.track_per_branch.then(HashMap::new),
+        };
+        for (i, record) in trace.iter().enumerate() {
+            let measuring = i >= warmup;
+            if measuring {
+                result.instructions += record.instructions();
+            }
+            if record.kind == BranchKind::Conditional {
+                let pred = predictor.predict(record.pc);
+                let wrong = pred != record.taken;
+                if measuring {
+                    result.conditional_branches += 1;
+                    result.mispredictions += u64::from(wrong);
+                    let provider = provider_label(predictor.last_provider());
+                    *result.provider_counts.entry(provider).or_default() += 1;
+                    if let Some(map) = &mut result.per_branch_executions {
+                        *map.entry(record.pc).or_default() += 1;
+                    }
+                    if wrong {
+                        if let Some(map) = &mut result.per_branch_mispredicts {
+                            *map.entry(record.pc).or_default() += 1;
+                        }
+                    }
+                }
+                predictor.train(record.pc, record.taken);
+            }
+            predictor.update_history(record);
+        }
+        result
+    }
+}
+
+fn provider_label(kind: ProviderKind) -> &'static str {
+    match kind {
+        ProviderKind::Bimodal => "bim",
+        ProviderKind::Tage { .. } => "tage",
+        ProviderKind::StatisticalCorrector => "sc",
+        ProviderKind::Loop => "loop",
+        ProviderKind::Llbp => "llbp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PredictorKind, SimConfig};
+    use llbp_trace::{Workload, WorkloadSpec};
+
+    #[test]
+    fn warmup_region_is_excluded() {
+        let trace = WorkloadSpec::named(Workload::Http).with_branches(9_000).generate();
+        let all = SimConfig { warmup_fraction: 0.0, track_per_branch: false }
+            .run(PredictorKind::Tsl64K, &trace);
+        let warm = SimConfig { warmup_fraction: 0.5, track_per_branch: false }
+            .run(PredictorKind::Tsl64K, &trace);
+        assert!(warm.conditional_branches < all.conditional_branches);
+        assert!(warm.instructions < all.instructions);
+    }
+
+    #[test]
+    fn per_branch_tracking_sums_to_totals() {
+        let trace = WorkloadSpec::named(Workload::Tpcc).with_branches(8_000).generate();
+        let cfg = SimConfig { warmup_fraction: 0.25, track_per_branch: true };
+        let r = cfg.run(PredictorKind::Tsl64K, &trace);
+        let sum_mis: u64 = r.per_branch_mispredicts.as_ref().unwrap().values().sum();
+        let sum_exec: u64 = r.per_branch_executions.as_ref().unwrap().values().sum();
+        assert_eq!(sum_mis, r.mispredictions);
+        assert_eq!(sum_exec, r.conditional_branches);
+    }
+
+    #[test]
+    fn provider_counts_cover_all_predictions() {
+        let trace = WorkloadSpec::named(Workload::Kafka).with_branches(8_000).generate();
+        let r = SimConfig::default().run(PredictorKind::Tsl64K, &trace);
+        let total: u64 = r.provider_counts.values().sum();
+        assert_eq!(total, r.conditional_branches);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let trace = WorkloadSpec::named(Workload::Twitter).with_branches(6_000).generate();
+        let a = SimConfig::default().run(PredictorKind::Tsl64K, &trace);
+        let b = SimConfig::default().run(PredictorKind::Tsl64K, &trace);
+        assert_eq!(a.mispredictions, b.mispredictions);
+    }
+
+    #[test]
+    fn mpki_reduction_math() {
+        let mk = |mis: u64| SimResult {
+            label: "x".into(),
+            workload: "w".into(),
+            instructions: 1000,
+            conditional_branches: 100,
+            mispredictions: mis,
+            provider_counts: HashMap::new(),
+            per_branch_mispredicts: None,
+            per_branch_executions: None,
+        };
+        let base = mk(100);
+        let better = mk(80);
+        assert!((better.mpki_reduction_vs(&base) - 20.0).abs() < 1e-9);
+    }
+}

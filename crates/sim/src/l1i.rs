@@ -1,0 +1,181 @@
+//! An L1 instruction cache model, used to put LLBP's transfer bandwidth
+//! into perspective (Fig. 11 compares pattern-set traffic against L1-I
+//! miss traffic, 512 bits per miss line fill).
+
+use llbp_trace::{BranchRecord, Trace};
+
+/// A set-associative instruction cache with next-line prefetch on miss.
+#[derive(Debug, Clone)]
+pub struct L1iCache {
+    /// sets[set] = tags, LRU order (front = most recent).
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+    accesses: u64,
+    misses: u64,
+    prefetch_fills: u64,
+}
+
+impl L1iCache {
+    /// Creates a cache of `size_bytes` with `ways` ways and
+    /// `line_bytes`-byte lines (Table II: 32 KiB, 8-way, 64 B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible into
+    /// lines and ways, or any parameter is zero).
+    #[must_use]
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0);
+        let lines = size_bytes / line_bytes;
+        assert_eq!(size_bytes % line_bytes, 0, "size must divide into lines");
+        let num_sets = (lines as usize) / ways;
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            line_bytes,
+            accesses: 0,
+            misses: 0,
+            prefetch_fills: 0,
+        }
+    }
+
+    /// The Table II configuration: 32 KiB, 8-way, 64-byte lines.
+    #[must_use]
+    pub fn table2() -> Self {
+        Self::new(32 * 1024, 8, 64)
+    }
+
+    fn set_and_tag(&self, line_addr: u64) -> (usize, u64) {
+        let set = (line_addr as usize) & (self.sets.len() - 1);
+        (set, line_addr >> self.sets.len().trailing_zeros())
+    }
+
+    fn touch_line(&mut self, line_addr: u64, demand: bool) {
+        let (s, tag) = self.set_and_tag(line_addr);
+        let ways = self.ways;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            if demand {
+                self.accesses += 1;
+            }
+            let t = set.remove(pos);
+            set.insert(0, t);
+            return;
+        }
+        if demand {
+            self.accesses += 1;
+            self.misses += 1;
+        } else {
+            self.prefetch_fills += 1;
+        }
+        set.insert(0, tag);
+        set.truncate(ways);
+        if demand {
+            // Next-line prefetch on demand miss.
+            self.touch_line(line_addr + 1, false);
+        }
+    }
+
+    /// Fetches the instruction bytes leading up to and including `record`:
+    /// the straight-line run since the previous branch, ending at the
+    /// branch PC (4-byte instructions assumed).
+    pub fn fetch(&mut self, record: &BranchRecord) {
+        let bytes = u64::from(record.non_branch_insts + 1) * 4;
+        let start = record.pc.saturating_sub(bytes - 4);
+        let first_line = start / self.line_bytes;
+        let last_line = record.pc / self.line_bytes;
+        for line in first_line..=last_line {
+            self.touch_line(line, true);
+        }
+    }
+
+    /// Demand accesses so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Demand misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lines filled by the next-line prefetcher.
+    #[must_use]
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
+    }
+
+    /// Total fill traffic in bits (demand + prefetch, 8 bits per byte).
+    #[must_use]
+    pub fn fill_traffic_bits(&self) -> u64 {
+        (self.misses + self.prefetch_fills) * self.line_bytes * 8
+    }
+
+    /// Runs a whole trace and returns fill traffic in bits/instruction.
+    #[must_use]
+    pub fn traffic_per_instruction(trace: &Trace) -> f64 {
+        let mut cache = Self::table2();
+        for r in trace {
+            cache.fetch(r);
+        }
+        if trace.instructions() == 0 {
+            0.0
+        } else {
+            cache.fill_traffic_bits() as f64 / trace.instructions() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llbp_trace::{Workload, WorkloadSpec};
+
+    #[test]
+    fn repeated_fetches_hit() {
+        let mut c = L1iCache::table2();
+        let r = BranchRecord::conditional(0x1000, 0x1040, true, 4);
+        c.fetch(&r);
+        let cold = c.misses();
+        c.fetch(&r);
+        assert_eq!(c.misses(), cold, "second fetch of the same lines must hit");
+        assert!(c.accesses() > 0);
+    }
+
+    #[test]
+    fn distinct_regions_miss() {
+        let mut c = L1iCache::table2();
+        c.fetch(&BranchRecord::conditional(0x10_0000, 0, true, 2));
+        c.fetch(&BranchRecord::conditional(0x20_0000, 0, true, 2));
+        assert!(c.misses() >= 2);
+    }
+
+    #[test]
+    fn next_line_prefetch_fills() {
+        let mut c = L1iCache::table2();
+        c.fetch(&BranchRecord::conditional(0x1000, 0, true, 0));
+        assert!(c.prefetch_fills() > 0);
+        // The prefetched next line now hits on demand.
+        let misses_before = c.misses();
+        c.fetch(&BranchRecord::conditional(0x1040, 0, true, 0));
+        assert_eq!(c.misses(), misses_before);
+    }
+
+    #[test]
+    fn workload_traffic_is_sane() {
+        let trace = WorkloadSpec::named(Workload::Http).with_branches(20_000).generate();
+        let bpi = L1iCache::traffic_per_instruction(&trace);
+        assert!(bpi > 0.0, "some instruction traffic expected");
+        assert!(bpi < 512.0, "traffic {bpi:.1} bits/inst exceeds one line per instruction");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = L1iCache::new(48 * 1024, 5, 64);
+    }
+}

@@ -1,0 +1,30 @@
+//! Trace-driven branch-prediction simulation: the driver, predictor
+//! factory, and the analytic models (timing, energy, L1-I traffic) the
+//! paper's evaluation relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use llbp_sim::{PredictorKind, SimConfig};
+//! use llbp_trace::{Workload, WorkloadSpec};
+//!
+//! let trace = WorkloadSpec::named(Workload::Http).with_branches(20_000).generate();
+//! let cfg = SimConfig::default();
+//! let base = cfg.run(PredictorKind::Tsl64K, &trace);
+//! let big = cfg.run(PredictorKind::TslScaled(8), &trace);
+//! assert!(big.mpki() <= base.mpki() * 1.2);
+//! ```
+
+pub mod config;
+pub mod driver;
+pub mod energy;
+pub mod l1i;
+pub mod patterns;
+pub mod report;
+pub mod timing;
+
+pub use config::{PredictorKind, SimConfig};
+pub use driver::{SimResult, Simulator};
+pub use energy::EnergyModel;
+pub use l1i::L1iCache;
+pub use timing::TimingModel;

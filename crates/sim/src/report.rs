@@ -1,0 +1,141 @@
+//! Minimal markdown table formatting for the experiment harness.
+
+/// A markdown table builder.
+///
+/// # Example
+///
+/// ```
+/// use llbp_sim::report::Table;
+///
+/// let mut t = Table::new(["workload", "mpki"]);
+/// t.row(["HTTP".to_string(), format!("{:.2}", 1.23)]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| HTTP | 1.23 |"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders comma-separated values.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with one decimal.
+#[must_use]
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with two decimals.
+#[must_use]
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_layout() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn csv_layout() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["3", "4"]);
+        assert_eq!(t.to_csv(), "x,y\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["only one"]);
+        t.row(["a", "b"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.256), "1.26");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

@@ -1,0 +1,122 @@
+//! An analytic timing model standing in for ChampSim's core model.
+//!
+//! The paper's speedups (Fig. 10) and the hardware Top-Down study
+//! (Fig. 1) both reduce to one lever: conditional-branch mispredictions
+//! cost pipeline-refill cycles. We model
+//!
+//! ```text
+//! cycles = instructions / fetch_width + mispredictions × penalty
+//! ```
+//!
+//! which keeps relative speedups and wasted-cycle fractions meaningful
+//! (see `DESIGN.md` §3 for the substitution argument). The paper itself
+//! notes (§VII-B, footnote 5) that ChampSim's core model understates the
+//! misprediction cost observed on real hardware, so absolute percentages
+//! are soft in the original too.
+
+/// The analytic timing model (Table II-flavoured defaults: 6-wide fetch,
+/// 20-cycle misprediction penalty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Sustained fetch/commit width in instructions per cycle.
+    pub fetch_width: u64,
+    /// Cycles lost per conditional-branch misprediction.
+    pub mispredict_penalty: u64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self { fetch_width: 6, mispredict_penalty: 20 }
+    }
+}
+
+impl TimingModel {
+    /// Total execution cycles for a measured region.
+    #[must_use]
+    pub fn cycles(&self, instructions: u64, mispredictions: u64) -> u64 {
+        instructions / self.fetch_width.max(1) + mispredictions * self.mispredict_penalty
+    }
+
+    /// Fraction of cycles wasted on mispredictions (the Fig. 1 metric).
+    #[must_use]
+    pub fn wasted_fraction(&self, instructions: u64, mispredictions: u64) -> f64 {
+        let total = self.cycles(instructions, mispredictions);
+        if total == 0 {
+            0.0
+        } else {
+            (mispredictions * self.mispredict_penalty) as f64 / total as f64
+        }
+    }
+
+    /// Speedup of a configuration over a baseline with the same
+    /// instruction count (>1 = faster).
+    #[must_use]
+    pub fn speedup(
+        &self,
+        instructions: u64,
+        baseline_mispredictions: u64,
+        improved_mispredictions: u64,
+    ) -> f64 {
+        let base = self.cycles(instructions, baseline_mispredictions);
+        let new = self.cycles(instructions, improved_mispredictions);
+        if new == 0 {
+            1.0
+        } else {
+            base as f64 / new as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self, instructions: u64, mispredictions: u64) -> f64 {
+        let cycles = self.cycles(instructions, mispredictions);
+        if cycles == 0 {
+            0.0
+        } else {
+            instructions as f64 / cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_mispredictions_is_faster() {
+        let t = TimingModel::default();
+        let s = t.speedup(1_000_000, 5_000, 4_000);
+        assert!(s > 1.0);
+        assert!(t.speedup(1_000_000, 4_000, 5_000) < 1.0);
+    }
+
+    #[test]
+    fn perfect_prediction_bounds_speedup() {
+        let t = TimingModel::default();
+        let s_perfect = t.speedup(1_000_000, 5_000, 0);
+        let s_partial = t.speedup(1_000_000, 5_000, 2_500);
+        assert!(s_perfect > s_partial);
+    }
+
+    #[test]
+    fn wasted_fraction_in_unit_range() {
+        let t = TimingModel::default();
+        let f = t.wasted_fraction(1_000_000, 3_000);
+        assert!((0.0..1.0).contains(&f));
+        assert_eq!(t.wasted_fraction(0, 0), 0.0);
+    }
+
+    #[test]
+    fn wasted_fraction_matches_hand_computation() {
+        let t = TimingModel { fetch_width: 5, mispredict_penalty: 10 };
+        // 1000 insts / 5 = 200 base cycles, 10 mispredicts * 10 = 100.
+        let f = t.wasted_fraction(1000, 10);
+        assert!((f - 100.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_decreases_with_mispredictions() {
+        let t = TimingModel::default();
+        assert!(t.ipc(1_000_000, 0) > t.ipc(1_000_000, 10_000));
+    }
+}

@@ -1,0 +1,341 @@
+//! Configuration of TAGE and TAGE-SC-L instances, with storage accounting.
+
+/// How the tagged tables are backed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageKind {
+    /// Fixed-size direct-mapped tables with partial tags — the realistic
+    /// hardware organisation.
+    #[default]
+    Finite,
+    /// Unbounded associativity with entries additionally tagged by the
+    /// full branch PC, as the paper's `Inf` configurations do (§VI): hash
+    /// functions and table count stay unchanged so the comparison isolates
+    /// pure capacity.
+    Infinite,
+}
+
+/// Configuration of the core TAGE predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TageConfig {
+    /// Geometric history length per tagged table, ascending. Repeated
+    /// lengths model CBP-5's twin tables with alternate hash functions
+    /// (the table id perturbs the hash, so twins never alias).
+    pub history_lengths: Vec<usize>,
+    /// Partial tag width per tagged table (bits).
+    pub tag_bits: Vec<u32>,
+    /// log2 entries per tagged table.
+    pub index_bits: u32,
+    /// log2 entries of the bimodal base predictor.
+    pub bimodal_bits: u32,
+    /// Width of the signed prediction counters (3 in CBP-5).
+    pub counter_bits: u32,
+    /// Width of the usefulness counters (1–2).
+    pub useful_bits: u32,
+    /// Path-history width folded into table indices.
+    pub path_bits: u32,
+    /// Maximum tables examined when allocating after a misprediction.
+    pub alloc_tries: usize,
+    /// Storage backing (finite tables or the infinite study variant).
+    pub storage: StorageKind,
+    /// When `true`, record the set of patterns that ever provided a
+    /// *useful* prediction per branch (Figs. 3b & 5 probes). Costs memory;
+    /// off by default.
+    pub track_useful: bool,
+    /// PRNG seed for allocation tie-breaking.
+    pub seed: u64,
+}
+
+impl TageConfig {
+    /// The 21-table geometric series used throughout this reproduction.
+    ///
+    /// Lengths span 6..3000 as in CBP-5's 64 KiB TAGE-SC-L; the starred
+    /// duplicates of the paper's LLBP length list (54, 78, 112, 161) are
+    /// realised as twin tables with alternate hashes. The LLBP pattern
+    /// lengths (§VI) are a strict subset of this list.
+    pub const CBP5_LENGTHS: [usize; 21] = [
+        6, 12, 18, 26, 36, 54, 54, 78, 78, 112, 112, 161, 161, 232, 336, 482, 695, 1010, 1444,
+        2048, 3000,
+    ];
+
+    /// CBP-5-flavoured 64 KiB core TAGE: 21 tables of 1K entries.
+    #[must_use]
+    pub fn cbp64k() -> Self {
+        let lengths = Self::CBP5_LENGTHS.to_vec();
+        // Short-history tables use shorter tags, like CBP-5.
+        let tag_bits = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i < 7 { 9 } else if i < 14 { 11 } else { 13 })
+            .collect();
+        Self {
+            history_lengths: lengths,
+            tag_bits,
+            index_bits: 10,
+            bimodal_bits: 13,
+            counter_bits: 3,
+            useful_bits: 1,
+            path_bits: 27,
+            alloc_tries: 3,
+            storage: StorageKind::Finite,
+            track_useful: false,
+            seed: 0x7A6E,
+        }
+    }
+
+    /// The same predictor with each tagged table scaled by `factor`
+    /// (a power of two), as the paper's 128K–1M TSL configurations do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a power of two.
+    #[must_use]
+    pub fn scaled(factor: u32) -> Self {
+        assert!(factor.is_power_of_two(), "scale factor must be a power of two");
+        let mut cfg = Self::cbp64k();
+        cfg.index_bits += factor.trailing_zeros();
+        cfg
+    }
+
+    /// The infinite-capacity study variant (`Inf TAGE` tables): unchanged
+    /// hashes, entries tagged by full PC, unbounded associativity.
+    #[must_use]
+    pub fn infinite() -> Self {
+        Self { storage: StorageKind::Infinite, ..Self::cbp64k() }
+    }
+
+    /// Number of tagged tables.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.history_lengths.len()
+    }
+
+    /// Longest history length used.
+    #[must_use]
+    pub fn max_history(&self) -> usize {
+        self.history_lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Storage cost in bits (tagged tables + bimodal). Infinite storage
+    /// reports the finite-equivalent geometry cost and is only meaningful
+    /// for labelling.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        let entries = 1u64 << self.index_bits;
+        let tagged: u64 = self
+            .tag_bits
+            .iter()
+            .map(|&t| entries * u64::from(t + self.counter_bits + self.useful_bits))
+            .sum();
+        // Bimodal: 1 direction bit per entry + shared hysteresis (1 bit
+        // per 4 entries), the CBP-5 split.
+        let bimodal = (1u64 << self.bimodal_bits) + (1u64 << self.bimodal_bits) / 4;
+        tagged + bimodal
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.history_lengths.is_empty() {
+            return Err("at least one tagged table is required".into());
+        }
+        if self.tag_bits.len() != self.history_lengths.len() {
+            return Err(format!(
+                "tag_bits has {} entries but there are {} tables",
+                self.tag_bits.len(),
+                self.history_lengths.len()
+            ));
+        }
+        if self.history_lengths.windows(2).any(|w| w[0] > w[1]) {
+            return Err("history lengths must be ascending".into());
+        }
+        if self.history_lengths[0] == 0 {
+            return Err("history lengths must be non-zero".into());
+        }
+        if !(1..=15).contains(&self.counter_bits) {
+            return Err(format!("counter_bits out of range: {}", self.counter_bits));
+        }
+        if self.tag_bits.iter().any(|&t| !(4..=16).contains(&t)) {
+            return Err("tag widths must be in 4..=16".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TageConfig {
+    fn default() -> Self {
+        Self::cbp64k()
+    }
+}
+
+/// Configuration of the full TAGE-SC-L predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TslConfig {
+    /// Core TAGE configuration.
+    pub tage: TageConfig,
+    /// Enable the statistical corrector.
+    pub sc_enabled: bool,
+    /// log2 entries of each SC component table.
+    pub sc_index_bits: u32,
+    /// Global-history lengths of the SC's GEHL components.
+    pub sc_history_lengths: Vec<usize>,
+    /// Enable the loop predictor.
+    pub loop_enabled: bool,
+    /// log2 sets of the loop predictor (4-way associative).
+    pub loop_index_bits: u32,
+    /// Human-readable label used in reports ("64K TSL", …).
+    pub label: String,
+}
+
+impl TslConfig {
+    /// The baseline 64 KiB TAGE-SC-L (the paper's `64K TSL`).
+    #[must_use]
+    pub fn cbp64k() -> Self {
+        Self {
+            tage: TageConfig::cbp64k(),
+            sc_enabled: true,
+            sc_index_bits: 10,
+            sc_history_lengths: vec![0, 3, 8, 12, 17, 27, 44],
+            loop_enabled: true,
+            loop_index_bits: 4,
+            label: "64K TSL".into(),
+        }
+    }
+
+    /// TSL with TAGE tables scaled by `factor` (the paper's 128K–1M TSL).
+    /// The auxiliary components keep their baseline size, matching the
+    /// paper's `Inf TAGE` isolation argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a power of two.
+    #[must_use]
+    pub fn scaled(factor: u32) -> Self {
+        let mut cfg = Self::cbp64k();
+        cfg.tage = TageConfig::scaled(factor);
+        cfg.label = format!("{}K TSL", 64 * factor);
+        cfg
+    }
+
+    /// `Inf TAGE`: unbounded TAGE tables, baseline SC and loop predictor.
+    #[must_use]
+    pub fn infinite_tage() -> Self {
+        let mut cfg = Self::cbp64k();
+        cfg.tage = TageConfig::infinite();
+        cfg.label = "Inf TAGE".into();
+        cfg
+    }
+
+    /// `Inf TSL`: unbounded TAGE tables *and* enlarged auxiliary
+    /// components (the paper scales SC/loop tables to 2M entries).
+    #[must_use]
+    pub fn infinite_tsl() -> Self {
+        let mut cfg = Self::infinite_tage();
+        cfg.sc_index_bits = 21;
+        cfg.loop_index_bits = 12;
+        cfg.label = "Inf TSL".into();
+        cfg
+    }
+
+    /// Storage bits of the whole composition (finite geometry).
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        let mut bits = self.tage.storage_bits();
+        if self.sc_enabled {
+            // 6-bit counters per GEHL/bias table entry.
+            bits += (self.sc_history_lengths.len() as u64 + 2) * (1u64 << self.sc_index_bits) * 6;
+        }
+        if self.loop_enabled {
+            // ~52 bits per loop entry, 4 ways per set.
+            bits += 4 * (1u64 << self.loop_index_bits) * 52;
+        }
+        bits
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.tage.validate()?;
+        if self.sc_enabled && self.sc_history_lengths.is_empty() {
+            return Err("SC enabled but no component history lengths given".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TslConfig {
+    fn default() -> Self {
+        Self::cbp64k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_roughly_64_kib() {
+        let bits = TslConfig::cbp64k().storage_bits();
+        let kib = bits as f64 / 8192.0;
+        assert!((40.0..80.0).contains(&kib), "baseline is {kib:.1} KiB");
+    }
+
+    #[test]
+    fn scaled_grows_by_factor() {
+        let base = TageConfig::cbp64k().storage_bits();
+        let big = TageConfig::scaled(8).storage_bits();
+        // Tagged tables grow 8x; bimodal stays, so ratio is slightly below 8.
+        assert!(big > 6 * base && big < 9 * base);
+    }
+
+    #[test]
+    fn llbp_lengths_are_a_subset() {
+        let llbp = [12, 26, 54, 54, 78, 78, 112, 112, 161, 161, 232, 336, 482, 695, 1444, 3000];
+        let mut pool: Vec<usize> = TageConfig::CBP5_LENGTHS.to_vec();
+        for l in llbp {
+            let pos = pool.iter().position(|&x| x == l).expect("length present");
+            pool.remove(pos);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        TslConfig::cbp64k().validate().unwrap();
+        TslConfig::scaled(8).validate().unwrap();
+        TslConfig::infinite_tage().validate().unwrap();
+        TslConfig::infinite_tsl().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_descending_lengths() {
+        let mut cfg = TageConfig::cbp64k();
+        cfg.history_lengths = vec![10, 5];
+        cfg.tag_bits = vec![9, 9];
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_tags() {
+        let mut cfg = TageConfig::cbp64k();
+        cfg.tag_bits.pop();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn scaled_requires_power_of_two() {
+        let _ = TageConfig::scaled(3);
+    }
+
+    #[test]
+    fn labels_follow_paper_naming() {
+        assert_eq!(TslConfig::cbp64k().label, "64K TSL");
+        assert_eq!(TslConfig::scaled(8).label, "512K TSL");
+        assert_eq!(TslConfig::infinite_tsl().label, "Inf TSL");
+    }
+}

@@ -1,0 +1,84 @@
+//! The driving interface shared by every predictor under study.
+
+use llbp_trace::BranchRecord;
+
+/// Which component supplied the final direction of the last prediction.
+///
+/// Used by the simulator to attribute predictions (e.g. the paper's
+/// statistic that 49% of predictions come from the bimodal table, §VII-G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProviderKind {
+    /// The bimodal base table.
+    Bimodal,
+    /// A tagged TAGE table (with its index).
+    Tage {
+        /// Index of the providing tagged table (0 = shortest history).
+        table: usize,
+    },
+    /// The statistical corrector overrode TAGE.
+    StatisticalCorrector,
+    /// The loop predictor overrode.
+    Loop,
+    /// LLBP overrode the baseline predictor.
+    Llbp,
+}
+
+impl ProviderKind {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProviderKind::Bimodal => "bim",
+            ProviderKind::Tage { .. } => "tage",
+            ProviderKind::StatisticalCorrector => "sc",
+            ProviderKind::Loop => "loop",
+            ProviderKind::Llbp => "llbp",
+        }
+    }
+}
+
+/// A trace-driven conditional branch direction predictor.
+///
+/// The driving protocol, per retired branch record:
+///
+/// 1. For conditional branches: call [`Predictor::predict`], compare with
+///    the resolved direction, then call [`Predictor::train`].
+/// 2. For **every** branch (conditional or not): call
+///    [`Predictor::update_history`] afterwards, so global/path histories
+///    and context registers advance.
+///
+/// This mirrors the CBP simulation loop; predictors may stash per-branch
+/// metadata between `predict` and `train` (the calls are always paired
+/// and in order).
+pub trait Predictor {
+    /// Predicts the direction of the conditional branch at `pc`.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Trains with the resolved direction of the branch last passed to
+    /// [`Predictor::predict`].
+    fn train(&mut self, pc: u64, taken: bool);
+
+    /// Observes a retired branch of any kind, updating histories.
+    fn update_history(&mut self, record: &BranchRecord);
+
+    /// The component that provided the most recent prediction.
+    fn last_provider(&self) -> ProviderKind;
+
+    /// Human-readable configuration label (e.g. `"64K TSL"`).
+    fn label(&self) -> &str;
+
+    /// Nominal storage budget in bits (finite-geometry equivalent).
+    fn storage_bits(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provider_labels() {
+        assert_eq!(ProviderKind::Bimodal.label(), "bim");
+        assert_eq!(ProviderKind::Tage { table: 3 }.label(), "tage");
+        assert_eq!(ProviderKind::Llbp.label(), "llbp");
+    }
+}

@@ -1,0 +1,688 @@
+//! The core TAGE predictor: a bimodal base plus tagged tables indexed by
+//! geometrically increasing folded global history.
+//!
+//! The implementation follows the CBP-5 TAGE-SC-L structure ([Seznec'16]):
+//! partial-tag matching with provider/alternate selection, weak-entry
+//! `use_alt_on_na` arbitration, usefulness-guided allocation with a global
+//! tick-based reset, and folded histories maintained incrementally.
+//!
+//! Two storage backings are supported (§VI of the paper): realistic finite
+//! direct-mapped tables, and the *infinite* study variant where entries
+//! carry the full branch PC and associativity is unbounded while hash
+//! functions stay identical.
+
+use crate::config::{StorageKind, TageConfig};
+use crate::useful::UsefulPatternTracker;
+use bputil::counter::{SatCounter, UnsignedCounter};
+use bputil::hash::{tage_index, tage_tag};
+use bputil::history::{FoldedHistory, HistoryBuffer, PathHistory};
+use bputil::rng::SplitMix64;
+use llbp_trace::{BranchKind, BranchRecord};
+use std::collections::HashMap;
+
+/// Upper bound on tagged tables, sized generously above CBP-5's 30.
+pub const MAX_TABLES: usize = 32;
+
+/// One tagged-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    tag: u32,
+    ctr: SatCounter,
+    useful: UnsignedCounter,
+    valid: bool,
+}
+
+impl Entry {
+    fn empty(counter_bits: u32, useful_bits: u32) -> Self {
+        Self {
+            tag: 0,
+            ctr: SatCounter::new_signed(counter_bits),
+            useful: UnsignedCounter::new(useful_bits),
+            valid: false,
+        }
+    }
+}
+
+/// Key of an infinite-storage entry: `(table, index, tag, pc)` — the full
+/// PC tag removes aliasing while the index/tag hashes stay unchanged.
+type InfKey = (u8, u64, u32, u64);
+
+/// Everything computed during a TAGE lookup, consumed again at update.
+///
+/// LLBP reads `provider_hist_len` to arbitrate by history length (§V-B).
+#[derive(Debug, Clone, Copy)]
+pub struct TageLookup {
+    /// The PC this lookup was made for.
+    pub pc: u64,
+    /// Per-table indices (only the first `num_tables` are meaningful).
+    pub indices: [u64; MAX_TABLES],
+    /// Per-table partial tags.
+    pub tags: [u32; MAX_TABLES],
+    /// Longest-history matching table, if any.
+    pub provider: Option<usize>,
+    /// Direction predicted by the provider entry.
+    pub provider_pred: bool,
+    /// `true` when the provider entry's counter is in a weak state.
+    pub provider_weak: bool,
+    /// Next-longest matching table (alternate provider).
+    pub alt_table: Option<usize>,
+    /// Alternate prediction (table or bimodal fallback).
+    pub alt_pred: bool,
+    /// Bimodal direction for this PC.
+    pub bim_pred: bool,
+    /// Final TAGE direction after `use_alt_on_na` arbitration.
+    pub pred: bool,
+    /// Whether the alternate prediction was chosen over a weak provider.
+    pub used_alt: bool,
+    /// History length of the providing table (0 when bimodal provides or
+    /// the alternate was used with no alternate table).
+    pub provider_hist_len: usize,
+}
+
+/// How a resolved branch should update TAGE state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Normal training.
+    Full,
+    /// LLBP overrode the prediction: TAGE cancels its update (§V-D).
+    Cancelled,
+}
+
+/// The core TAGE predictor.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    cfg: TageConfig,
+    // --- histories ---
+    ghr: HistoryBuffer,
+    path: PathHistory,
+    folded_index: Vec<FoldedHistory>,
+    folded_tag0: Vec<FoldedHistory>,
+    folded_tag1: Vec<FoldedHistory>,
+    // --- storage ---
+    bim_dir: Vec<bool>,
+    bim_hyst: Vec<bool>,
+    tables: Vec<Vec<Entry>>,
+    infinite: HashMap<InfKey, Entry>,
+    // --- policy state ---
+    rng: SplitMix64,
+    use_alt_on_na: SatCounter,
+    /// Allocation-pressure tick: grows on failed allocations; clearing all
+    /// useful bits when saturated (CBP-5's aging).
+    tick: u32,
+    // --- probes ---
+    tracker: Option<UsefulPatternTracker>,
+    allocations: u64,
+    alloc_failures: u64,
+}
+
+impl Tage {
+    /// Creates a TAGE predictor from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TageConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: TageConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid TAGE config: {e}"));
+        assert!(cfg.num_tables() <= MAX_TABLES, "too many tables");
+        let ghr = HistoryBuffer::new(cfg.max_history() + 64);
+        let path = PathHistory::new(cfg.path_bits);
+        let folded_index = cfg
+            .history_lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, cfg.index_bits))
+            .collect();
+        let folded_tag0 = cfg
+            .history_lengths
+            .iter()
+            .zip(&cfg.tag_bits)
+            .map(|(&l, &t)| FoldedHistory::new(l, t))
+            .collect();
+        let folded_tag1 = cfg
+            .history_lengths
+            .iter()
+            .zip(&cfg.tag_bits)
+            .map(|(&l, &t)| FoldedHistory::new(l, (t - 1).max(1)))
+            .collect();
+        let tables = match cfg.storage {
+            StorageKind::Finite => cfg
+                .history_lengths
+                .iter()
+                .map(|_| {
+                    vec![Entry::empty(cfg.counter_bits, cfg.useful_bits); 1 << cfg.index_bits]
+                })
+                .collect(),
+            StorageKind::Infinite => Vec::new(),
+        };
+        let tracker = cfg.track_useful.then(UsefulPatternTracker::new);
+        let mut use_alt_on_na = SatCounter::new_signed(4);
+        use_alt_on_na.set(0);
+        Self {
+            rng: SplitMix64::new(cfg.seed),
+            ghr,
+            path,
+            folded_index,
+            folded_tag0,
+            folded_tag1,
+            bim_dir: vec![false; 1 << cfg.bimodal_bits],
+            bim_hyst: vec![true; 1 << (cfg.bimodal_bits - 2)],
+            tables,
+            infinite: HashMap::new(),
+            use_alt_on_na,
+            tick: 0,
+            tracker,
+            allocations: 0,
+            alloc_failures: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this instance was built from.
+    #[must_use]
+    pub fn config(&self) -> &TageConfig {
+        &self.cfg
+    }
+
+    /// Read-only access to the useful-pattern tracker, when enabled.
+    #[must_use]
+    pub fn useful_tracker(&self) -> Option<&UsefulPatternTracker> {
+        self.tracker.as_ref()
+    }
+
+    /// Successful allocations so far.
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Failed allocation attempts (no free entry found) so far.
+    #[must_use]
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+
+    /// Number of live entries in infinite storage (0 for finite storage).
+    #[must_use]
+    pub fn infinite_entries(&self) -> usize {
+        self.infinite.len()
+    }
+
+    fn bim_index(&self, pc: u64) -> usize {
+        // Hash rather than truncate: plain low bits systematically alias
+        // for the strided PC layouts compilers (and our synthetic
+        // workloads) produce.
+        (bputil::hash::mix64(pc >> 2) as usize) & (self.bim_dir.len() - 1)
+    }
+
+    fn entry(&self, table: usize, index: u64, tag: u32, pc: u64) -> Option<&Entry> {
+        match self.cfg.storage {
+            StorageKind::Finite => {
+                let e = &self.tables[table][index as usize];
+                (e.valid && e.tag == tag).then_some(e)
+            }
+            StorageKind::Infinite => self.infinite.get(&(table as u8, index, tag, pc)),
+        }
+    }
+
+    fn entry_mut(&mut self, table: usize, index: u64, tag: u32, pc: u64) -> Option<&mut Entry> {
+        match self.cfg.storage {
+            StorageKind::Finite => {
+                let e = &mut self.tables[table][index as usize];
+                (e.valid && e.tag == tag).then_some(e)
+            }
+            StorageKind::Infinite => self.infinite.get_mut(&(table as u8, index, tag, pc)),
+        }
+    }
+
+    /// Performs a full lookup for the conditional branch at `pc`.
+    #[must_use]
+    pub fn lookup(&self, pc: u64) -> TageLookup {
+        let n = self.cfg.num_tables();
+        let mut indices = [0u64; MAX_TABLES];
+        let mut tags = [0u32; MAX_TABLES];
+        for t in 0..n {
+            indices[t] = tage_index(
+                pc,
+                self.folded_index[t].value(),
+                self.path.value(),
+                t as u32,
+                self.cfg.index_bits,
+            );
+            tags[t] = tage_tag(
+                pc ^ (t as u64).rotate_left(11),
+                self.folded_tag0[t].value(),
+                self.folded_tag1[t].value(),
+                self.cfg.tag_bits[t],
+            );
+        }
+
+        let bim_pred = self.bim_dir[self.bim_index(pc)];
+
+        let mut provider = None;
+        let mut alt_table = None;
+        for t in (0..n).rev() {
+            if self.entry(t, indices[t], tags[t], pc).is_some() {
+                if provider.is_none() {
+                    provider = Some(t);
+                } else {
+                    alt_table = Some(t);
+                    break;
+                }
+            }
+        }
+
+        let (provider_pred, provider_weak) = provider
+            .and_then(|t| self.entry(t, indices[t], tags[t], pc))
+            .map_or((bim_pred, false), |e| (e.ctr.taken(), e.ctr.is_weak()));
+        let alt_pred = alt_table
+            .and_then(|t| self.entry(t, indices[t], tags[t], pc))
+            .map_or(bim_pred, |e| e.ctr.taken());
+
+        // Newly allocated (weak) providers are statistically unreliable;
+        // a global counter learns whether the alternate does better.
+        let used_alt = provider.is_some() && provider_weak && self.use_alt_on_na.taken();
+        let pred = if provider.is_none() {
+            bim_pred
+        } else if used_alt {
+            alt_pred
+        } else {
+            provider_pred
+        };
+
+        let provider_hist_len = match (used_alt, provider, alt_table) {
+            (false, Some(p), _) => self.cfg.history_lengths[p],
+            (true, _, Some(a)) => self.cfg.history_lengths[a],
+            _ => 0,
+        };
+
+        TageLookup {
+            pc,
+            indices,
+            tags,
+            provider,
+            provider_pred,
+            provider_weak,
+            alt_table,
+            alt_pred,
+            bim_pred,
+            pred,
+            used_alt,
+            provider_hist_len,
+        }
+    }
+
+    /// Trains the predictor with the resolved direction.
+    ///
+    /// `lookup` must be the value returned by [`Tage::lookup`] for this
+    /// same dynamic branch, *before* any intervening history update.
+    pub fn commit(&mut self, lookup: &TageLookup, taken: bool, mode: UpdateMode) {
+        if mode == UpdateMode::Cancelled {
+            return;
+        }
+        let pc = lookup.pc;
+
+        // 1. Usefulness + use_alt_on_na bookkeeping.
+        if let Some(p) = lookup.provider {
+            let provider_correct = lookup.provider_pred == taken;
+            let alt_differs = lookup.alt_pred != lookup.provider_pred;
+            if alt_differs {
+                if let Some(e) = self.entry_mut(p, lookup.indices[p], lookup.tags[p], pc) {
+                    if provider_correct {
+                        e.useful.increment();
+                    } else {
+                        e.useful.decrement();
+                    }
+                }
+                if lookup.provider_weak {
+                    // Learn whether weak providers should defer to alt.
+                    self.use_alt_on_na.update(lookup.alt_pred == taken);
+                }
+                if provider_correct {
+                    if let Some(tr) = &mut self.tracker {
+                        tr.record(pc, p as u8, lookup.indices[p], lookup.tags[p]);
+                    }
+                }
+            }
+
+            // 2. Counter updates: provider always; the chosen alternate too.
+            if let Some(e) = self.entry_mut(p, lookup.indices[p], lookup.tags[p], pc) {
+                e.ctr.update(taken);
+            }
+            if lookup.used_alt {
+                if let Some(a) = lookup.alt_table {
+                    if let Some(e) = self.entry_mut(a, lookup.indices[a], lookup.tags[a], pc) {
+                        e.ctr.update(taken);
+                    }
+                } else {
+                    self.update_bimodal(pc, taken);
+                }
+            }
+        } else {
+            self.update_bimodal(pc, taken);
+        }
+
+        // 3. Allocation on a wrong final TAGE prediction.
+        if lookup.pred != taken {
+            let start = lookup.provider.map_or(0, |p| p + 1);
+            if start < self.cfg.num_tables() {
+                self.allocate(lookup, taken, start);
+            }
+        }
+    }
+
+    fn update_bimodal(&mut self, pc: u64, taken: bool) {
+        let i = self.bim_index(pc);
+        let h = i >> 2; // hysteresis shared across 4 direction entries
+        if self.bim_dir[i] == taken {
+            self.bim_hyst[h] = true;
+        } else if self.bim_hyst[h] {
+            self.bim_hyst[h] = false;
+        } else {
+            self.bim_dir[i] = taken;
+        }
+    }
+
+    fn allocate(&mut self, lookup: &TageLookup, taken: bool, start: usize) {
+        let n = self.cfg.num_tables();
+        // CBP-style randomised start: skip forward geometrically so twin
+        // tables share allocation pressure.
+        let mut first = start;
+        for _ in 0..2 {
+            if first + 1 < n && self.rng.chance(1, 2) {
+                first += 1;
+            }
+        }
+
+        match self.cfg.storage {
+            StorageKind::Infinite => {
+                // Unbounded storage: always allocate in the first candidate.
+                let t = first.min(n - 1);
+                let key = (t as u8, lookup.indices[t], lookup.tags[t], lookup.pc);
+                let e = self
+                    .infinite
+                    .entry(key)
+                    .or_insert_with(|| Entry::empty(self.cfg.counter_bits, self.cfg.useful_bits));
+                e.valid = true;
+                e.tag = lookup.tags[t];
+                e.ctr = SatCounter::weak(self.cfg.counter_bits, taken);
+                self.allocations += 1;
+            }
+            StorageKind::Finite => {
+                let mut done = false;
+                let last = (first + self.cfg.alloc_tries).min(n);
+                for t in first..last {
+                    let slot = &mut self.tables[t][lookup.indices[t] as usize];
+                    if !slot.valid || slot.useful.is_zero() {
+                        *slot = Entry {
+                            tag: lookup.tags[t],
+                            ctr: SatCounter::weak(self.cfg.counter_bits, taken),
+                            useful: UnsignedCounter::new(self.cfg.useful_bits),
+                            valid: true,
+                        };
+                        self.allocations += 1;
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    self.tick = self.tick.saturating_sub(1);
+                } else {
+                    // All candidates useful: age them and bump the global
+                    // pressure tick.
+                    self.alloc_failures += 1;
+                    for t in first..(first + self.cfg.alloc_tries).min(n) {
+                        self.tables[t][lookup.indices[t] as usize].useful.decrement();
+                    }
+                    self.tick += 1;
+                    if self.tick >= 1024 {
+                        self.reset_useful();
+                        self.tick = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset_useful(&mut self) {
+        for table in &mut self.tables {
+            for e in table.iter_mut() {
+                e.useful.halve();
+            }
+        }
+    }
+
+    /// Advances global, folded and path histories for a retired branch of
+    /// any kind. Conditional branches insert their outcome; unconditional
+    /// branches insert a PC/target-derived path bit, which lets long
+    /// histories encode calling context.
+    pub fn update_history(&mut self, record: &BranchRecord) {
+        let bit = if record.kind == BranchKind::Conditional {
+            record.taken
+        } else {
+            ((record.pc >> 2) ^ (record.target >> 3)) & 1 == 1
+        };
+        for f in self
+            .folded_index
+            .iter_mut()
+            .chain(self.folded_tag0.iter_mut())
+            .chain(self.folded_tag1.iter_mut())
+        {
+            f.update_before_push(&self.ghr, bit);
+        }
+        self.ghr.push(bit);
+        self.path.push(record.pc >> 2);
+    }
+
+    /// The global history buffer (exposed for composition and tests).
+    #[must_use]
+    pub fn ghr(&self) -> &HistoryBuffer {
+        &self.ghr
+    }
+
+    /// Captures all speculative history state (§V-E2): the GHR, the path
+    /// history and every folded register. Table contents are *not*
+    /// checkpointed — they are trained at commit, so wrong-path execution
+    /// never touches them in this model.
+    #[must_use]
+    pub fn checkpoint(&self) -> TageCheckpoint {
+        TageCheckpoint {
+            ghr: self.ghr.checkpoint(),
+            path: self.path.value(),
+            folded_index: self.folded_index.iter().map(FoldedHistory::value).collect(),
+            folded_tag0: self.folded_tag0.iter().map(FoldedHistory::value).collect(),
+            folded_tag1: self.folded_tag1.iter().map(FoldedHistory::value).collect(),
+        }
+    }
+
+    /// Restores a checkpoint taken by [`Tage::checkpoint`], rolling back
+    /// all speculative history updates made since.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint came from a differently-configured
+    /// predictor.
+    pub fn restore(&mut self, checkpoint: &TageCheckpoint) {
+        assert_eq!(checkpoint.folded_index.len(), self.folded_index.len(), "config mismatch");
+        self.ghr.restore(&checkpoint.ghr);
+        self.path.restore(checkpoint.path);
+        for (f, &v) in self.folded_index.iter_mut().zip(&checkpoint.folded_index) {
+            f.restore(v);
+        }
+        for (f, &v) in self.folded_tag0.iter_mut().zip(&checkpoint.folded_tag0) {
+            f.restore(v);
+        }
+        for (f, &v) in self.folded_tag1.iter_mut().zip(&checkpoint.folded_tag1) {
+            f.restore(v);
+        }
+    }
+}
+
+/// A snapshot of TAGE's speculative history state (§V-E2 rollback).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageCheckpoint {
+    ghr: bputil::history::HistoryCheckpoint,
+    path: u64,
+    folded_index: Vec<u32>,
+    folded_tag0: Vec<u32>,
+    folded_tag1: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TageConfig;
+
+    fn small_cfg() -> TageConfig {
+        TageConfig {
+            history_lengths: vec![4, 8, 16, 32],
+            tag_bits: vec![9, 9, 11, 11],
+            index_bits: 7,
+            bimodal_bits: 8,
+            ..TageConfig::cbp64k()
+        }
+    }
+
+    fn drive(tage: &mut Tage, pc: u64, taken: bool) -> bool {
+        let l = tage.lookup(pc);
+        tage.commit(&l, taken, UpdateMode::Full);
+        tage.update_history(&BranchRecord::conditional(pc, pc + 8, taken, 0));
+        l.pred
+    }
+
+    #[test]
+    fn learns_a_constant_branch() {
+        let mut t = Tage::new(small_cfg());
+        let mut wrong = 0;
+        for _ in 0..200 {
+            if !drive(&mut t, 0x1000, true) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 10, "{wrong} mispredicts on an always-taken branch");
+    }
+
+    #[test]
+    fn learns_a_short_pattern() {
+        let mut t = Tage::new(small_cfg());
+        let pattern = [true, true, false];
+        let mut wrong_late = 0;
+        for i in 0..3000 {
+            let taken = pattern[i % 3];
+            let pred = drive(&mut t, 0x2000, taken);
+            if i > 2000 && pred != taken {
+                wrong_late += 1;
+            }
+        }
+        assert!(wrong_late < 50, "{wrong_late} late mispredicts on a period-3 pattern");
+    }
+
+    #[test]
+    fn learns_history_correlation() {
+        // Branch B's outcome equals branch A's previous outcome: pure
+        // global-history correlation the bimodal cannot capture.
+        let mut t = Tage::new(small_cfg());
+        let mut rng = SplitMix64::new(5);
+        let mut last_a = false;
+        let mut wrong_late = 0;
+        for i in 0..4000 {
+            let a_taken = rng.chance(1, 2);
+            drive(&mut t, 0xA000, a_taken);
+            let b_taken = last_a;
+            let pred = drive(&mut t, 0xB000, b_taken);
+            if i > 3000 && pred != b_taken {
+                wrong_late += 1;
+            }
+            last_a = a_taken;
+        }
+        assert!(wrong_late < 100, "{wrong_late} late mispredicts on correlated branch");
+    }
+
+    #[test]
+    fn cancelled_update_freezes_state() {
+        let mut t = Tage::new(small_cfg());
+        for _ in 0..100 {
+            drive(&mut t, 0x3000, true);
+        }
+        let before = t.allocations();
+        // A mispredicted branch with a cancelled update must not allocate.
+        let l = t.lookup(0x3000);
+        t.commit(&l, !l.pred, UpdateMode::Cancelled);
+        assert_eq!(t.allocations(), before);
+    }
+
+    #[test]
+    fn infinite_storage_grows_without_eviction() {
+        let mut cfg = small_cfg();
+        cfg.storage = StorageKind::Infinite;
+        let mut t = Tage::new(cfg);
+        let mut rng = SplitMix64::new(9);
+        for i in 0..3000 {
+            let pc = 0x1000 + (i % 64) * 16;
+            drive(&mut t, pc, rng.chance(1, 2));
+        }
+        assert!(t.infinite_entries() > 100);
+        assert_eq!(t.alloc_failures(), 0, "infinite storage never fails to allocate");
+    }
+
+    #[test]
+    fn infinite_beats_finite_on_capacity_stress() {
+        // Many branches each needing its own pattern: a tiny finite TAGE
+        // thrashes; infinite does not.
+        let run = |storage: StorageKind| -> u64 {
+            let mut cfg = small_cfg();
+            cfg.index_bits = 4; // deliberately tiny
+            cfg.storage = storage;
+            let mut t = Tage::new(cfg);
+            let mut rng = SplitMix64::new(7);
+            let mut mispredicts = 0;
+            // Each branch alternates with its own period in 2..6.
+            let mut phase = vec![0usize; 48];
+            for i in 0..30_000 {
+                let b = (rng.next_u64() % 48) as usize;
+                let pc = 0x4000 + (b as u64) * 64;
+                let period = 2 + b % 5;
+                let taken = phase[b].is_multiple_of(period);
+                phase[b] += 1;
+                let l = t.lookup(pc);
+                if i > 10_000 && l.pred != taken {
+                    mispredicts += 1;
+                }
+                t.commit(&l, taken, UpdateMode::Full);
+                t.update_history(&BranchRecord::conditional(pc, pc + 8, taken, 0));
+            }
+            mispredicts
+        };
+        let finite = run(StorageKind::Finite);
+        let infinite = run(StorageKind::Infinite);
+        assert!(
+            infinite < finite,
+            "infinite ({infinite}) should beat finite ({finite}) under capacity stress"
+        );
+    }
+
+    #[test]
+    fn useful_tracking_records_patterns() {
+        let mut cfg = small_cfg();
+        cfg.track_useful = true;
+        let mut t = Tage::new(cfg);
+        let mut rng = SplitMix64::new(11);
+        let mut last = false;
+        for _ in 0..4000 {
+            let a = rng.chance(1, 2);
+            drive(&mut t, 0xA00, a);
+            drive(&mut t, 0xB00, last);
+            last = a;
+        }
+        let tracker = t.useful_tracker().expect("tracking enabled");
+        assert!(tracker.total_patterns() > 0, "some patterns must be useful");
+    }
+
+    #[test]
+    fn lookup_is_pure() {
+        let t = Tage::new(small_cfg());
+        let a = t.lookup(0x1234);
+        let b = t.lookup(0x1234);
+        assert_eq!(a.pred, b.pred);
+        assert_eq!(a.indices[..4], b.indices[..4]);
+    }
+}

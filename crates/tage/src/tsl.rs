@@ -1,0 +1,337 @@
+//! The TAGE-SC-L composition: core TAGE, statistical corrector and loop
+//! predictor, arbitrated as in CBP-5.
+
+use crate::config::TslConfig;
+use crate::loop_pred::{LoopLookup, LoopPredictor};
+use crate::predictor::{Predictor, ProviderKind};
+use crate::sc::{ScLookup, StatisticalCorrector};
+use crate::tage::{Tage, TageLookup, UpdateMode};
+use bputil::history::HistoryBuffer;
+use llbp_trace::{BranchKind, BranchRecord};
+
+/// Everything computed during a TAGE-SC-L lookup.
+#[derive(Debug, Clone, Copy)]
+pub struct TslLookup {
+    /// The core TAGE lookup (LLBP arbitrates against its history length).
+    pub tage: TageLookup,
+    /// The statistical corrector's view of the *used* datapath, when SC
+    /// is enabled.
+    pub sc: Option<ScLookup>,
+    /// The loop predictor's view, when enabled.
+    pub loop_lookup: Option<LoopLookup>,
+    /// Final direction of the composition.
+    pub pred: bool,
+    /// What the composition would have predicted *without* an injected
+    /// TAGE replacement (equals `pred` when nothing was injected). Used
+    /// to attribute good/bad overrides (Fig. 15).
+    pub baseline_pred: bool,
+    /// Which component provided the final direction.
+    pub provider: ProviderKind,
+}
+
+/// The full TAGE-SC-L predictor (the paper's `64K TSL` baseline and its
+/// scaled/infinite variants, depending on [`TslConfig`]).
+#[derive(Debug, Clone)]
+pub struct TageScl {
+    tage: Tage,
+    sc: Option<StatisticalCorrector>,
+    loop_pred: Option<LoopPredictor>,
+    cfg: TslConfig,
+    pending: Option<TslLookup>,
+    predictions: u64,
+}
+
+impl TageScl {
+    /// Builds the composition from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TslConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: TslConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid TSL config: {e}"));
+        let tage = Tage::new(cfg.tage.clone());
+        let sc = cfg
+            .sc_enabled
+            .then(|| StatisticalCorrector::new(cfg.sc_index_bits, &cfg.sc_history_lengths));
+        let loop_pred = cfg.loop_enabled.then(|| LoopPredictor::new(cfg.loop_index_bits));
+        Self { tage, sc, loop_pred, cfg, pending: None, predictions: 0 }
+    }
+
+    /// The configuration this instance was built from.
+    #[must_use]
+    pub fn config(&self) -> &TslConfig {
+        &self.cfg
+    }
+
+    /// Access to the core TAGE (for probes and LLBP composition).
+    #[must_use]
+    pub fn tage(&self) -> &Tage {
+        &self.tage
+    }
+
+    /// The shared global history buffer.
+    #[must_use]
+    pub fn ghr(&self) -> &HistoryBuffer {
+        self.tage.ghr()
+    }
+
+    /// Performs a full lookup without committing any state (except loop
+    /// predictor engagement statistics).
+    pub fn lookup(&mut self, pc: u64) -> TslLookup {
+        let tage = self.tage.lookup(pc);
+        self.finish_lookup(pc, tage, None)
+    }
+
+    /// Completes a lookup from a pre-computed TAGE stage, optionally
+    /// *replacing* TAGE's direction with `inject` before the statistical
+    /// corrector and loop predictor apply — the composition point LLBP
+    /// uses (§V-B, footnote 2: LLBP overrides TAGE, and the auxiliary
+    /// correctors then operate on the combined prediction).
+    pub fn finish_lookup(&mut self, pc: u64, tage: TageLookup, inject: Option<bool>) -> TslLookup {
+        let injected_dir = inject.unwrap_or(tage.pred);
+        let mut pred = injected_dir;
+        let mut baseline = tage.pred;
+        let mut provider = if inject.is_some() {
+            ProviderKind::Llbp
+        } else {
+            match tage.provider {
+                Some(t) if !tage.used_alt => ProviderKind::Tage { table: t },
+                Some(_) => tage
+                    .alt_table
+                    .map_or(ProviderKind::Bimodal, |t| ProviderKind::Tage { table: t }),
+                None => ProviderKind::Bimodal,
+            }
+        };
+
+        let sc = self.sc.as_mut().map(|s| {
+            // The real datapath corrects the (possibly injected) direction;
+            // the baseline path is recomputed for attribution only.
+            let l = s.lookup(pc, pred);
+            let corrected = s.arbitrate(&l, pred);
+            if corrected != pred {
+                provider = ProviderKind::StatisticalCorrector;
+                pred = corrected;
+            }
+            if inject.is_some() {
+                let lb = s.lookup(pc, baseline);
+                if lb.confident && lb.pred != baseline {
+                    baseline = lb.pred;
+                }
+            } else {
+                baseline = pred;
+            }
+            l
+        });
+
+        let loop_lookup = self.loop_pred.as_mut().map(|lp| {
+            let l = lp.lookup(pc);
+            if let Some(p) = l.pred {
+                if p != pred {
+                    provider = ProviderKind::Loop;
+                }
+                pred = p;
+                baseline = p;
+            }
+            l
+        });
+
+        TslLookup { tage, sc, loop_lookup, pred, baseline_pred: baseline, provider }
+    }
+
+    /// The core TAGE stage only (pure); combine with
+    /// [`TageScl::finish_lookup`].
+    #[must_use]
+    pub fn lookup_tage(&self, pc: u64) -> TageLookup {
+        self.tage.lookup(pc)
+    }
+
+    /// Trains all components with the resolved direction.
+    ///
+    /// With [`UpdateMode::Cancelled`] (LLBP overrode the baseline), the
+    /// core TAGE cancels its update per §V-D; the SC and loop predictor
+    /// still observe the outcome — they are outcome-trained side tables
+    /// whose state LLBP does not replicate.
+    pub fn commit(&mut self, lookup: &TslLookup, taken: bool, mode: UpdateMode) {
+        if let (Some(lp), Some(ll)) = (&mut self.loop_pred, &lookup.loop_lookup) {
+            lp.train(ll, taken, lookup.tage.pred, lookup.tage.pred != taken);
+        }
+        if let (Some(sc), Some(sl)) = (&mut self.sc, &lookup.sc) {
+            sc.train(sl, taken);
+        }
+        self.tage.commit(&lookup.tage, taken, mode);
+    }
+
+    /// Advances histories for a retired branch of any kind.
+    pub fn update_history(&mut self, record: &BranchRecord) {
+        if let Some(sc) = &mut self.sc {
+            let bit = if record.kind == BranchKind::Conditional {
+                record.taken
+            } else {
+                ((record.pc >> 2) ^ (record.target >> 3)) & 1 == 1
+            };
+            sc.update_history(self.tage.ghr(), bit);
+        }
+        self.tage.update_history(record);
+    }
+
+    /// Conditional branch predictions made so far.
+    #[must_use]
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Captures all speculative history state across TAGE and the SC
+    /// (§V-E2). Prediction tables train at commit and are not included.
+    #[must_use]
+    pub fn checkpoint(&self) -> TslCheckpoint {
+        TslCheckpoint {
+            tage: self.tage.checkpoint(),
+            sc: self.sc.as_ref().map(StatisticalCorrector::checkpoint),
+        }
+    }
+
+    /// Restores a checkpoint taken by [`TageScl::checkpoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint came from a different configuration.
+    pub fn restore(&mut self, checkpoint: &TslCheckpoint) {
+        self.tage.restore(&checkpoint.tage);
+        match (&mut self.sc, &checkpoint.sc) {
+            (Some(sc), Some(cp)) => sc.restore(cp),
+            (None, None) => {}
+            _ => panic!("checkpoint SC presence does not match configuration"),
+        }
+    }
+}
+
+/// A snapshot of TAGE-SC-L's speculative history state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TslCheckpoint {
+    tage: crate::tage::TageCheckpoint,
+    sc: Option<Vec<u32>>,
+}
+
+impl Predictor for TageScl {
+    fn predict(&mut self, pc: u64) -> bool {
+        let lookup = self.lookup(pc);
+        let pred = lookup.pred;
+        self.pending = Some(lookup);
+        self.predictions += 1;
+        pred
+    }
+
+    fn train(&mut self, pc: u64, taken: bool) {
+        let lookup = self.pending.take().expect("train() without a matching predict()");
+        debug_assert_eq!(lookup.tage.pc, pc, "train() PC does not match predict()");
+        self.commit(&lookup, taken, UpdateMode::Full);
+    }
+
+    fn update_history(&mut self, record: &BranchRecord) {
+        TageScl::update_history(self, record);
+    }
+
+    fn last_provider(&self) -> ProviderKind {
+        self.pending.as_ref().map_or(ProviderKind::Bimodal, |l| l.provider)
+    }
+
+    fn label(&self) -> &str {
+        &self.cfg.label
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TslConfig;
+    use llbp_trace::{Workload, WorkloadSpec};
+
+    /// Runs a workload through a predictor and returns MPKI.
+    fn mpki(cfg: TslConfig, workload: Workload, branches: usize) -> f64 {
+        let trace = WorkloadSpec::named(workload).with_branches(branches).generate();
+        let mut p = TageScl::new(cfg);
+        let mut mispredicts = 0u64;
+        for r in &trace {
+            if r.kind == BranchKind::Conditional {
+                let l = p.lookup(r.pc);
+                if l.pred != r.taken {
+                    mispredicts += 1;
+                }
+                p.commit(&l, r.taken, UpdateMode::Full);
+            }
+            TageScl::update_history(&mut p, r);
+        }
+        mispredicts as f64 * 1000.0 / trace.instructions() as f64
+    }
+
+    #[test]
+    fn baseline_predicts_far_better_than_chance() {
+        let trace = WorkloadSpec::named(Workload::Http).with_branches(50_000).generate();
+        let mut p = TageScl::new(TslConfig::cbp64k());
+        let mut mispredicts = 0u64;
+        let mut conds = 0u64;
+        for r in &trace {
+            if r.kind == BranchKind::Conditional {
+                conds += 1;
+                if p.predict(r.pc) != r.taken {
+                    mispredicts += 1;
+                }
+                p.train(r.pc, r.taken);
+            }
+            Predictor::update_history(&mut p, r);
+        }
+        // Even warming up on a short trace the predictor must beat a
+        // static guess by a wide margin (the workload's taken rate is
+        // ≈0.5, so chance is ≈0.5).
+        let rate = mispredicts as f64 / conds as f64;
+        assert!(rate < 0.25, "misprediction rate {rate:.3} too high");
+    }
+
+    #[test]
+    fn infinite_beats_baseline() {
+        let base = mpki(TslConfig::cbp64k(), Workload::NodeApp, 120_000);
+        let inf = mpki(TslConfig::infinite_tage(), Workload::NodeApp, 120_000);
+        assert!(
+            inf < base,
+            "Inf TAGE ({inf:.3} MPKI) should beat 64K TSL ({base:.3} MPKI)"
+        );
+    }
+
+    #[test]
+    fn scaled_beats_baseline() {
+        let base = mpki(TslConfig::cbp64k(), Workload::Tpcc, 120_000);
+        let big = mpki(TslConfig::scaled(8), Workload::Tpcc, 120_000);
+        assert!(
+            big < base,
+            "512K TSL ({big:.3} MPKI) should beat 64K TSL ({base:.3} MPKI)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "train() without a matching predict()")]
+    fn train_requires_predict() {
+        let mut p = TageScl::new(TslConfig::cbp64k());
+        p.train(0x1000, true);
+    }
+
+    #[test]
+    fn provider_is_reported() {
+        let mut p = TageScl::new(TslConfig::cbp64k());
+        let _ = p.predict(0x1000);
+        // Fresh predictor: bimodal provides.
+        assert_eq!(p.last_provider(), ProviderKind::Bimodal);
+        p.train(0x1000, true);
+    }
+
+    #[test]
+    fn label_and_storage() {
+        let p = TageScl::new(TslConfig::cbp64k());
+        assert_eq!(p.label(), "64K TSL");
+        assert!(p.storage_bits() > 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Tracking of *useful patterns* per static branch.
+//!
+//! The paper's §II-D defines a pattern as useful "when it provides a
+//! correct prediction while the alternative prediction from a shorter
+//! matching pattern or the bimodal predictor is incorrect", and counts the
+//! distinct useful patterns per branch (Fig. 3b) and per program context
+//! (Fig. 5). This tracker records the distinct `(table, index, tag)`
+//! triples that were ever useful, keyed by branch PC (optionally extended
+//! with a context signature by the caller — see the Fig. 5 harness).
+
+use bputil::stats::Histogram;
+use std::collections::{HashMap, HashSet};
+
+/// Records distinct useful patterns per key (branch PC, or PC-plus-context
+/// when the caller folds a context signature into the key).
+#[derive(Debug, Clone, Default)]
+pub struct UsefulPatternTracker {
+    patterns: HashMap<u64, HashSet<(u8, u64, u32)>>,
+    useful_events: u64,
+}
+
+impl UsefulPatternTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the pattern `(table, index, tag)` was useful for `key`.
+    pub fn record(&mut self, key: u64, table: u8, index: u64, tag: u32) {
+        self.useful_events += 1;
+        self.patterns.entry(key).or_default().insert((table, index, tag));
+    }
+
+    /// Number of distinct keys (static branches / contexts) observed.
+    #[must_use]
+    pub fn num_keys(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Total distinct useful patterns across all keys.
+    #[must_use]
+    pub fn total_patterns(&self) -> usize {
+        self.patterns.values().map(HashSet::len).sum()
+    }
+
+    /// Total useful events recorded (non-distinct).
+    #[must_use]
+    pub fn useful_events(&self) -> u64 {
+        self.useful_events
+    }
+
+    /// Distinct useful patterns for one key (0 if never seen).
+    #[must_use]
+    pub fn patterns_for(&self, key: u64) -> usize {
+        self.patterns.get(&key).map_or(0, HashSet::len)
+    }
+
+    /// Distribution of patterns-per-key as a histogram (Fig. 3b / Fig. 5).
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        self.patterns.values().map(|s| s.len() as u64).collect()
+    }
+
+    /// Iterates over `(key, distinct_pattern_count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.patterns.iter().map(|(&k, v)| (k, v.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_patterns_deduplicate() {
+        let mut t = UsefulPatternTracker::new();
+        t.record(1, 0, 10, 99);
+        t.record(1, 0, 10, 99); // duplicate
+        t.record(1, 1, 10, 99);
+        assert_eq!(t.patterns_for(1), 2);
+        assert_eq!(t.useful_events(), 3);
+        assert_eq!(t.num_keys(), 1);
+    }
+
+    #[test]
+    fn histogram_reflects_counts() {
+        let mut t = UsefulPatternTracker::new();
+        t.record(1, 0, 0, 0);
+        t.record(2, 0, 0, 0);
+        t.record(2, 1, 0, 0);
+        let h = t.histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(2));
+        assert_eq!(t.total_patterns(), 3);
+    }
+
+    #[test]
+    fn missing_key_has_zero_patterns() {
+        let t = UsefulPatternTracker::new();
+        assert_eq!(t.patterns_for(42), 0);
+    }
+}

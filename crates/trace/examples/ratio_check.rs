@@ -1,0 +1,16 @@
+use llbp_trace::{Workload, WorkloadSpec};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    for w in Workload::ALL {
+        let t = WorkloadSpec::named(w).with_branches(n).generate();
+        let s = t.stats();
+        println!(
+            "{w:10} ratio={:.2} static_cond={} taken={:.2} uncond%={:.1}",
+            s.cond_per_uncond().unwrap_or(0.0),
+            s.static_conditional,
+            s.taken_rate().unwrap_or(0.0),
+            100.0 * s.unconditional as f64 / (s.conditional + s.unconditional) as f64
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! `trace_tool` — generate, inspect and convert branch traces.
+//!
+//! ```text
+//! trace_tool gen  <workload> <branches> <out.llbt>   generate a synthetic trace
+//! trace_tool info <file.llbt>                        print summary statistics
+//! trace_tool head <file.llbt> [count]                print the first records
+//! trace_tool csv  <file.llbt> <out.csv>              export as CSV
+//! ```
+
+use llbp_trace::{read_trace, write_trace, BranchKind, Trace, Workload, WorkloadSpec};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("head") => cmd_head(&args[1..]),
+        Some("csv") => cmd_csv(&args[1..]),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: trace_tool gen <workload> <branches> <out.llbt>\n\
+            \x20      trace_tool info <file.llbt>\n\
+            \x20      trace_tool head <file.llbt> [count]\n\
+            \x20      trace_tool csv <file.llbt> <out.csv>"
+        .into()
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_trace(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let [workload, branches, out] = args else {
+        return Err(usage());
+    };
+    let workload: Workload = workload.parse()?;
+    let branches: usize = branches.parse().map_err(|e| format!("bad count: {e}"))?;
+    let trace = WorkloadSpec::named(workload).with_branches(branches).generate();
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_trace(BufWriter::new(file), &trace).map_err(|e| e.to_string())?;
+    println!("wrote {} records ({} instructions) to {out}", trace.len(), trace.instructions());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(usage());
+    };
+    let trace = load(path)?;
+    let s = trace.stats();
+    println!("name:                {}", trace.name());
+    println!("records:             {}", trace.len());
+    println!("instructions:        {}", trace.instructions());
+    println!("conditional:         {} ({} static)", s.conditional, s.static_conditional);
+    println!("unconditional:       {} ({} static)", s.unconditional, s.static_unconditional);
+    for kind in BranchKind::ALL {
+        println!("  {:6}             {}", kind.to_string(), s.count(kind));
+    }
+    if let Some(r) = s.cond_per_uncond() {
+        println!("cond:uncond ratio:   {r:.2}");
+    }
+    if let Some(t) = s.taken_rate() {
+        println!("taken rate:          {t:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_head(args: &[String]) -> Result<(), String> {
+    let (path, count) = match args {
+        [path] => (path, 20usize),
+        [path, n] => (path, n.parse().map_err(|e| format!("bad count: {e}"))?),
+        _ => return Err(usage()),
+    };
+    let trace = load(path)?;
+    println!("{:>4}  {:18} {:18} {:6} {:5} {:>5}", "#", "pc", "target", "kind", "taken", "gap");
+    for (i, r) in trace.iter().take(count).enumerate() {
+        println!(
+            "{:>4}  {:#018x} {:#018x} {:6} {:5} {:>5}",
+            i,
+            r.pc,
+            r.target,
+            r.kind.to_string(),
+            r.taken,
+            r.non_branch_insts
+        );
+    }
+    Ok(())
+}
+
+fn cmd_csv(args: &[String]) -> Result<(), String> {
+    let [path, out] = args else {
+        return Err(usage());
+    };
+    let trace = load(path)?;
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "pc,target,kind,taken,non_branch_insts").map_err(|e| e.to_string())?;
+    for r in &trace {
+        writeln!(
+            w,
+            "{:#x},{:#x},{},{},{}",
+            r.pc,
+            r.target,
+            r.kind,
+            u8::from(r.taken),
+            r.non_branch_insts
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} rows to {out}", trace.len());
+    Ok(())
+}

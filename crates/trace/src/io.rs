@@ -1,0 +1,279 @@
+//! A compact binary trace format with integrity checks.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   [u8; 4] = b"LLBT"
+//! version u16     = 1
+//! name    u16 length + UTF-8 bytes
+//! count   u64     number of records
+//! records count × { pc u64, target u64, kind u8, taken u8, insts u32 }
+//! crc     u64     simple rolling checksum over the record bytes
+//! ```
+//!
+//! The format favours simplicity over density; traces used by the
+//! experiment harness are generated on the fly, so file IO is a
+//! convenience for caching and for interoperating with external tools.
+
+use crate::record::{BranchKind, BranchRecord, Trace};
+use std::io::{Read, Write};
+
+/// Magic bytes identifying a trace file.
+pub const MAGIC: [u8; 4] = *b"LLBT";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors produced while reading or writing trace files.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The file does not start with the `LLBT` magic.
+    BadMagic([u8; 4]),
+    /// The file uses an unsupported format version.
+    UnsupportedVersion(u16),
+    /// A record carries an invalid branch-kind byte.
+    InvalidKind(u8),
+    /// A record flags a conditional field inconsistently (e.g. an
+    /// unconditional branch marked not-taken).
+    InconsistentRecord { index: u64 },
+    /// The trailing checksum does not match the record payload.
+    ChecksumMismatch { expected: u64, found: u64 },
+    /// The embedded name is not valid UTF-8.
+    BadName(std::string::FromUtf8Error),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io failure: {e}"),
+            TraceIoError::BadMagic(m) => write!(f, "bad trace magic {m:02x?}"),
+            TraceIoError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::InvalidKind(k) => write!(f, "invalid branch kind byte {k}"),
+            TraceIoError::InconsistentRecord { index } => {
+                write!(f, "inconsistent record at index {index}")
+            }
+            TraceIoError::ChecksumMismatch { expected, found } => {
+                write!(f, "checksum mismatch: expected {expected:#x}, found {found:#x}")
+            }
+            TraceIoError::BadName(e) => write!(f, "trace name is not utf-8: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::BadName(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Rolling checksum over record payload bytes (FNV-1a, 64-bit).
+#[derive(Debug, Clone, Copy)]
+struct Checksum(u64);
+
+impl Checksum {
+    fn new() -> Self {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Serialises `trace` to `writer`. A buffered writer can be passed by
+/// mutable reference (`&mut w` implements [`Write`]).
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on any underlying write failure.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name().as_bytes();
+    let name_len = u16::try_from(name.len().min(u16::MAX as usize)).expect("clamped");
+    writer.write_all(&name_len.to_le_bytes())?;
+    writer.write_all(&name[..name_len as usize])?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut crc = Checksum::new();
+    for r in trace {
+        let mut buf = [0u8; 22];
+        buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.target.to_le_bytes());
+        buf[16] = r.kind.as_u8();
+        buf[17] = u8::from(r.taken);
+        buf[18..22].copy_from_slice(&r.non_branch_insts.to_le_bytes());
+        crc.update(&buf);
+        writer.write_all(&buf)?;
+    }
+    writer.write_all(&crc.value().to_le_bytes())?;
+    Ok(())
+}
+
+/// Deserialises a trace from `reader`. A buffered reader can be passed by
+/// mutable reference (`&mut r` implements [`Read`]).
+///
+/// # Errors
+///
+/// Returns a [`TraceIoError`] describing the first malformation found:
+/// wrong magic, unsupported version, invalid kind bytes, inconsistent
+/// records, or a checksum mismatch.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic(magic));
+    }
+    let version = read_u16(&mut reader)?;
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let name_len = read_u16(&mut reader)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    reader.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(TraceIoError::BadName)?;
+    let count = read_u64(&mut reader)?;
+    let mut records = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(1 << 28));
+    let mut crc = Checksum::new();
+    for index in 0..count {
+        let mut buf = [0u8; 22];
+        reader.read_exact(&mut buf)?;
+        crc.update(&buf);
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice length"));
+        let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice length"));
+        let kind = BranchKind::from_u8(buf[16]).ok_or(TraceIoError::InvalidKind(buf[16]))?;
+        let taken = match buf[17] {
+            0 => false,
+            1 => true,
+            _ => return Err(TraceIoError::InconsistentRecord { index }),
+        };
+        if kind.is_unconditional() && !taken {
+            return Err(TraceIoError::InconsistentRecord { index });
+        }
+        let non_branch_insts = u32::from_le_bytes(buf[18..22].try_into().expect("slice length"));
+        records.push(BranchRecord { pc, target, kind, taken, non_branch_insts });
+    }
+    let expected = read_u64(&mut reader)?;
+    if expected != crc.value() {
+        return Err(TraceIoError::ChecksumMismatch { expected, found: crc.value() });
+    }
+    Ok(Trace::from_records(name, records))
+}
+
+fn read_u16<R: Read>(reader: &mut R) -> Result<u16, TraceIoError> {
+    let mut b = [0u8; 2];
+    reader.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, TraceIoError> {
+    let mut b = [0u8; 8];
+    reader.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BranchKind, BranchRecord, Trace};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("sample");
+        t.push(BranchRecord::conditional(0x1000, 0x1100, true, 4));
+        t.push(BranchRecord::unconditional(0x1104, 0x2000, BranchKind::DirectCall, 2));
+        t.push(BranchRecord::conditional(0x2004, 0x2010, false, 7));
+        t.push(BranchRecord::unconditional(0x2008, 0x1108, BranchKind::Return, 0));
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.name(), "sample");
+        assert_eq!(back.records(), t.records());
+        assert_eq!(back.instructions(), t.instructions());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("empty");
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::BadMagic(_))));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        // Flip a bit inside the first record's PC.
+        let header = 4 + 2 + 2 + "sample".len() + 8;
+        buf[header] ^= 0x01;
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn invalid_kind_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        let header = 4 + 2 + 2 + "sample".len() + 8;
+        buf[header + 16] = 77; // kind byte of record 0
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::InvalidKind(77))));
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::Io(_))));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf[4] = 0xFF;
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceIoError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceIoError::ChecksumMismatch { expected: 1, found: 2 };
+        assert!(e.to_string().contains("checksum"));
+        let e = TraceIoError::BadMagic(*b"ABCD");
+        assert!(e.to_string().contains("magic"));
+    }
+}

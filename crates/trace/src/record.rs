@@ -1,0 +1,286 @@
+//! Branch trace records.
+//!
+//! A trace is a sequence of *retired branch instructions* in program order,
+//! each annotated with the number of non-branch instructions preceding it
+//! (so simulators can reconstruct instruction counts and fetch traffic
+//! without storing every instruction, the same trick ChampSim traces use).
+
+/// The control-flow class of a branch instruction.
+///
+/// LLBP builds its context IDs from *unconditional* branches (direct and
+/// indirect jumps, calls, and returns), and the Fig. 13 sensitivity study
+/// compares against call/return-only and all-branch histories, so the trace
+/// must distinguish these classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchKind {
+    /// A conditional direct branch — the only kind the direction predictors
+    /// under study predict.
+    Conditional,
+    /// An unconditional direct jump.
+    DirectJump,
+    /// An unconditional indirect jump (target from a register).
+    IndirectJump,
+    /// A direct call.
+    DirectCall,
+    /// An indirect call (e.g. virtual dispatch) — PHPWiki's pipeline-reset
+    /// pathology in §VII-A comes from mispredicted indirect calls.
+    IndirectCall,
+    /// A function return.
+    Return,
+}
+
+impl BranchKind {
+    /// `true` for every kind except [`BranchKind::Conditional`].
+    #[must_use]
+    pub fn is_unconditional(self) -> bool {
+        !matches!(self, BranchKind::Conditional)
+    }
+
+    /// `true` for calls and returns (the Fig. 13 `Call/Ret` history type).
+    #[must_use]
+    pub fn is_call_or_return(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall | BranchKind::Return)
+    }
+
+    /// Compact numeric encoding used by the binary trace format.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            BranchKind::Conditional => 0,
+            BranchKind::DirectJump => 1,
+            BranchKind::IndirectJump => 2,
+            BranchKind::DirectCall => 3,
+            BranchKind::IndirectCall => 4,
+            BranchKind::Return => 5,
+        }
+    }
+
+    /// Decodes the binary encoding; `None` for out-of-range values.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => BranchKind::Conditional,
+            1 => BranchKind::DirectJump,
+            2 => BranchKind::IndirectJump,
+            3 => BranchKind::DirectCall,
+            4 => BranchKind::IndirectCall,
+            5 => BranchKind::Return,
+            _ => return None,
+        })
+    }
+
+    /// All kinds, in encoding order.
+    pub const ALL: [BranchKind; 6] = [
+        BranchKind::Conditional,
+        BranchKind::DirectJump,
+        BranchKind::IndirectJump,
+        BranchKind::DirectCall,
+        BranchKind::IndirectCall,
+        BranchKind::Return,
+    ];
+}
+
+impl std::fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::DirectJump => "jump",
+            BranchKind::IndirectJump => "ijump",
+            BranchKind::DirectCall => "call",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::Return => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One retired branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchRecord {
+    /// Address of the branch instruction.
+    pub pc: u64,
+    /// Address control transfers to when taken.
+    pub target: u64,
+    /// Control-flow class.
+    pub kind: BranchKind,
+    /// Resolved direction. Always `true` for unconditional kinds.
+    pub taken: bool,
+    /// Number of non-branch instructions retired since the previous branch
+    /// (used for MPKI and fetch-bandwidth accounting).
+    pub non_branch_insts: u32,
+}
+
+impl BranchRecord {
+    /// Convenience constructor for a conditional branch.
+    #[must_use]
+    pub fn conditional(pc: u64, target: u64, taken: bool, non_branch_insts: u32) -> Self {
+        Self { pc, target, kind: BranchKind::Conditional, taken, non_branch_insts }
+    }
+
+    /// Convenience constructor for an unconditional branch of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`BranchKind::Conditional`].
+    #[must_use]
+    pub fn unconditional(pc: u64, target: u64, kind: BranchKind, non_branch_insts: u32) -> Self {
+        assert!(kind.is_unconditional(), "use `conditional` for conditional branches");
+        Self { pc, target, kind, taken: true, non_branch_insts }
+    }
+
+    /// Instructions this record accounts for (the branch itself plus the
+    /// preceding non-branch instructions).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.non_branch_insts) + 1
+    }
+}
+
+/// An in-memory branch trace.
+///
+/// # Example
+///
+/// ```
+/// use llbp_trace::record::{BranchKind, BranchRecord, Trace};
+///
+/// let mut t = Trace::new("demo");
+/// t.push(BranchRecord::conditional(0x1000, 0x1040, true, 3));
+/// t.push(BranchRecord::unconditional(0x1044, 0x2000, BranchKind::DirectCall, 2));
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.instructions(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    name: String,
+    records: Vec<BranchRecord>,
+    instructions: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace with a human-readable name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), records: Vec::new(), instructions: 0 }
+    }
+
+    /// Creates a trace from pre-built records.
+    #[must_use]
+    pub fn from_records(name: impl Into<String>, records: Vec<BranchRecord>) -> Self {
+        let instructions = records.iter().map(BranchRecord::instructions).sum();
+        Self { name: name.into(), records, instructions }
+    }
+
+    /// The trace name (workload identifier).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: BranchRecord) {
+        self.instructions += record.instructions();
+        self.records.push(record);
+    }
+
+    /// Number of branch records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total retired instructions represented (branches + non-branches).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The records in program order.
+    #[must_use]
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchRecord> {
+        self.records.iter()
+    }
+
+    /// Computes summary statistics (kind mix, static working set, …).
+    #[must_use]
+    pub fn stats(&self) -> crate::stats::TraceStats {
+        crate::stats::TraceStats::from_trace(self)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchRecord;
+    type IntoIter = std::slice::Iter<'a, BranchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl Extend<BranchRecord> for Trace {
+    fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_u8() {
+        for kind in BranchKind::ALL {
+            assert_eq!(BranchKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(BranchKind::from_u8(99), None);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(!BranchKind::Conditional.is_unconditional());
+        assert!(BranchKind::Return.is_unconditional());
+        assert!(BranchKind::Return.is_call_or_return());
+        assert!(!BranchKind::DirectJump.is_call_or_return());
+        assert!(BranchKind::IndirectCall.is_call_or_return());
+    }
+
+    #[test]
+    fn trace_counts_instructions() {
+        let mut t = Trace::new("t");
+        t.push(BranchRecord::conditional(0, 4, false, 9));
+        t.push(BranchRecord::conditional(8, 12, true, 0));
+        assert_eq!(t.instructions(), 11);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn from_records_matches_push() {
+        let records = vec![
+            BranchRecord::conditional(0, 4, false, 2),
+            BranchRecord::unconditional(8, 100, BranchKind::Return, 1),
+        ];
+        let a = Trace::from_records("a", records.clone());
+        let mut b = Trace::new("b");
+        b.extend(records);
+        assert_eq!(a.instructions(), b.instructions());
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    #[should_panic(expected = "use `conditional`")]
+    fn unconditional_ctor_rejects_conditional() {
+        let _ = BranchRecord::unconditional(0, 4, BranchKind::Conditional, 0);
+    }
+}

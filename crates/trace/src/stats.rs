@@ -1,0 +1,108 @@
+//! Trace summary statistics.
+
+use crate::record::{BranchKind, Trace};
+use std::collections::HashMap;
+
+/// Summary statistics of a branch trace, mirroring the characterisation
+/// numbers the paper reports in §IV-2 (e.g. the ≈3.89 conditional branches
+/// per unconditional branch).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceStats {
+    /// Dynamic conditional branch count.
+    pub conditional: u64,
+    /// Dynamic unconditional branch count (all kinds).
+    pub unconditional: u64,
+    /// Dynamic count per kind, in [`BranchKind::ALL`] order.
+    pub per_kind: [u64; 6],
+    /// Taken conditional branches.
+    pub conditional_taken: u64,
+    /// Total instructions (branches plus non-branches).
+    pub instructions: u64,
+    /// Number of distinct conditional branch PCs (the static working set).
+    pub static_conditional: usize,
+    /// Number of distinct unconditional branch PCs.
+    pub static_unconditional: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut s = TraceStats { instructions: trace.instructions(), ..Default::default() };
+        let mut cond_pcs: HashMap<u64, ()> = HashMap::new();
+        let mut uncond_pcs: HashMap<u64, ()> = HashMap::new();
+        for r in trace {
+            s.per_kind[r.kind.as_u8() as usize] += 1;
+            if r.kind == BranchKind::Conditional {
+                s.conditional += 1;
+                s.conditional_taken += u64::from(r.taken);
+                cond_pcs.insert(r.pc, ());
+            } else {
+                s.unconditional += 1;
+                uncond_pcs.insert(r.pc, ());
+            }
+        }
+        s.static_conditional = cond_pcs.len();
+        s.static_unconditional = uncond_pcs.len();
+        s
+    }
+
+    /// Dynamic conditional-to-unconditional ratio (`None` when the trace
+    /// has no unconditional branches).
+    #[must_use]
+    pub fn cond_per_uncond(&self) -> Option<f64> {
+        if self.unconditional == 0 {
+            None
+        } else {
+            Some(self.conditional as f64 / self.unconditional as f64)
+        }
+    }
+
+    /// Fraction of conditional branches that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> Option<f64> {
+        if self.conditional == 0 {
+            None
+        } else {
+            Some(self.conditional_taken as f64 / self.conditional as f64)
+        }
+    }
+
+    /// Dynamic count for one branch kind.
+    #[must_use]
+    pub fn count(&self, kind: BranchKind) -> u64 {
+        self.per_kind[kind.as_u8() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchRecord;
+
+    #[test]
+    fn stats_count_kinds_and_statics() {
+        let mut t = Trace::new("t");
+        t.push(BranchRecord::conditional(0x10, 0x20, true, 1));
+        t.push(BranchRecord::conditional(0x10, 0x20, false, 1));
+        t.push(BranchRecord::conditional(0x30, 0x40, true, 1));
+        t.push(BranchRecord::unconditional(0x50, 0x60, BranchKind::Return, 2));
+        let s = t.stats();
+        assert_eq!(s.conditional, 3);
+        assert_eq!(s.unconditional, 1);
+        assert_eq!(s.static_conditional, 2);
+        assert_eq!(s.static_unconditional, 1);
+        assert_eq!(s.conditional_taken, 2);
+        assert_eq!(s.count(BranchKind::Return), 1);
+        assert_eq!(s.cond_per_uncond(), Some(3.0));
+        assert!((s.taken_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Trace::new("e").stats();
+        assert_eq!(s.cond_per_uncond(), None);
+        assert_eq!(s.taken_rate(), None);
+        assert_eq!(s.instructions, 0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Named workload presets mirroring Table I of the paper.
+//!
+//! Each preset differentiates the generated program along the axes that
+//! drive the paper's per-workload differences: static working-set size,
+//! amount of context-dependent branch behaviour (LLBP's opportunity),
+//! irreducible noise (the MPKI floor), long-range global correlation
+//! (capacity pressure on TAGE), and indirect-call entropy (pipeline resets
+//! that defeat LLBP's prefetcher — PHPWiki's pathology in §VII-A).
+//!
+//! The absolute values are calibrated against our simulator, not the
+//! authors' machines; what matters is that the *relative* behaviour across
+//! workloads matches the paper (see `EXPERIMENTS.md`).
+
+/// Tunable parameters of the synthetic program generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Total number of functions (8 KiB code region each).
+    pub functions: usize,
+    /// Trailing "shared library" functions holding context-dependent
+    /// branches; reached from many call chains.
+    pub shared_functions: usize,
+    /// Number of distinct request entry points (Zipf-weighted).
+    pub request_types: usize,
+    /// Maximum forward distance of a non-shared call target.
+    pub call_span: usize,
+    /// Minimum conditional branches per function body.
+    pub conds_min: usize,
+    /// Maximum conditional branches per function body.
+    pub conds_max: usize,
+    /// Minimum call sites per function body.
+    pub calls_min: usize,
+    /// Maximum call sites per function body.
+    pub calls_max: usize,
+    /// Mean non-branch instructions between branches.
+    pub mean_block_insts: u32,
+    /// Per-function probability (‰) of wrapping the body tail in a loop.
+    pub loop_permille: u32,
+    /// Probability (‰) that a call site targets the shared library tier.
+    pub shared_call_permille: u32,
+    /// Probability (‰) that a call site is an indirect call.
+    pub icall_permille: u32,
+    /// Probability that an indirect call picks a uniformly random target
+    /// (vs. the context-determined one).
+    pub icall_entropy: f64,
+    /// Expected number of call sites actually *executed* per function
+    /// invocation. Keeping this near 1 bounds the per-request call tree
+    /// (branching factor ≈ 1) so requests stay server-request-sized
+    /// instead of exploding exponentially.
+    pub call_fanout: f64,
+    /// Fraction of conditionals that are purely random noise.
+    pub noise_fraction: f64,
+    /// Fraction of conditionals correlated with long global history.
+    pub hard_global_fraction: f64,
+    /// Fraction of *shared-tier* conditionals that are context-dependent.
+    pub context_fraction: f64,
+    /// History bits consulted by context-dependent branch truth tables (max).
+    pub ctx_max_len: u32,
+    /// PRNG seed for both program construction and execution.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self {
+            functions: 1500,
+            shared_functions: 200,
+            request_types: 24,
+            call_span: 48,
+            conds_min: 2,
+            conds_max: 6,
+            calls_min: 1,
+            calls_max: 3,
+            mean_block_insts: 6,
+            loop_permille: 180,
+            shared_call_permille: 120,
+            icall_permille: 40,
+            icall_entropy: 0.1,
+            call_fanout: 1.05,
+            noise_fraction: 0.03,
+            hard_global_fraction: 0.05,
+            context_fraction: 0.45,
+            ctx_max_len: 3,
+            seed: 0xBA5E,
+        }
+    }
+}
+
+/// The 14 evaluated workloads (Table I): two hand-built web services, seven
+/// Java suite workloads, four Google production traces, plus their
+/// synthetic stand-ins here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Workload {
+    /// NodeJS online-shop web server.
+    NodeApp,
+    /// PHP wiki (MediaWiki on PHP-FPM) — indirect-call heavy.
+    PhpWiki,
+    /// BenchBase TPC-C.
+    Tpcc,
+    /// BenchBase Twitter.
+    Twitter,
+    /// BenchBase Wikipedia.
+    Wikipedia,
+    /// DaCapo Kafka.
+    Kafka,
+    /// DaCapo Spring.
+    Spring,
+    /// DaCapo Tomcat — the §II-D working-set case study.
+    Tomcat,
+    /// Renaissance finagle-chirper.
+    Chirper,
+    /// Renaissance finagle-http.
+    Http,
+    /// Google production trace "Charlie".
+    Charlie,
+    /// Google production trace "Delta".
+    Delta,
+    /// Google production trace "Merced".
+    Merced,
+    /// Google production trace "Whiskey".
+    Whiskey,
+}
+
+impl Workload {
+    /// All workloads in the paper's presentation order.
+    pub const ALL: [Workload; 14] = [
+        Workload::NodeApp,
+        Workload::PhpWiki,
+        Workload::Tpcc,
+        Workload::Twitter,
+        Workload::Wikipedia,
+        Workload::Kafka,
+        Workload::Spring,
+        Workload::Tomcat,
+        Workload::Chirper,
+        Workload::Http,
+        Workload::Charlie,
+        Workload::Delta,
+        Workload::Merced,
+        Workload::Whiskey,
+    ];
+
+    /// The ten server workloads used in the hardware study (Fig. 1) — all
+    /// except the four Google traces.
+    pub const SERVER: [Workload; 10] = [
+        Workload::NodeApp,
+        Workload::PhpWiki,
+        Workload::Tpcc,
+        Workload::Twitter,
+        Workload::Wikipedia,
+        Workload::Kafka,
+        Workload::Spring,
+        Workload::Tomcat,
+        Workload::Chirper,
+        Workload::Http,
+    ];
+
+    /// Description matching Table I.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Workload::NodeApp => "NodeJS online shop webserver",
+            Workload::PhpWiki => "PHP wiki web server",
+            Workload::Tpcc | Workload::Twitter | Workload::Wikipedia => {
+                "Java BenchBase suite"
+            }
+            Workload::Kafka | Workload::Spring | Workload::Tomcat => {
+                "Java DaCapo benchmark suite"
+            }
+            Workload::Chirper | Workload::Http => "Java Renaissance suite",
+            Workload::Charlie | Workload::Delta | Workload::Merced | Workload::Whiskey => {
+                "Google traces"
+            }
+        }
+    }
+
+    /// The generator preset for this workload.
+    ///
+    /// Seeds are arbitrary mnemonic constants; their exact values are part
+    /// of the reproducible trace definition and must not be "tidied".
+    #[must_use]
+    #[allow(clippy::unusual_byte_groupings, clippy::mixed_case_hex_literals)]
+    pub fn params(self) -> WorkloadParams {
+        let base = WorkloadParams::default();
+        match self {
+            // High context-dependence, low noise: LLBP's best case
+            // (−25.9 % MPKI in the paper).
+            Workload::NodeApp => WorkloadParams {
+                functions: 900,
+                shared_functions: 180,
+                request_types: 16,
+                context_fraction: 0.65,
+                noise_fraction: 0.015,
+                hard_global_fraction: 0.03,
+                ctx_max_len: 3,
+                seed: 0x0DE0_A991,
+                ..base
+            },
+            // Indirect-call heavy with high target entropy: pipeline resets
+            // blunt LLBP's prefetching (§VII-A).
+            Workload::PhpWiki => WorkloadParams {
+                functions: 1100,
+                shared_functions: 160,
+                request_types: 20,
+                icall_permille: 260,
+                icall_entropy: 0.5,
+                context_fraction: 0.5,
+                noise_fraction: 0.03,
+                seed: 0x9493_11C1,
+                ..base
+            },
+            Workload::Tpcc => WorkloadParams {
+                functions: 2200,
+                shared_functions: 260,
+                request_types: 5,
+                context_fraction: 0.4,
+                noise_fraction: 0.05,
+                hard_global_fraction: 0.07,
+                seed: 0x79CC,
+                ..base
+            },
+            Workload::Twitter => WorkloadParams {
+                functions: 1800,
+                shared_functions: 220,
+                request_types: 12,
+                context_fraction: 0.38,
+                noise_fraction: 0.04,
+                seed: 0x7017_7e4,
+                ..base
+            },
+            Workload::Wikipedia => WorkloadParams {
+                functions: 2600,
+                shared_functions: 300,
+                request_types: 18,
+                context_fraction: 0.42,
+                noise_fraction: 0.045,
+                hard_global_fraction: 0.06,
+                seed: 0x91c1,
+                ..base
+            },
+            Workload::Kafka => WorkloadParams {
+                functions: 1600,
+                shared_functions: 200,
+                request_types: 8,
+                context_fraction: 0.3,
+                noise_fraction: 0.025,
+                hard_global_fraction: 0.08,
+                seed: 0xCAF_CA,
+                ..base
+            },
+            Workload::Spring => WorkloadParams {
+                functions: 3200,
+                shared_functions: 380,
+                request_types: 28,
+                context_fraction: 0.4,
+                noise_fraction: 0.04,
+                seed: 0x5991_19,
+                ..base
+            },
+            // The §II-D case study: ≈20K static branches.
+            Workload::Tomcat => WorkloadParams {
+                functions: 3800,
+                shared_functions: 420,
+                request_types: 32,
+                conds_min: 2,
+                conds_max: 7,
+                context_fraction: 0.45,
+                noise_fraction: 0.045,
+                hard_global_fraction: 0.06,
+                seed: 0x70C_CA75,
+                ..base
+            },
+            Workload::Chirper => WorkloadParams {
+                functions: 1200,
+                shared_functions: 150,
+                request_types: 10,
+                context_fraction: 0.25,
+                noise_fraction: 0.02,
+                hard_global_fraction: 0.03,
+                seed: 0xC419_9e4,
+                ..base
+            },
+            Workload::Http => WorkloadParams {
+                functions: 1000,
+                shared_functions: 130,
+                request_types: 8,
+                context_fraction: 0.22,
+                noise_fraction: 0.018,
+                hard_global_fraction: 0.03,
+                seed: 0x4779,
+                ..base
+            },
+            // Google traces: larger, flatter working sets.
+            Workload::Charlie => WorkloadParams {
+                functions: 4200,
+                shared_functions: 450,
+                request_types: 40,
+                context_fraction: 0.35,
+                noise_fraction: 0.05,
+                hard_global_fraction: 0.07,
+                seed: 0xC4A4_11e,
+                ..base
+            },
+            Workload::Delta => WorkloadParams {
+                functions: 3600,
+                shared_functions: 400,
+                request_types: 36,
+                context_fraction: 0.3,
+                noise_fraction: 0.055,
+                hard_global_fraction: 0.08,
+                seed: 0xDE17A,
+                ..base
+            },
+            // Second-best LLBP workload in the paper (−13.8 %).
+            Workload::Merced => WorkloadParams {
+                functions: 2800,
+                shared_functions: 420,
+                request_types: 30,
+                context_fraction: 0.55,
+                noise_fraction: 0.03,
+                hard_global_fraction: 0.05,
+                ctx_max_len: 3,
+                seed: 0x3E4C_ED,
+                ..base
+            },
+            Workload::Whiskey => WorkloadParams {
+                functions: 3000,
+                shared_functions: 350,
+                request_types: 26,
+                context_fraction: 0.33,
+                noise_fraction: 0.05,
+                hard_global_fraction: 0.06,
+                seed: 0x3415_0E44,
+                ..base
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Workload::NodeApp => "NodeApp",
+            Workload::PhpWiki => "PHPWiki",
+            Workload::Tpcc => "TPCC",
+            Workload::Twitter => "Twitter",
+            Workload::Wikipedia => "Wikipedia",
+            Workload::Kafka => "Kafka",
+            Workload::Spring => "Spring",
+            Workload::Tomcat => "Tomcat",
+            Workload::Chirper => "Chirper",
+            Workload::Http => "HTTP",
+            Workload::Charlie => "Charlie",
+            Workload::Delta => "Delta",
+            Workload::Merced => "Merced",
+            Workload::Whiskey => "Whiskey",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Workload {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Workload::ALL
+            .into_iter()
+            .find(|w| w.to_string().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown workload: {s}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_fourteen_distinct() {
+        let mut names: Vec<String> = Workload::ALL.iter().map(ToString::to_string).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn params_are_valid() {
+        for w in Workload::ALL {
+            let p = w.params();
+            assert!(p.functions > p.shared_functions, "{w}");
+            assert!(p.request_types >= 1, "{w}");
+            assert!(p.conds_max >= p.conds_min, "{w}");
+            assert!(p.calls_max >= p.calls_min, "{w}");
+            assert!((0.0..=1.0).contains(&p.context_fraction), "{w}");
+            assert!((0.0..=1.0).contains(&p.noise_fraction), "{w}");
+        }
+    }
+
+    #[test]
+    fn from_str_roundtrips() {
+        for w in Workload::ALL {
+            let parsed: Workload = w.to_string().parse().unwrap();
+            assert_eq!(parsed, w);
+        }
+        assert!("nope".parse::<Workload>().is_err());
+    }
+
+    #[test]
+    fn server_subset_excludes_google_traces() {
+        assert_eq!(Workload::SERVER.len(), 10);
+        assert!(!Workload::SERVER.contains(&Workload::Charlie));
+    }
+}

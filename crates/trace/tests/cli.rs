@@ -1,0 +1,69 @@
+//! End-to-end tests of the `trace_tool` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("llbp_trace_tool_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_info_head_csv_pipeline() {
+    let llbt = temp_path("a.llbt");
+    let csv = temp_path("a.csv");
+
+    let out = tool()
+        .args(["gen", "HTTP", "2000", llbt.to_str().unwrap()])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote 2000 records"));
+
+    let out = tool().args(["info", llbt.to_str().unwrap()]).output().expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("records:             2000"));
+    assert!(text.contains("cond:uncond ratio:"));
+
+    let out = tool().args(["head", llbt.to_str().unwrap(), "5"]).output().expect("run head");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 6, "header + 5 rows");
+
+    let out = tool()
+        .args(["csv", llbt.to_str().unwrap(), csv.to_str().unwrap()])
+        .output()
+        .expect("run csv");
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(body.starts_with("pc,target,kind,taken,non_branch_insts\n"));
+    assert_eq!(body.lines().count(), 2001);
+
+    let _ = std::fs::remove_file(llbt);
+    let _ = std::fs::remove_file(csv);
+}
+
+#[test]
+fn unknown_workload_fails_cleanly() {
+    let out = tool().args(["gen", "NotAWorkload", "10", "/tmp/x.llbt"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = tool().args(["info", "/definitely/not/here.llbt"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = tool().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

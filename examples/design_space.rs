@@ -1,0 +1,57 @@
+//! Domain scenario: exploring the LLBP design space.
+//!
+//! An architect sizing a last-level predictor wants to know how the MPKI
+//! reduction trades against storage: context count, pattern-set size,
+//! prefetch distance and pattern-buffer capacity. This example sweeps a
+//! small grid (the full sweeps are the `fig13_cid_sensitivity` and
+//! `fig14_pattern_sets` harness binaries) and prints reduction per KiB.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use llbp_repro::prelude::*;
+
+fn main() {
+    let trace = WorkloadSpec::named(Workload::Merced).with_branches(400_000).generate();
+    let cfg = SimConfig::default();
+    let base = cfg.run(PredictorKind::Tsl64K, &trace);
+    println!("baseline 64K TSL: {:.3} MPKI on {}\n", base.mpki(), trace.name());
+
+    println!(
+        "{:28} {:>10} {:>12} {:>14}",
+        "configuration", "KiB", "MPKI red.", "red. per 100KiB"
+    );
+
+    // Sweep pattern-set capacity (the Fig. 14 axis).
+    for (contexts, set_size) in [(8_192, 8), (16_384, 8), (16_384, 16), (32_768, 16)] {
+        let params = LlbpParams::study_full_assoc(contexts, set_size);
+        let kib = params.storage_bits() as f64 / 8192.0;
+        let r = cfg.run(PredictorKind::Llbp(params), &trace);
+        let red = r.mpki_reduction_vs(&base);
+        println!(
+            "{:28} {:>10.0} {:>11.1}% {:>13.2}%",
+            format!("{}K contexts x {}", contexts / 1024, set_size),
+            kib,
+            red,
+            red / (kib / 100.0)
+        );
+    }
+
+    // Prefetch distance (the Fig. 13 axis) on the deployable design.
+    println!();
+    for d in [0usize, 4, 8] {
+        let params = LlbpParams {
+            prefetch_distance: d,
+            label: format!("LLBP D={d}"),
+            ..LlbpParams::default()
+        };
+        let r = cfg.run(PredictorKind::Llbp(params), &trace);
+        println!(
+            "{:28} {:>10} {:>11.1}%",
+            format!("deployable LLBP, D={d}"),
+            "512",
+            r.mpki_reduction_vs(&base)
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: generate a synthetic server workload, run the 64 KiB
+//! TAGE-SC-L baseline and LLBP over it, and compare MPKI.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use llbp_repro::prelude::*;
+
+fn main() {
+    // 1. Generate a trace. `Workload` presets mirror Table I of the paper;
+    //    NodeApp is the most context-dependent (LLBP's best case).
+    let trace = WorkloadSpec::named(Workload::NodeApp).with_branches(400_000).generate();
+    let stats = trace.stats();
+    println!(
+        "trace: {} branch records, {} instructions, {} static conditional branches",
+        trace.len(),
+        trace.instructions(),
+        stats.static_conditional
+    );
+
+    // 2. Run the baseline and LLBP through the simulator. The first third
+    //    of the trace warms the predictors; statistics come from the rest.
+    let cfg = SimConfig::default();
+    let baseline = cfg.run(PredictorKind::Tsl64K, &trace);
+    let llbp = cfg.run(PredictorKind::Llbp(LlbpParams::default()), &trace);
+
+    println!("\n{:12} {:>8}  {:>12}", "predictor", "MPKI", "mispredicts");
+    for r in [&baseline, &llbp] {
+        println!("{:12} {:>8.3}  {:>12}", r.label, r.mpki(), r.mispredictions);
+    }
+    println!(
+        "\nLLBP reduces MPKI by {:.1}% over the 64K TSL baseline",
+        llbp.mpki_reduction_vs(&baseline)
+    );
+}

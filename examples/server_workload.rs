@@ -1,0 +1,48 @@
+//! Domain scenario: capacity planning for a server fleet's front-end.
+//!
+//! A server operator wants to know where the branch-misprediction cycles
+//! go (the paper's Fig. 1 motivation) and how much a last-level branch
+//! predictor would buy across a representative workload mix. This example
+//! runs three server workloads through the baseline and LLBP, attributes
+//! wasted cycles with the Top-Down-style timing model, and prints a
+//! per-workload report.
+//!
+//! ```sh
+//! cargo run --release --example server_workload
+//! ```
+
+use llbp_repro::prelude::*;
+use llbp_repro::sim::TimingModel;
+
+fn main() {
+    let timing = TimingModel::default();
+    let cfg = SimConfig::default();
+
+    println!(
+        "{:10} {:>10} {:>10} {:>13} {:>13} {:>9}",
+        "workload", "base MPKI", "LLBP MPKI", "wasted(base)", "wasted(llbp)", "speedup"
+    );
+    for workload in [Workload::NodeApp, Workload::Tomcat, Workload::Http] {
+        let trace = WorkloadSpec::named(workload).with_branches(400_000).generate();
+        let base = cfg.run(PredictorKind::Tsl64K, &trace);
+        let llbp = cfg.run(PredictorKind::Llbp(LlbpParams::default()), &trace);
+
+        let wasted_base = timing.wasted_fraction(base.instructions, base.mispredictions);
+        let wasted_llbp = timing.wasted_fraction(llbp.instructions, llbp.mispredictions);
+        let speedup = timing.speedup(base.instructions, base.mispredictions, llbp.mispredictions);
+
+        println!(
+            "{:10} {:>10.3} {:>10.3} {:>12.1}% {:>12.1}% {:>8.3}x",
+            workload.to_string(),
+            base.mpki(),
+            llbp.mpki(),
+            wasted_base * 100.0,
+            wasted_llbp * 100.0,
+            speedup
+        );
+    }
+    println!(
+        "\n'wasted' = fraction of execution cycles lost to conditional-branch \
+         mispredictions (Fig. 1 metric)."
+    );
+}

@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper into results/.
+# Usage: ./run_experiments.sh [--quick]
+set -u
+cd "$(dirname "$0")"
+ARGS="${1:-}"
+BINS="table01_workloads table02_config table03_latency_energy \
+      fig01_wasted_cycles fig02_mpki_limits fig09_mpki_reduction fig10_speedup \
+      fig15_breakdown fig11_bandwidth fig12_energy fig03_working_set \
+      fig05_context_locality ext_frontend ablation_design ext_virtualized \
+      ext_baselines \
+      fig13_cid_sensitivity fig14_pattern_sets"
+for b in $BINS; do
+    echo "=== $b $(date +%H:%M:%S)"
+    cargo run --release -q -p llbp-bench --bin "$b" -- $ARGS > "results/$b.md" 2>"results/$b.err" \
+        || echo "FAILED: $b"
+done
+echo "CAMPAIGN_DONE $(date +%H:%M:%S)"

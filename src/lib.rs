@@ -1,0 +1,37 @@
+//! Umbrella crate for the LLBP reproduction suite.
+//!
+//! This crate re-exports the individual workspace crates under one roof so
+//! that examples and integration tests can use a single dependency:
+//!
+//! * [`bputil`] — predictor building blocks (histories, counters, tables).
+//! * [`trace`] — trace records, IO, and synthetic server workloads.
+//! * [`tage`] — the TAGE-SC-L baseline (finite, scaled, infinite).
+//! * [`llbp`] — the Last-Level Branch Predictor (the paper's contribution).
+//! * [`sim`] — the trace-driven simulator, timing/energy models and stats.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use llbp_repro::prelude::*;
+//!
+//! // Generate a small synthetic server workload and compare predictors.
+//! let spec = WorkloadSpec::named(Workload::NodeApp).with_branches(20_000);
+//! let trace = spec.generate();
+//! let baseline = SimConfig::default().run(PredictorKind::Tsl64K, &trace);
+//! let llbp = SimConfig::default().run(PredictorKind::Llbp(LlbpParams::default()), &trace);
+//! assert!(llbp.mpki() <= baseline.mpki() * 1.5);
+//! ```
+
+pub use bputil;
+pub use llbp_core as llbp;
+pub use llbp_sim as sim;
+pub use llbp_tage as tage;
+pub use llbp_trace as trace;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use llbp_core::{LlbpParams, LlbpPredictor};
+    pub use llbp_sim::{PredictorKind, SimConfig, SimResult};
+    pub use llbp_tage::{TageScl, TslConfig};
+    pub use llbp_trace::{Workload, WorkloadSpec};
+}
