@@ -4,20 +4,20 @@
 //! Paper values: 64K TSL 0.29–6.4 MPKI (avg 2.91); Inf TAGE reduces
 //! mispredictions by 14–54% (avg 31.9%); Inf TSL by 36.5% on average.
 
-use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_bench::{mean_reduction, workload_specs, Opts};
+use llbp_sim::engine::{SweepEngine, SweepSpec};
 use llbp_sim::report::{f1, f2, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let base = cfg.run(PredictorKind::Tsl64K, trace);
-        let inf_tage = cfg.run(PredictorKind::InfTage, trace);
-        let inf_tsl = cfg.run(PredictorKind::InfTsl, trace);
-        (base, inf_tage, inf_tsl)
-    });
+    let spec = SweepSpec::new(
+        vec![PredictorKind::Tsl64K, PredictorKind::InfTage, PredictorKind::InfTsl],
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let report = SweepEngine::new().run(&spec);
 
     let mut table = Table::new([
         "workload",
@@ -30,7 +30,8 @@ fn main() {
     let mut base_mpkis = Vec::new();
     let mut tage_reds = Vec::new();
     let mut tsl_reds = Vec::new();
-    for (w, (base, inf_tage, inf_tsl)) in &rows {
+    for (i, w) in opts.workloads.iter().enumerate() {
+        let (base, inf_tage, inf_tsl) = (report.get(i, 0), report.get(i, 1), report.get(i, 2));
         let red_tage = inf_tage.mpki_reduction_vs(base);
         let red_tsl = inf_tsl.mpki_reduction_vs(base);
         base_mpkis.push(base.mpki());
@@ -60,4 +61,5 @@ fn main() {
          Inf TAGE captures ~87% of Inf TSL)\n"
     );
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig02"));
 }

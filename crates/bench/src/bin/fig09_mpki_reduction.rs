@@ -5,22 +5,26 @@
 //! reaches ~90% of the no-latency ideal); 512K TSL −12.5…−45.9%
 //! (avg −27.3%).
 
-use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_bench::{mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
+use llbp_sim::engine::{SweepEngine, SweepSpec};
 use llbp_sim::report::{f1, f2, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let base = cfg.run(PredictorKind::Tsl64K, trace);
-        let llbp = cfg.run(PredictorKind::Llbp(LlbpParams::default()), trace);
-        let zerolat = cfg.run(PredictorKind::Llbp(LlbpParams::zero_latency()), trace);
-        let big = cfg.run(PredictorKind::TslScaled(8), trace);
-        (base, llbp, zerolat, big)
-    });
+    let spec = SweepSpec::new(
+        vec![
+            PredictorKind::Tsl64K,
+            PredictorKind::Llbp(LlbpParams::default()),
+            PredictorKind::Llbp(LlbpParams::zero_latency()),
+            PredictorKind::TslScaled(8),
+        ],
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let report = SweepEngine::new().run(&spec);
 
     let mut table = Table::new([
         "workload",
@@ -30,7 +34,9 @@ fn main() {
         "512K TSL red.",
     ]);
     let (mut r_llbp, mut r_0lat, mut r_big) = (Vec::new(), Vec::new(), Vec::new());
-    for (w, (base, llbp, zerolat, big)) in &rows {
+    for (i, w) in opts.workloads.iter().enumerate() {
+        let (base, llbp, zerolat, big) =
+            (report.get(i, 0), report.get(i, 1), report.get(i, 2), report.get(i, 3));
         let a = llbp.mpki_reduction_vs(base);
         let b = zerolat.mpki_reduction_vs(base);
         let c = big.mpki_reduction_vs(base);
@@ -56,4 +62,5 @@ fn main() {
     println!("# Figure 9 — MPKI reduction over 64K TSL");
     println!("(paper: LLBP avg −8.9%; LLBP-0Lat avg −9.9%; 512K TSL avg −27.3%)\n");
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig09"));
 }

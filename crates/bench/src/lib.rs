@@ -93,28 +93,35 @@ fn usage(msg: &str) -> ! {
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
-/// Runs `f` for every workload on its own thread and returns the results
-/// in workload order. The closure receives the workload and its trace.
+/// Runs `f` for every workload on the sweep engine's bounded worker pool
+/// and returns the results in workload order. The closure receives the
+/// workload and its trace.
+///
+/// Fan-out is capped at the available core count (it used to be one
+/// thread per workload, which oversubscribes small machines and keeps
+/// every workload's predictor state resident simultaneously).
 pub fn parallel_over_workloads<T, F>(opts: &Opts, f: F) -> Vec<(Workload, T)>
 where
     T: Send,
     F: Fn(Workload, &Trace) -> T + Sync,
 {
     let workloads = opts.workloads.clone();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|&w| {
-                let f = &f;
-                let opts = opts.clone();
-                scope.spawn(move || {
-                    let trace = opts.trace(w);
-                    (w, f(w, &trace))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
-    })
+    let results =
+        llbp_sim::engine::run_indexed(llbp_sim::engine::default_workers(), workloads.len(), |i| {
+            let trace = opts.trace(workloads[i]);
+            f(workloads[i], &trace)
+        });
+    workloads.into_iter().zip(results).collect()
+}
+
+/// The workload grid of an [`Opts`] as [`WorkloadSpec`]s, for sweeps that
+/// go through the engine (`SweepSpec`) rather than the closure helper.
+#[must_use]
+pub fn workload_specs(opts: &Opts) -> Vec<WorkloadSpec> {
+    opts.workloads
+        .iter()
+        .map(|&w| WorkloadSpec::named(w).with_branches(opts.branches))
+        .collect()
 }
 
 /// Geometric-mean helper over positive percentage reductions expressed as

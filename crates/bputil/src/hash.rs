@@ -5,6 +5,103 @@
 //! mixes. None of them are cryptographic — they only need to decorrelate
 //! nearby PCs.
 
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, deterministic, non-cryptographic [`Hasher`] in the FxHash
+/// family (rotate–xor–multiply per word).
+///
+/// The simulator's hot loop hits hash maps on every branch (TAGE's
+/// infinite-storage tables, per-branch tracking), where std's SipHash —
+/// designed to resist hash-flooding from untrusted input — costs more
+/// than the table work it guards. All simulator keys are derived from
+/// trusted trace data, so a two-instruction multiply mix is sufficient
+/// and measurably faster. Determinism (no per-process random seed) also
+/// keeps map iteration reproducible across runs, which SipHash's
+/// `RandomState` does not.
+///
+/// # Example
+///
+/// ```
+/// use bputil::hash::FastHashMap;
+///
+/// let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+/// m.insert(42, 1);
+/// assert_eq!(m[&42], 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+/// Knuth's 64-bit multiplicative-hash constant (2^64 / φ).
+const FX_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher64 {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche decorrelates the low bits hashbrown uses for
+        // bucket selection from the multiply's weakly-mixed low bits.
+        mix64(self.hash)
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher64`] (deterministic, zero state).
+pub type FastBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` using the fast deterministic hasher — drop-in for hot-path
+/// maps keyed by trusted simulator data.
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using the fast deterministic hasher.
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
 /// Finalization mix from SplitMix64 / MurmurHash3's 64-bit finalizer.
 ///
 /// A strong full-avalanche mix: every input bit affects every output bit.
@@ -49,9 +146,49 @@ pub fn fold_to_bits(mut x: u64, bits: u32) -> u64 {
 /// TAGE's table-index hash (`gindex` in Seznec's CBP code).
 #[must_use]
 pub fn tage_index(pc: u64, folded_index: u32, path: u64, table: u32, index_bits: u32) -> u64 {
-    let pc_part = pc ^ (pc >> (index_bits as u64 + 1)) ^ (pc >> (2 * index_bits as u64 + 2));
-    let mixed = pc_part ^ u64::from(folded_index) ^ path_mix(path, table, index_bits);
-    fold_to_bits(mix64(mixed ^ u64::from(table) << 57), index_bits)
+    IndexCtx::new(pc, path, index_bits).index(folded_index, table)
+}
+
+/// The table-invariant parts of [`tage_index`], hoisted out of the
+/// per-table loop.
+///
+/// A TAGE lookup computes one index per tagged table (up to ~20 for the
+/// CBP-5 geometry) for the *same* `(pc, path)` pair; only the folded
+/// history and the table number vary. The PC scramble and the path-history
+/// masking are table-invariant, so computing them once per prediction and
+/// reusing them across tables removes redundant work from the hottest loop
+/// in the simulator. [`IndexCtx::index`] is bit-identical to
+/// [`tage_index`] by construction (and pinned by a test).
+#[derive(Debug, Clone, Copy)]
+pub struct IndexCtx {
+    pc_part: u64,
+    path_a1: u64,
+    path_a2: u64,
+    index_bits: u32,
+}
+
+impl IndexCtx {
+    /// Precomputes the table-invariant mix parts for one prediction.
+    #[inline]
+    #[must_use]
+    pub fn new(pc: u64, path: u64, index_bits: u32) -> Self {
+        let pc_part = pc ^ (pc >> (index_bits as u64 + 1)) ^ (pc >> (2 * index_bits as u64 + 2));
+        let m = (1u64 << index_bits) - 1;
+        let size = u64::from(index_bits.min(16));
+        let a = path & ((1u64 << size.min(32)) - 1).max(1);
+        Self { pc_part, path_a1: a & m, path_a2: a >> index_bits, index_bits }
+    }
+
+    /// The index for `table` given its folded history value.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, folded_index: u32, table: u32) -> u64 {
+        let m = (1u64 << self.index_bits) - 1;
+        let path =
+            (self.path_a1 ^ self.path_a2.rotate_left(table % self.index_bits.max(1))) & m;
+        let mixed = self.pc_part ^ u64::from(folded_index) ^ path;
+        fold_to_bits(mix64(mixed ^ u64::from(table) << 57), self.index_bits)
+    }
 }
 
 /// Combines a PC with two folded tag histories in the style of TAGE's tag
@@ -60,17 +197,6 @@ pub fn tage_index(pc: u64, folded_index: u32, path: u64, table: u32, index_bits:
 pub fn tage_tag(pc: u64, folded_tag0: u32, folded_tag1: u32, tag_bits: u32) -> u32 {
     let mixed = pc ^ u64::from(folded_tag0) ^ (u64::from(folded_tag1) << 1);
     (fold_to_bits(mix64(mixed), tag_bits)) as u32
-}
-
-/// The auxiliary path-history mix TAGE applies per table.
-fn path_mix(path: u64, table: u32, index_bits: u32) -> u64 {
-    let m = (1u64 << index_bits) - 1;
-    let size = u64::from(index_bits.min(16));
-    let mut a = path & ((1u64 << size.min(32)) - 1).max(1);
-    let a1 = a & m;
-    let a2 = a >> index_bits;
-    a = a1 ^ a2.rotate_left(table % index_bits.max(1));
-    a & m
 }
 
 #[cfg(test)]
@@ -123,5 +249,54 @@ mod tests {
     #[should_panic(expected = "fold width")]
     fn fold_to_zero_bits_panics() {
         let _ = fold_to_bits(1, 0);
+    }
+
+    #[test]
+    fn index_ctx_matches_scalar_tage_index() {
+        // The hoisted per-lookup context must be bit-identical to the
+        // straight-line hash for every (pc, path, table, bits) combination.
+        let mut rng = crate::rng::SplitMix64::new(0x1DC);
+        for _ in 0..2_000 {
+            let pc = rng.next_u64();
+            let path = rng.next_u64();
+            let index_bits = 1 + rng.below(20) as u32;
+            let folded = rng.next_u64() as u32;
+            let table = rng.below(30) as u32;
+            let ctx = IndexCtx::new(pc, path, index_bits);
+            assert_eq!(
+                ctx.index(folded, table),
+                tage_index(pc, folded, path, table, index_bits),
+                "pc={pc:#x} path={path:#x} bits={index_bits} table={table}"
+            );
+        }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        use std::hash::BuildHasher;
+        let build = FastBuildHasher::default();
+        let hash_one = |v: u64| build.hash_one(v);
+        // Deterministic across calls (unlike RandomState).
+        assert_eq!(hash_one(1234), hash_one(1234));
+        // Sequential keys spread across the low bits used for buckets.
+        let mut low = HashSet::new();
+        for k in 0u64..4096 {
+            low.insert(hash_one(k) & 0xFFF);
+        }
+        assert!(low.len() > 2500, "poor low-bit spread: {}", low.len());
+    }
+
+    #[test]
+    fn fx_hasher_handles_byte_tails() {
+        use std::hash::Hasher;
+        let h = |bytes: &[u8]| {
+            let mut h = FxHasher64::default();
+            h.write(bytes);
+            h.finish()
+        };
+        // Different lengths of the same prefix must differ.
+        assert_ne!(h(b"abcdefg"), h(b"abcdefgh"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefghi"));
+        assert_ne!(h(b""), h(b"\0"));
     }
 }

@@ -49,6 +49,7 @@ impl HistoryBuffer {
     }
 
     /// Pushes a new outcome as the most recent bit.
+    #[inline]
     pub fn push(&mut self, taken: bool) {
         let w = self.head / 64;
         let b = self.head % 64;
@@ -57,19 +58,32 @@ impl HistoryBuffer {
         } else {
             self.words[w] &= !(1 << b);
         }
-        self.head = (self.head + 1) % self.capacity;
+        // `head < capacity` always holds, so the wrap is a compare instead
+        // of an integer division (capacity is not a power of two; this is
+        // on the per-branch path via the folded-history updates).
+        self.head += 1;
+        if self.head == self.capacity {
+            self.head = 0;
+        }
         self.len = (self.len + 1).min(self.capacity);
     }
 
     /// Returns the bit `age` positions back (`0` = most recent).
     ///
     /// Bits older than anything pushed read as `false`.
+    #[inline]
     #[must_use]
     pub fn bit(&self, age: usize) -> bool {
         if age >= self.capacity {
             return false;
         }
-        let pos = (self.head + self.capacity - 1 - age) % self.capacity;
+        // `head < capacity` and `age < capacity`, so the sum is below
+        // `2 * capacity` and the modulo reduces to one conditional
+        // subtract — this runs ~3×tables times per simulated branch.
+        let mut pos = self.head + self.capacity - 1 - age;
+        if pos >= self.capacity {
+            pos -= self.capacity;
+        }
         (self.words[pos / 64] >> (pos % 64)) & 1 == 1
     }
 
@@ -206,6 +220,7 @@ impl FoldedHistory {
     }
 
     /// The current folded value.
+    #[inline]
     #[must_use]
     pub fn value(&self) -> u32 {
         self.comp
@@ -226,6 +241,7 @@ impl FoldedHistory {
     /// Updates the fold for a new outcome `taken`. Must be called **before**
     /// the outcome is pushed into `ghr` (it needs to observe the bit that
     /// falls out of the history window).
+    #[inline]
     pub fn update_before_push(&mut self, ghr: &HistoryBuffer, taken: bool) {
         // Shift in the new bit at position 0.
         self.comp = (self.comp << 1) | u32::from(taken);

@@ -20,10 +20,10 @@
 //! let mut p = LlbpPredictor::new(LlbpParams::default());
 //! let trace = WorkloadSpec::named(Workload::NodeApp).with_branches(5_000).generate();
 //! for r in &trace {
-//!     if r.kind == BranchKind::Conditional {
-//!         let pred = p.predict(r.pc);
+//!     if r.kind() == BranchKind::Conditional {
+//!         let pred = p.predict(r.pc());
 //!         let _ = pred;
-//!         p.train(r.pc, r.taken);
+//!         p.train(r.pc(), r.taken());
 //!     }
 //!     p.update_history(r);
 //! }

@@ -224,7 +224,7 @@ impl LlbpPredictor {
     }
 
     fn storage_key(&self, cid: u64) -> (u64, u64) {
-        (cid & ((1 << self.params.cd_index_bits) - 1).max(0), cid >> self.params.cd_index_bits)
+        (cid & ((1 << self.params.cd_index_bits) - 1), cid >> self.params.cd_index_bits)
     }
 
     fn pb_key(&self, cid: u64) -> (u64, u64) {
@@ -528,10 +528,10 @@ impl Predictor for LlbpPredictor {
 
         // LLBP's folded pattern histories advance with the same bit the
         // backing TAGE pushes, and must fold *before* the GHR push.
-        let bit = if record.kind == BranchKind::Conditional {
-            record.taken
+        let bit = if record.kind() == BranchKind::Conditional {
+            record.taken()
         } else {
-            ((record.pc >> 2) ^ (record.target >> 3)) & 1 == 1
+            ((record.pc() >> 2) ^ (record.target() >> 3)) & 1 == 1
         };
         for f in self.folded_tag0.iter_mut().chain(self.folded_tag1.iter_mut()) {
             f.update_before_push(self.tsl.ghr(), bit);
@@ -542,7 +542,7 @@ impl Predictor for LlbpPredictor {
         // re-enabling a power-gated LLBP is seamless); directory lookups
         // and prefetches only happen while enabled.
         if self.rcr.observes(record) {
-            self.rcr.push(record.pc);
+            self.rcr.push(record.pc());
             if !self.llbp_enabled {
                 return;
             }
@@ -587,12 +587,12 @@ mod tests {
         let mut mispredicts = 0u64;
         let mut conds = 0u64;
         for (i, r) in trace.iter().enumerate() {
-            if r.kind == BranchKind::Conditional {
-                let pred = p.predict(r.pc);
-                p.train(r.pc, r.taken);
+            if r.kind() == BranchKind::Conditional {
+                let pred = p.predict(r.pc());
+                p.train(r.pc(), r.taken());
                 if i >= skip {
                     conds += 1;
-                    mispredicts += u64::from(pred != r.taken);
+                    mispredicts += u64::from(pred != r.taken());
                 }
             }
             p.update_history(r);
@@ -706,9 +706,9 @@ mod tests {
             if i == half {
                 p.set_llbp_enabled(true);
             }
-            if r.kind == BranchKind::Conditional {
-                let _ = p.predict(r.pc);
-                p.train(r.pc, r.taken);
+            if r.kind() == BranchKind::Conditional {
+                let _ = p.predict(r.pc());
+                p.train(r.pc(), r.taken());
             }
             p.update_history(r);
         }

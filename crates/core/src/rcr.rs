@@ -60,9 +60,9 @@ impl RollingContextRegister {
     #[must_use]
     pub fn observes(&self, record: &BranchRecord) -> bool {
         match self.kind {
-            ContextHistoryKind::Unconditional => record.kind.is_unconditional(),
-            ContextHistoryKind::CallReturn => record.kind.is_call_or_return(),
-            ContextHistoryKind::All => record.kind.is_unconditional() || record.taken,
+            ContextHistoryKind::Unconditional => record.kind().is_unconditional(),
+            ContextHistoryKind::CallReturn => record.kind().is_call_or_return(),
+            ContextHistoryKind::All => record.kind().is_unconditional() || record.taken(),
         }
     }
 

@@ -1,9 +1,9 @@
 //! The trace-driven simulation loop.
 
 use crate::config::SimConfig;
+use bputil::hash::FastHashMap;
 use llbp_tage::{Predictor, ProviderKind};
 use llbp_trace::{BranchKind, Trace};
-use std::collections::HashMap;
 
 /// Measured outcome of one simulation run (post-warmup statistics).
 #[derive(Debug, Clone, PartialEq)]
@@ -19,11 +19,11 @@ pub struct SimResult {
     /// Mispredicted conditional branches.
     pub mispredictions: u64,
     /// Final-direction provider attribution.
-    pub provider_counts: HashMap<&'static str, u64>,
+    pub provider_counts: FastHashMap<&'static str, u64>,
     /// Per-static-branch misprediction counts, when enabled.
-    pub per_branch_mispredicts: Option<HashMap<u64, u64>>,
+    pub per_branch_mispredicts: Option<FastHashMap<u64, u64>>,
     /// Per-static-branch execution counts, when enabled.
-    pub per_branch_executions: Option<HashMap<u64, u64>>,
+    pub per_branch_executions: Option<FastHashMap<u64, u64>>,
 }
 
 impl SimResult {
@@ -82,47 +82,58 @@ impl Simulator {
             instructions: 0,
             conditional_branches: 0,
             mispredictions: 0,
-            provider_counts: HashMap::new(),
-            per_branch_mispredicts: self.config.track_per_branch.then(HashMap::new),
-            per_branch_executions: self.config.track_per_branch.then(HashMap::new),
+            provider_counts: FastHashMap::default(),
+            per_branch_mispredicts: self.config.track_per_branch.then(FastHashMap::default),
+            per_branch_executions: self.config.track_per_branch.then(FastHashMap::default),
         };
+        // Providers are a tiny closed set; counting into a fixed array and
+        // materialising the map once afterwards keeps string hashing out of
+        // the per-branch loop.
+        let mut provider_counts = [0u64; PROVIDER_LABELS.len()];
         for (i, record) in trace.iter().enumerate() {
             let measuring = i >= warmup;
             if measuring {
                 result.instructions += record.instructions();
             }
-            if record.kind == BranchKind::Conditional {
-                let pred = predictor.predict(record.pc);
-                let wrong = pred != record.taken;
+            if record.kind() == BranchKind::Conditional {
+                let pred = predictor.predict(record.pc());
+                let wrong = pred != record.taken();
                 if measuring {
                     result.conditional_branches += 1;
                     result.mispredictions += u64::from(wrong);
-                    let provider = provider_label(predictor.last_provider());
-                    *result.provider_counts.entry(provider).or_default() += 1;
+                    provider_counts[provider_ordinal(predictor.last_provider())] += 1;
                     if let Some(map) = &mut result.per_branch_executions {
-                        *map.entry(record.pc).or_default() += 1;
+                        *map.entry(record.pc()).or_default() += 1;
                     }
                     if wrong {
                         if let Some(map) = &mut result.per_branch_mispredicts {
-                            *map.entry(record.pc).or_default() += 1;
+                            *map.entry(record.pc()).or_default() += 1;
                         }
                     }
                 }
-                predictor.train(record.pc, record.taken);
+                predictor.train(record.pc(), record.taken());
             }
             predictor.update_history(record);
+        }
+        for (ordinal, &count) in provider_counts.iter().enumerate() {
+            if count > 0 {
+                result.provider_counts.insert(PROVIDER_LABELS[ordinal], count);
+            }
         }
         result
     }
 }
 
-fn provider_label(kind: ProviderKind) -> &'static str {
+/// Report labels in [`provider_ordinal`] order.
+const PROVIDER_LABELS: [&str; 5] = ["bim", "tage", "sc", "loop", "llbp"];
+
+fn provider_ordinal(kind: ProviderKind) -> usize {
     match kind {
-        ProviderKind::Bimodal => "bim",
-        ProviderKind::Tage { .. } => "tage",
-        ProviderKind::StatisticalCorrector => "sc",
-        ProviderKind::Loop => "loop",
-        ProviderKind::Llbp => "llbp",
+        ProviderKind::Bimodal => 0,
+        ProviderKind::Tage { .. } => 1,
+        ProviderKind::StatisticalCorrector => 2,
+        ProviderKind::Loop => 3,
+        ProviderKind::Llbp => 4,
     }
 }
 
@@ -178,7 +189,7 @@ mod tests {
             instructions: 1000,
             conditional_branches: 100,
             mispredictions: mis,
-            provider_counts: HashMap::new(),
+            provider_counts: FastHashMap::default(),
             per_branch_mispredicts: None,
             per_branch_executions: None,
         };

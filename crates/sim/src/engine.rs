@@ -1,0 +1,397 @@
+//! The parallel sweep engine: enumerate a predictor × workload grid,
+//! schedule the jobs onto a bounded worker pool, and return results in
+//! deterministic grid order with per-job throughput stats.
+//!
+//! Every experiment binary runs the same shape of computation — "simulate
+//! these predictors over these workloads" — and previously each one
+//! hand-rolled it with one thread per workload. Unbounded fan-out
+//! oversubscribes small machines badly: fourteen concurrent simulations
+//! keep fourteen predictors' tables (tens to hundreds of MiB each) live at
+//! once, and the resulting page-fault and cache pressure makes the sweep
+//! *slower* than running serially. The engine instead claims jobs from a
+//! shared counter with `min(available cores, jobs)` workers, so memory in
+//! flight is bounded by the worker count and a single-core host degrades
+//! gracefully to a serial run.
+//!
+//! Results are bit-identical to calling [`SimConfig::run`] serially for
+//! every grid cell, at any worker count: each simulation is a pure
+//! function of `(predictor kind, trace)`, traces are generated once per
+//! distinct spec (see [`TraceCache`]) and shared immutably, and results
+//! are reassembled by job index rather than completion order.
+//!
+//! # Example
+//!
+//! ```
+//! use llbp_sim::engine::{SweepEngine, SweepSpec};
+//! use llbp_sim::{PredictorKind, SimConfig};
+//! use llbp_trace::{Workload, WorkloadSpec};
+//!
+//! let spec = SweepSpec::new(
+//!     vec![PredictorKind::Tsl64K, PredictorKind::TslScaled(8)],
+//!     vec![WorkloadSpec::named(Workload::Http).with_branches(5_000)],
+//!     SimConfig::default(),
+//! );
+//! let report = SweepEngine::new().run(&spec);
+//! assert_eq!(report.jobs.len(), 2);
+//! let base = report.get(0, 0); // (workload 0, predictor 0)
+//! assert_eq!(base.label, "64K TSL");
+//! ```
+
+use crate::cache::TraceCache;
+use crate::config::{PredictorKind, SimConfig};
+use crate::driver::SimResult;
+use llbp_trace::WorkloadSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of workers the engine uses by default: one per available core.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0..n)` on a pool of `workers` threads and returns the results
+/// in index order regardless of which worker ran which index.
+///
+/// This is the engine's scheduling primitive, exposed because harness code
+/// with job shapes other than a predictor grid (e.g. per-workload trace
+/// characterisation) wants the same bounded fan-out. Workers claim indices
+/// from a shared atomic counter, so a slow job never blocks the queue
+/// behind it; with `workers <= 1` the closure runs inline on the caller's
+/// thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn run_indexed<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                collected.lock().expect("worker result lock poisoned").extend(local);
+            });
+        }
+    });
+    let mut indexed = collected.into_inner().expect("worker result lock poisoned");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+/// A sweep: every predictor in `predictors` over every workload in
+/// `workloads`, simulated under one [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Predictor designs, in report order.
+    pub predictors: Vec<PredictorKind>,
+    /// Workload specs, in report order.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Simulation parameters shared by every job.
+    pub sim: SimConfig,
+}
+
+impl SweepSpec {
+    /// Creates a sweep spec.
+    #[must_use]
+    pub fn new(
+        predictors: Vec<PredictorKind>,
+        workloads: Vec<WorkloadSpec>,
+        sim: SimConfig,
+    ) -> Self {
+        Self { predictors, workloads, sim }
+    }
+
+    /// Total number of grid cells.
+    #[must_use]
+    pub fn num_jobs(&self) -> usize {
+        self.predictors.len() * self.workloads.len()
+    }
+
+    /// The grid in job order: workload-major, so that the jobs sharing a
+    /// trace are adjacent in the queue and the cache holds few traces at
+    /// a time.
+    fn job(&self, index: usize) -> SweepJob {
+        SweepJob { workload: index / self.predictors.len(), predictor: index % self.predictors.len() }
+    }
+}
+
+/// One grid cell: indices into [`SweepSpec::workloads`] and
+/// [`SweepSpec::predictors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Index into [`SweepSpec::workloads`].
+    pub workload: usize,
+    /// Index into [`SweepSpec::predictors`].
+    pub predictor: usize,
+}
+
+/// Throughput statistics for one job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobStats {
+    /// Wall time of the simulation (excluding trace generation, which is
+    /// attributed to the job that missed the cache).
+    pub wall: Duration,
+    /// Branch records simulated.
+    pub branches: u64,
+}
+
+impl JobStats {
+    /// Simulated branch records per second of wall time.
+    #[must_use]
+    pub fn branches_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.branches as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One completed grid cell.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Which grid cell this is.
+    pub job: SweepJob,
+    /// The simulation result.
+    pub result: SimResult,
+    /// Throughput statistics.
+    pub stats: JobStats,
+}
+
+/// Everything a sweep produced, in deterministic grid order
+/// (workload-major: all predictors of workload 0, then workload 1, …).
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Completed jobs, indexed `workload * num_predictors + predictor`.
+    pub jobs: Vec<JobRecord>,
+    /// Number of predictors per workload (the grid's minor dimension).
+    pub num_predictors: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall time of the whole sweep, including trace generation.
+    pub wall: Duration,
+    /// Trace-cache requests served without generating.
+    pub cache_hits: u64,
+    /// Traces generated.
+    pub cache_misses: u64,
+    /// Peak heap bytes held by cached traces.
+    pub trace_bytes: usize,
+}
+
+impl SweepReport {
+    /// The result for `(workload index, predictor index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn get(&self, workload: usize, predictor: usize) -> &SimResult {
+        assert!(predictor < self.num_predictors, "predictor index out of range");
+        &self.jobs[workload * self.num_predictors + predictor].result
+    }
+
+    /// All results for one workload, in predictor order.
+    #[must_use]
+    pub fn row(&self, workload: usize) -> Vec<&SimResult> {
+        (0..self.num_predictors).map(|p| self.get(workload, p)).collect()
+    }
+
+    /// Total branch records simulated across all jobs.
+    #[must_use]
+    pub fn total_branches(&self) -> u64 {
+        self.jobs.iter().map(|j| j.stats.branches).sum()
+    }
+
+    /// Aggregate simulated branches per second of sweep wall time.
+    #[must_use]
+    pub fn branches_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_branches() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A single-line JSON record of the sweep's throughput, for harness
+    /// scripts that archive perf numbers (`results/`).
+    #[must_use]
+    pub fn throughput_json(&self, label: &str) -> String {
+        format!(
+            concat!(
+                "{{\"event\":\"sweep_throughput\",\"label\":\"{}\",",
+                "\"jobs\":{},\"workers\":{},\"branches\":{},",
+                "\"wall_s\":{:.3},\"branches_per_sec\":{:.0},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"trace_mib\":{:.1}}}"
+            ),
+            label.replace(['"', '\\'], "_"),
+            self.jobs.len(),
+            self.workers,
+            self.total_branches(),
+            self.wall.as_secs_f64(),
+            self.branches_per_sec(),
+            self.cache_hits,
+            self.cache_misses,
+            self.trace_bytes as f64 / (1024.0 * 1024.0),
+        )
+    }
+}
+
+/// Schedules [`SweepSpec`] grids onto a worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepEngine {
+    workers: usize,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// An engine with one worker per available core.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { workers: default_workers() }
+    }
+
+    /// An engine with an explicit worker count (`0` is clamped to 1).
+    /// Results are identical at any worker count; only throughput varies.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// The worker count this engine schedules with.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the full grid and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from a simulation job.
+    #[must_use]
+    pub fn run(&self, spec: &SweepSpec) -> SweepReport {
+        let started = Instant::now();
+        let cache = TraceCache::new();
+        let n = spec.num_jobs();
+        let jobs = run_indexed(self.workers, n, |i| {
+            let job = spec.job(i);
+            let trace = cache.get_or_generate(&spec.workloads[job.workload]);
+            let sim_started = Instant::now();
+            let result = spec.sim.run(spec.predictors[job.predictor].clone(), &trace);
+            let stats =
+                JobStats { wall: sim_started.elapsed(), branches: trace.len() as u64 };
+            JobRecord { job, result, stats }
+        });
+        SweepReport {
+            jobs,
+            num_predictors: spec.predictors.len(),
+            workers: self.workers.clamp(1, n.max(1)),
+            wall: started.elapsed(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            trace_bytes: cache.memory_footprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llbp_trace::Workload;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new(
+            vec![PredictorKind::Tsl64K, PredictorKind::TslScaled(2)],
+            vec![
+                WorkloadSpec::named(Workload::Http).with_branches(2_000),
+                WorkloadSpec::named(Workload::Kafka).with_branches(2_000),
+                WorkloadSpec::named(Workload::Tpcc).with_branches(2_000),
+            ],
+            SimConfig::default(),
+        )
+    }
+
+    #[test]
+    fn run_indexed_preserves_index_order() {
+        for workers in [1, 2, 5, 64] {
+            let out = run_indexed(workers, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_input() {
+        let out: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid_order_is_workload_major() {
+        let spec = small_spec();
+        let report = SweepEngine::with_workers(1).run(&spec);
+        assert_eq!(report.jobs.len(), 6);
+        for (i, rec) in report.jobs.iter().enumerate() {
+            assert_eq!(rec.job.workload, i / 2);
+            assert_eq!(rec.job.predictor, i % 2);
+            assert_eq!(rec.result.workload, spec.workloads[rec.job.workload].name());
+            assert_eq!(rec.result.label, spec.predictors[rec.job.predictor].label());
+        }
+    }
+
+    #[test]
+    fn traces_are_generated_once_per_workload() {
+        let spec = small_spec();
+        let report = SweepEngine::with_workers(2).run(&spec);
+        assert_eq!(report.cache_misses, 3);
+        assert_eq!(report.cache_hits, 3);
+        assert!(report.trace_bytes > 0);
+    }
+
+    #[test]
+    fn job_stats_are_populated() {
+        let spec = small_spec();
+        let report = SweepEngine::with_workers(1).run(&spec);
+        for rec in &report.jobs {
+            assert_eq!(rec.stats.branches, 2_000);
+            assert!(rec.stats.branches_per_sec() > 0.0);
+        }
+        assert_eq!(report.total_branches(), 12_000);
+        assert!(report.branches_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn throughput_json_is_wellformed() {
+        let spec = small_spec();
+        let report = SweepEngine::with_workers(1).run(&spec);
+        let line = report.throughput_json("unit \"test\"");
+        assert!(line.starts_with("{\"event\":\"sweep_throughput\""));
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"jobs\":6"));
+        // Quotes in the label must not break the JSON.
+        assert!(!line.contains("unit \"test\""));
+    }
+}

@@ -82,10 +82,10 @@ impl L1iCache {
     /// the straight-line run since the previous branch, ending at the
     /// branch PC (4-byte instructions assumed).
     pub fn fetch(&mut self, record: &BranchRecord) {
-        let bytes = u64::from(record.non_branch_insts + 1) * 4;
-        let start = record.pc.saturating_sub(bytes - 4);
+        let bytes = u64::from(record.non_branch_insts() + 1) * 4;
+        let start = record.pc().saturating_sub(bytes - 4);
         let first_line = start / self.line_bytes;
-        let last_line = record.pc / self.line_bytes;
+        let last_line = record.pc() / self.line_bytes;
         for line in first_line..=last_line {
             self.touch_line(line, true);
         }

@@ -15,16 +15,20 @@
 //! assert!(big.mpki() <= base.mpki() * 1.2);
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod driver;
 pub mod energy;
+pub mod engine;
 pub mod l1i;
 pub mod patterns;
 pub mod report;
 pub mod timing;
 
+pub use cache::TraceCache;
 pub use config::{PredictorKind, SimConfig};
 pub use driver::{SimResult, Simulator};
 pub use energy::EnergyModel;
+pub use engine::{SweepEngine, SweepReport, SweepSpec};
 pub use l1i::L1iCache;
 pub use timing::TimingModel;

@@ -38,9 +38,9 @@ pub fn useful_patterns_per_branch(trace: &Trace) -> UsefulPatternTracker {
     cfg.track_useful = true;
     let mut tage = Tage::new(cfg);
     for r in trace {
-        if r.kind == BranchKind::Conditional {
-            let l = tage.lookup(r.pc);
-            tage.commit(&l, r.taken, UpdateMode::Full);
+        if r.kind() == BranchKind::Conditional {
+            let l = tage.lookup(r.pc());
+            tage.commit(&l, r.taken(), UpdateMode::Full);
         }
         tage.update_history(r);
     }
@@ -56,24 +56,24 @@ pub fn useful_patterns_per_branch(trace: &Trace) -> UsefulPatternTracker {
 /// most-mispredicted); pass an empty slice to track everything.
 #[must_use]
 pub fn useful_patterns_per_context(trace: &Trace, window: usize, focus: &[u64]) -> Histogram {
-    let focus: std::collections::HashSet<u64> = focus.iter().copied().collect();
+    let focus: bputil::hash::FastHashSet<u64> = focus.iter().copied().collect();
     let mut cfg = TageConfig::infinite();
     cfg.track_useful = false;
     let mut tage = Tage::new(cfg);
     let mut tracker = UsefulPatternTracker::new();
     let mut recent_ubs: Vec<u64> = vec![0; window.max(1)];
     for r in trace {
-        if r.kind == BranchKind::Conditional {
-            let l = tage.lookup(r.pc);
-            if !focus.is_empty() && !focus.contains(&r.pc) {
-                tage.commit(&l, r.taken, UpdateMode::Full);
+        if r.kind() == BranchKind::Conditional {
+            let l = tage.lookup(r.pc());
+            if !focus.is_empty() && !focus.contains(&r.pc()) {
+                tage.commit(&l, r.taken(), UpdateMode::Full);
                 tage.update_history(r);
                 continue;
             }
             // Useful provider: correct while the alternative was wrong.
             if let Some(p) = l.provider {
-                let provider_correct = l.provider_pred == r.taken;
-                let alt_wrong = l.alt_pred != r.taken;
+                let provider_correct = l.provider_pred == r.taken();
+                let alt_wrong = l.alt_pred != r.taken();
                 if provider_correct && alt_wrong {
                     let ctx = if window == 0 {
                         0
@@ -84,14 +84,14 @@ pub fn useful_patterns_per_context(trace: &Trace, window: usize, focus: &[u64]) 
                             .enumerate()
                             .fold(0u64, |acc, (i, &pc)| acc ^ (pc >> 1) << (2 * i as u64 % 48))
                     };
-                    let key = mix64(r.pc ^ mix64(ctx).rotate_left(23));
+                    let key = mix64(r.pc() ^ mix64(ctx).rotate_left(23));
                     tracker.record(key, p as u8, l.indices[p], l.tags[p]);
                 }
             }
-            tage.commit(&l, r.taken, UpdateMode::Full);
+            tage.commit(&l, r.taken(), UpdateMode::Full);
         } else {
             recent_ubs.rotate_right(1);
-            recent_ubs[0] = r.pc;
+            recent_ubs[0] = r.pc();
         }
         tage.update_history(r);
     }

@@ -33,14 +33,14 @@ fn main() {
         let mut per: HashMap<&'static str, (u64, u64)> = HashMap::new();
         let warmup = trace.len() / 3;
         for (i, r) in trace.iter().enumerate() {
-            if r.kind == BranchKind::Conditional {
-                let pred = p.predict(r.pc);
-                p.train(r.pc, r.taken);
+            if r.kind() == BranchKind::Conditional {
+                let pred = p.predict(r.pc());
+                p.train(r.pc(), r.taken());
                 if i > warmup {
-                    let c = class_of(classes.get(&r.pc).unwrap_or(&None));
+                    let c = class_of(classes.get(&r.pc()).unwrap_or(&None));
                     let e = per.entry(c).or_default();
                     e.0 += 1;
-                    e.1 += u64::from(pred != r.taken);
+                    e.1 += u64::from(pred != r.taken());
                 }
             }
             p.update_history(r);

@@ -66,8 +66,8 @@ impl Predictor for Gshare {
     }
 
     fn update_history(&mut self, record: &BranchRecord) {
-        if record.kind == BranchKind::Conditional {
-            self.history = (self.history << 1) | u64::from(record.taken);
+        if record.kind() == BranchKind::Conditional {
+            self.history = (self.history << 1) | u64::from(record.taken());
         }
     }
 
@@ -230,8 +230,8 @@ impl Predictor for HashedPerceptron {
     }
 
     fn update_history(&mut self, record: &BranchRecord) {
-        if record.kind == BranchKind::Conditional {
-            self.history = (self.history << 1) | u64::from(record.taken);
+        if record.kind() == BranchKind::Conditional {
+            self.history = (self.history << 1) | u64::from(record.taken());
         }
     }
 

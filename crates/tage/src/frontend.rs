@@ -81,40 +81,40 @@ impl FrontEnd {
     /// front-end would have redirected late on it.
     pub fn observe(&mut self, record: &BranchRecord) -> Option<ResetReason> {
         self.stats.branches += 1;
-        let reset = match record.kind {
+        let reset = match record.kind() {
             BranchKind::Conditional => {
-                if record.taken {
-                    let hit = self.btb.lookup(record.pc).is_some();
-                    self.btb.update(record.pc, record.target);
+                if record.taken() {
+                    let hit = self.btb.lookup(record.pc()).is_some();
+                    self.btb.update(record.pc(), record.target());
                     (!hit).then_some(ResetReason::BtbMiss)
                 } else {
                     None
                 }
             }
             BranchKind::DirectJump | BranchKind::DirectCall => {
-                let hit = self.btb.lookup(record.pc).is_some();
-                self.btb.update(record.pc, record.target);
-                if record.kind == BranchKind::DirectCall {
-                    self.ras.push(record.pc + 4);
+                let hit = self.btb.lookup(record.pc()).is_some();
+                self.btb.update(record.pc(), record.target());
+                if record.kind() == BranchKind::DirectCall {
+                    self.ras.push(record.pc() + 4);
                 }
                 (!hit).then_some(ResetReason::BtbMiss)
             }
             BranchKind::IndirectJump | BranchKind::IndirectCall => {
-                let lookup = self.ittage.lookup(record.pc);
-                let correct = self.ittage.update(&lookup, record.target);
-                if record.kind == BranchKind::IndirectCall {
-                    self.ras.push(record.pc + 4);
+                let lookup = self.ittage.lookup(record.pc());
+                let correct = self.ittage.update(&lookup, record.target());
+                if record.kind() == BranchKind::IndirectCall {
+                    self.ras.push(record.pc() + 4);
                 }
                 (!correct).then_some(ResetReason::IndirectTarget)
             }
             BranchKind::Return => {
-                let correct = self.ras.pop_and_check(record.target);
+                let correct = self.ras.pop_and_check(record.target());
                 (!correct).then_some(ResetReason::RasMismatch)
             }
         };
         // Control-flow redirections feed ITTAGE's path history.
-        if record.taken {
-            self.ittage.update_history(record.pc);
+        if record.taken() {
+            self.ittage.update_history(record.pc());
         }
         match reset {
             Some(ResetReason::BtbMiss) => self.stats.btb_resets += 1,

@@ -27,10 +27,10 @@
 //! let trace = WorkloadSpec::named(Workload::Http).with_branches(2_000).generate();
 //! let mut mispredicts = 0u64;
 //! for r in &trace {
-//!     if r.kind == llbp_trace::BranchKind::Conditional {
-//!         let pred = tsl.predict(r.pc);
-//!         mispredicts += u64::from(pred != r.taken);
-//!         tsl.train(r.pc, r.taken);
+//!     if r.kind() == llbp_trace::BranchKind::Conditional {
+//!         let pred = tsl.predict(r.pc());
+//!         mispredicts += u64::from(pred != r.taken());
+//!         tsl.train(r.pc(), r.taken());
 //!     }
 //!     tsl.update_history(r);
 //! }

@@ -14,11 +14,10 @@
 use crate::config::{StorageKind, TageConfig};
 use crate::useful::UsefulPatternTracker;
 use bputil::counter::{SatCounter, UnsignedCounter};
-use bputil::hash::{tage_index, tage_tag};
+use bputil::hash::{tage_tag, FastHashMap, IndexCtx};
 use bputil::history::{FoldedHistory, HistoryBuffer, PathHistory};
 use bputil::rng::SplitMix64;
 use llbp_trace::{BranchKind, BranchRecord};
-use std::collections::HashMap;
 
 /// Upper bound on tagged tables, sized generously above CBP-5's 30.
 pub const MAX_TABLES: usize = 32;
@@ -43,9 +42,29 @@ impl Entry {
     }
 }
 
-/// Key of an infinite-storage entry: `(table, index, tag, pc)` — the full
-/// PC tag removes aliasing while the index/tag hashes stay unchanged.
-type InfKey = (u8, u64, u32, u64);
+/// One infinite-storage pattern: the owning table and the exact
+/// `(index, tag)` pair it was allocated under. The full-PC key (the map
+/// key) removes aliasing while the index/tag hashes stay unchanged.
+/// Slots for one PC form a singly-linked chain through the arena
+/// (`next`, [`NO_SLOT`]-terminated).
+#[derive(Debug, Clone)]
+struct InfSlot {
+    table: u8,
+    tag: u32,
+    next: u32,
+    index: u64,
+    entry: Entry,
+}
+
+/// Chain terminator for [`InfSlot::next`].
+const NO_SLOT: u32 = u32::MAX;
+
+impl InfSlot {
+    #[inline]
+    fn matches(&self, table: usize, index: u64, tag: u32) -> bool {
+        self.table as usize == table && self.index == index && self.tag == tag
+    }
+}
 
 /// Everything computed during a TAGE lookup, consumed again at update.
 ///
@@ -102,7 +121,16 @@ pub struct Tage {
     bim_dir: Vec<bool>,
     bim_hyst: Vec<bool>,
     tables: Vec<Vec<Entry>>,
-    infinite: HashMap<InfKey, Entry>,
+    /// Infinite-storage backing, grouped by branch PC: `infinite_head`
+    /// maps a PC to the head of its slot chain inside `infinite_arena`.
+    /// A prediction costs one hash probe plus a chain walk instead of one
+    /// scattered map probe per table — with a flat `(table, index, tag,
+    /// pc)`-keyed map the ~`num_tables` random probes per branch dominate
+    /// the infinite-variant runs. A single growing arena (rather than a
+    /// `Vec` per PC) keeps the allocator out of the hot path and makes
+    /// teardown two frees instead of thousands.
+    infinite_head: FastHashMap<u64, u32>,
+    infinite_arena: Vec<InfSlot>,
     // --- policy state ---
     rng: SplitMix64,
     use_alt_on_na: SatCounter,
@@ -167,7 +195,8 @@ impl Tage {
             bim_dir: vec![false; 1 << cfg.bimodal_bits],
             bim_hyst: vec![true; 1 << (cfg.bimodal_bits - 2)],
             tables,
-            infinite: HashMap::new(),
+            infinite_head: FastHashMap::default(),
+            infinite_arena: Vec::new(),
             use_alt_on_na,
             tick: 0,
             tracker,
@@ -204,7 +233,7 @@ impl Tage {
     /// Number of live entries in infinite storage (0 for finite storage).
     #[must_use]
     pub fn infinite_entries(&self) -> usize {
-        self.infinite.len()
+        self.infinite_arena.len()
     }
 
     fn bim_index(&self, pc: u64) -> usize {
@@ -214,13 +243,29 @@ impl Tage {
         (bputil::hash::mix64(pc >> 2) as usize) & (self.bim_dir.len() - 1)
     }
 
+    /// Walks `pc`'s slot chain for the slot matching `(table, index, tag)`,
+    /// returning its arena position.
+    fn find_slot(&self, table: usize, index: u64, tag: u32, pc: u64) -> Option<u32> {
+        let mut cur = self.infinite_head.get(&pc).copied().unwrap_or(NO_SLOT);
+        while cur != NO_SLOT {
+            let s = &self.infinite_arena[cur as usize];
+            if s.matches(table, index, tag) {
+                return Some(cur);
+            }
+            cur = s.next;
+        }
+        None
+    }
+
     fn entry(&self, table: usize, index: u64, tag: u32, pc: u64) -> Option<&Entry> {
         match self.cfg.storage {
             StorageKind::Finite => {
                 let e = &self.tables[table][index as usize];
                 (e.valid && e.tag == tag).then_some(e)
             }
-            StorageKind::Infinite => self.infinite.get(&(table as u8, index, tag, pc)),
+            StorageKind::Infinite => self
+                .find_slot(table, index, tag, pc)
+                .map(|i| &self.infinite_arena[i as usize].entry),
         }
     }
 
@@ -230,7 +275,9 @@ impl Tage {
                 let e = &mut self.tables[table][index as usize];
                 (e.valid && e.tag == tag).then_some(e)
             }
-            StorageKind::Infinite => self.infinite.get_mut(&(table as u8, index, tag, pc)),
+            StorageKind::Infinite => self
+                .find_slot(table, index, tag, pc)
+                .map(|i| &mut self.infinite_arena[i as usize].entry),
         }
     }
 
@@ -240,14 +287,11 @@ impl Tage {
         let n = self.cfg.num_tables();
         let mut indices = [0u64; MAX_TABLES];
         let mut tags = [0u32; MAX_TABLES];
+        // The PC scramble and path masking are identical for every table;
+        // hoist them so the per-table loop only mixes the folded history.
+        let idx_ctx = IndexCtx::new(pc, self.path.value(), self.cfg.index_bits);
         for t in 0..n {
-            indices[t] = tage_index(
-                pc,
-                self.folded_index[t].value(),
-                self.path.value(),
-                t as u32,
-                self.cfg.index_bits,
-            );
+            indices[t] = idx_ctx.index(self.folded_index[t].value(), t as u32);
             tags[t] = tage_tag(
                 pc ^ (t as u64).rotate_left(11),
                 self.folded_tag0[t].value(),
@@ -258,25 +302,68 @@ impl Tage {
 
         let bim_pred = self.bim_dir[self.bim_index(pc)];
 
+        // One storage probe per table: the provider's and alternate's
+        // counter state is captured during the scan instead of re-probing
+        // the winning entries afterwards.
         let mut provider = None;
+        let mut provider_state = None;
         let mut alt_table = None;
-        for t in (0..n).rev() {
-            if self.entry(t, indices[t], tags[t], pc).is_some() {
-                if provider.is_none() {
-                    provider = Some(t);
-                } else {
-                    alt_table = Some(t);
-                    break;
+        let mut alt_state = None;
+        match self.cfg.storage {
+            StorageKind::Finite => {
+                for t in (0..n).rev() {
+                    if let Some(e) = self.entry(t, indices[t], tags[t], pc) {
+                        if provider.is_none() {
+                            provider = Some(t);
+                            provider_state = Some((e.ctr.taken(), e.ctr.is_weak()));
+                        } else {
+                            alt_table = Some(t);
+                            alt_state = Some(e.ctr.taken());
+                            break;
+                        }
+                    }
+                }
+            }
+            StorageKind::Infinite => {
+                // Infinite storage chains all of this PC's patterns
+                // together: a single hash probe plus one chain walk finds
+                // the two longest-history matches, instead of one
+                // scattered probe per table. At most one slot per table can
+                // match the current (index, tag), so tracking the top two
+                // table numbers reproduces the reverse scan exactly.
+                let mut cur = self.infinite_head.get(&pc).copied().unwrap_or(NO_SLOT);
+                while cur != NO_SLOT {
+                    let s = &self.infinite_arena[cur as usize];
+                    let t = s.table as usize;
+                    if t < n && s.matches(t, indices[t], tags[t]) {
+                        match provider {
+                            None => {
+                                provider = Some(t);
+                                provider_state =
+                                    Some((s.entry.ctr.taken(), s.entry.ctr.is_weak()));
+                            }
+                            Some(p) if t > p => {
+                                alt_table = provider;
+                                alt_state = provider_state.map(|(taken, _)| taken);
+                                provider = Some(t);
+                                provider_state =
+                                    Some((s.entry.ctr.taken(), s.entry.ctr.is_weak()));
+                            }
+                            Some(_) => {
+                                if alt_table.is_none_or(|a| t > a) {
+                                    alt_table = Some(t);
+                                    alt_state = Some(s.entry.ctr.taken());
+                                }
+                            }
+                        }
+                    }
+                    cur = s.next;
                 }
             }
         }
 
-        let (provider_pred, provider_weak) = provider
-            .and_then(|t| self.entry(t, indices[t], tags[t], pc))
-            .map_or((bim_pred, false), |e| (e.ctr.taken(), e.ctr.is_weak()));
-        let alt_pred = alt_table
-            .and_then(|t| self.entry(t, indices[t], tags[t], pc))
-            .map_or(bim_pred, |e| e.ctr.taken());
+        let (provider_pred, provider_weak) = provider_state.unwrap_or((bim_pred, false));
+        let alt_pred = alt_state.unwrap_or(bim_pred);
 
         // Newly allocated (weak) providers are statistically unreliable;
         // a global counter learns whether the alternate does better.
@@ -321,18 +408,22 @@ impl Tage {
         }
         let pc = lookup.pc;
 
-        // 1. Usefulness + use_alt_on_na bookkeeping.
+        // 1. Usefulness bookkeeping and the provider counter update share
+        //    a single storage probe (a hash-map lookup in infinite mode).
         if let Some(p) = lookup.provider {
             let provider_correct = lookup.provider_pred == taken;
             let alt_differs = lookup.alt_pred != lookup.provider_pred;
-            if alt_differs {
-                if let Some(e) = self.entry_mut(p, lookup.indices[p], lookup.tags[p], pc) {
+            if let Some(e) = self.entry_mut(p, lookup.indices[p], lookup.tags[p], pc) {
+                if alt_differs {
                     if provider_correct {
                         e.useful.increment();
                     } else {
                         e.useful.decrement();
                     }
                 }
+                e.ctr.update(taken);
+            }
+            if alt_differs {
                 if lookup.provider_weak {
                     // Learn whether weak providers should defer to alt.
                     self.use_alt_on_na.update(lookup.alt_pred == taken);
@@ -344,10 +435,7 @@ impl Tage {
                 }
             }
 
-            // 2. Counter updates: provider always; the chosen alternate too.
-            if let Some(e) = self.entry_mut(p, lookup.indices[p], lookup.tags[p], pc) {
-                e.ctr.update(taken);
-            }
+            // 2. The chosen alternate trains too.
             if lookup.used_alt {
                 if let Some(a) = lookup.alt_table {
                     if let Some(e) = self.entry_mut(a, lookup.indices[a], lookup.tags[a], pc) {
@@ -397,13 +485,28 @@ impl Tage {
             StorageKind::Infinite => {
                 // Unbounded storage: always allocate in the first candidate.
                 let t = first.min(n - 1);
-                let key = (t as u8, lookup.indices[t], lookup.tags[t], lookup.pc);
-                let e = self
-                    .infinite
-                    .entry(key)
-                    .or_insert_with(|| Entry::empty(self.cfg.counter_bits, self.cfg.useful_bits));
+                let (index, tag) = (lookup.indices[t], lookup.tags[t]);
+                let slot = match self.find_slot(t, index, tag, lookup.pc) {
+                    Some(i) => i,
+                    None => {
+                        // Prepend a fresh arena slot to the PC's chain.
+                        let i = u32::try_from(self.infinite_arena.len())
+                            .expect("infinite arena exceeds u32 indexing");
+                        let head = self.infinite_head.entry(lookup.pc).or_insert(NO_SLOT);
+                        self.infinite_arena.push(InfSlot {
+                            table: t as u8,
+                            tag,
+                            next: *head,
+                            index,
+                            entry: Entry::empty(self.cfg.counter_bits, self.cfg.useful_bits),
+                        });
+                        *head = i;
+                        i
+                    }
+                };
+                let e = &mut self.infinite_arena[slot as usize].entry;
                 e.valid = true;
-                e.tag = lookup.tags[t];
+                e.tag = tag;
                 e.ctr = SatCounter::weak(self.cfg.counter_bits, taken);
                 self.allocations += 1;
             }
@@ -456,10 +559,10 @@ impl Tage {
     /// branches insert a PC/target-derived path bit, which lets long
     /// histories encode calling context.
     pub fn update_history(&mut self, record: &BranchRecord) {
-        let bit = if record.kind == BranchKind::Conditional {
-            record.taken
+        let bit = if record.kind() == BranchKind::Conditional {
+            record.taken()
         } else {
-            ((record.pc >> 2) ^ (record.target >> 3)) & 1 == 1
+            ((record.pc() >> 2) ^ (record.target() >> 3)) & 1 == 1
         };
         for f in self
             .folded_index
@@ -470,7 +573,7 @@ impl Tage {
             f.update_before_push(&self.ghr, bit);
         }
         self.ghr.push(bit);
-        self.path.push(record.pc >> 2);
+        self.path.push(record.pc() >> 2);
     }
 
     /// The global history buffer (exposed for composition and tests).

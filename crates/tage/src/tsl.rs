@@ -165,10 +165,10 @@ impl TageScl {
     /// Advances histories for a retired branch of any kind.
     pub fn update_history(&mut self, record: &BranchRecord) {
         if let Some(sc) = &mut self.sc {
-            let bit = if record.kind == BranchKind::Conditional {
-                record.taken
+            let bit = if record.kind() == BranchKind::Conditional {
+                record.taken()
             } else {
-                ((record.pc >> 2) ^ (record.target >> 3)) & 1 == 1
+                ((record.pc() >> 2) ^ (record.target() >> 3)) & 1 == 1
             };
             sc.update_history(self.tage.ghr(), bit);
         }
@@ -257,12 +257,12 @@ mod tests {
         let mut p = TageScl::new(cfg);
         let mut mispredicts = 0u64;
         for r in &trace {
-            if r.kind == BranchKind::Conditional {
-                let l = p.lookup(r.pc);
-                if l.pred != r.taken {
+            if r.kind() == BranchKind::Conditional {
+                let l = p.lookup(r.pc());
+                if l.pred != r.taken() {
                     mispredicts += 1;
                 }
-                p.commit(&l, r.taken, UpdateMode::Full);
+                p.commit(&l, r.taken(), UpdateMode::Full);
             }
             TageScl::update_history(&mut p, r);
         }
@@ -276,12 +276,12 @@ mod tests {
         let mut mispredicts = 0u64;
         let mut conds = 0u64;
         for r in &trace {
-            if r.kind == BranchKind::Conditional {
+            if r.kind() == BranchKind::Conditional {
                 conds += 1;
-                if p.predict(r.pc) != r.taken {
+                if p.predict(r.pc()) != r.taken() {
                     mispredicts += 1;
                 }
-                p.train(r.pc, r.taken);
+                p.train(r.pc(), r.taken());
             }
             Predictor::update_history(&mut p, r);
         }

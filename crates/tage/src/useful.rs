@@ -8,14 +8,14 @@
 //! triples that were ever useful, keyed by branch PC (optionally extended
 //! with a context signature by the caller — see the Fig. 5 harness).
 
+use bputil::hash::{FastHashMap, FastHashSet};
 use bputil::stats::Histogram;
-use std::collections::{HashMap, HashSet};
 
 /// Records distinct useful patterns per key (branch PC, or PC-plus-context
 /// when the caller folds a context signature into the key).
 #[derive(Debug, Clone, Default)]
 pub struct UsefulPatternTracker {
-    patterns: HashMap<u64, HashSet<(u8, u64, u32)>>,
+    patterns: FastHashMap<u64, FastHashSet<(u8, u64, u32)>>,
     useful_events: u64,
 }
 
@@ -41,7 +41,7 @@ impl UsefulPatternTracker {
     /// Total distinct useful patterns across all keys.
     #[must_use]
     pub fn total_patterns(&self) -> usize {
-        self.patterns.values().map(HashSet::len).sum()
+        self.patterns.values().map(FastHashSet::len).sum()
     }
 
     /// Total useful events recorded (non-distinct).
@@ -53,7 +53,7 @@ impl UsefulPatternTracker {
     /// Distinct useful patterns for one key (0 if never seen).
     #[must_use]
     pub fn patterns_for(&self, key: u64) -> usize {
-        self.patterns.get(&key).map_or(0, HashSet::len)
+        self.patterns.get(&key).map_or(0, FastHashSet::len)
     }
 
     /// Distribution of patterns-per-key as a histogram (Fig. 3b / Fig. 5).

@@ -91,11 +91,11 @@ fn cmd_head(args: &[String]) -> Result<(), String> {
         println!(
             "{:>4}  {:#018x} {:#018x} {:6} {:5} {:>5}",
             i,
-            r.pc,
-            r.target,
-            r.kind.to_string(),
-            r.taken,
-            r.non_branch_insts
+            r.pc(),
+            r.target(),
+            r.kind().to_string(),
+            r.taken(),
+            r.non_branch_insts()
         );
     }
     Ok(())
@@ -113,11 +113,11 @@ fn cmd_csv(args: &[String]) -> Result<(), String> {
         writeln!(
             w,
             "{:#x},{:#x},{},{},{}",
-            r.pc,
-            r.target,
-            r.kind,
-            u8::from(r.taken),
-            r.non_branch_insts
+            r.pc(),
+            r.target(),
+            r.kind(),
+            u8::from(r.taken()),
+            r.non_branch_insts()
         )
         .map_err(|e| e.to_string())?;
     }

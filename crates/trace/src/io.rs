@@ -115,11 +115,11 @@ pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIo
     let mut crc = Checksum::new();
     for r in trace {
         let mut buf = [0u8; 22];
-        buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
-        buf[8..16].copy_from_slice(&r.target.to_le_bytes());
-        buf[16] = r.kind.as_u8();
-        buf[17] = u8::from(r.taken);
-        buf[18..22].copy_from_slice(&r.non_branch_insts.to_le_bytes());
+        buf[0..8].copy_from_slice(&r.pc().to_le_bytes());
+        buf[8..16].copy_from_slice(&r.target().to_le_bytes());
+        buf[16] = r.kind().as_u8();
+        buf[17] = u8::from(r.taken());
+        buf[18..22].copy_from_slice(&r.non_branch_insts().to_le_bytes());
         crc.update(&buf);
         writer.write_all(&buf)?;
     }
@@ -168,7 +168,10 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
             return Err(TraceIoError::InconsistentRecord { index });
         }
         let non_branch_insts = u32::from_le_bytes(buf[18..22].try_into().expect("slice length"));
-        records.push(BranchRecord { pc, target, kind, taken, non_branch_insts });
+        if non_branch_insts > BranchRecord::MAX_NON_BRANCH_INSTS {
+            return Err(TraceIoError::InconsistentRecord { index });
+        }
+        records.push(BranchRecord::new(pc, target, kind, taken, non_branch_insts));
     }
     let expected = read_u64(&mut reader)?;
     if expected != crc.value() {

@@ -1,7 +1,7 @@
 //! Trace summary statistics.
 
 use crate::record::{BranchKind, Trace};
-use std::collections::HashMap;
+use bputil::hash::FastHashSet;
 
 /// Summary statistics of a branch trace, mirroring the characterisation
 /// numbers the paper reports in §IV-2 (e.g. the ≈3.89 conditional branches
@@ -29,17 +29,17 @@ impl TraceStats {
     #[must_use]
     pub fn from_trace(trace: &Trace) -> Self {
         let mut s = TraceStats { instructions: trace.instructions(), ..Default::default() };
-        let mut cond_pcs: HashMap<u64, ()> = HashMap::new();
-        let mut uncond_pcs: HashMap<u64, ()> = HashMap::new();
+        let mut cond_pcs: FastHashSet<u64> = FastHashSet::default();
+        let mut uncond_pcs: FastHashSet<u64> = FastHashSet::default();
         for r in trace {
-            s.per_kind[r.kind.as_u8() as usize] += 1;
-            if r.kind == BranchKind::Conditional {
+            s.per_kind[r.kind().as_u8() as usize] += 1;
+            if r.kind() == BranchKind::Conditional {
                 s.conditional += 1;
-                s.conditional_taken += u64::from(r.taken);
-                cond_pcs.insert(r.pc, ());
+                s.conditional_taken += u64::from(r.taken());
+                cond_pcs.insert(r.pc());
             } else {
                 s.unconditional += 1;
-                uncond_pcs.insert(r.pc, ());
+                uncond_pcs.insert(r.pc());
             }
         }
         s.static_conditional = cond_pcs.len();

@@ -577,9 +577,9 @@ mod tests {
         let prog = ProgramBuilder::new(small_params()).build();
         let t = prog.execute("x", 2000);
         for r in &t {
-            assert!(r.pc >= CODE_BASE);
+            assert!(r.pc() >= CODE_BASE);
             // 32 small functions pack into well under 64 KiB.
-            assert!(r.pc < CODE_BASE + 0x1_0000);
+            assert!(r.pc() < CODE_BASE + 0x1_0000);
         }
     }
 }

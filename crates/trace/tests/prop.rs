@@ -1,46 +1,54 @@
-//! Property-based tests for trace records and IO.
+//! Randomized property tests for trace records and IO, driven by the
+//! in-tree `SplitMix64` PRNG (no external property-testing framework, so
+//! the workspace builds with no network access).
 
+use bputil::rng::SplitMix64;
 use llbp_trace::record::{BranchKind, BranchRecord, Trace};
 use llbp_trace::{read_trace, write_trace, TraceIoError};
-use proptest::prelude::*;
 
-fn arb_record() -> impl Strategy<Value = BranchRecord> {
-    (any::<u64>(), any::<u64>(), 0u8..=5, any::<bool>(), any::<u32>()).prop_map(
-        |(pc, target, kind, taken, insts)| {
-            let kind = BranchKind::from_u8(kind).expect("in range");
-            // Unconditional branches are always taken by construction.
-            let taken = taken || kind.is_unconditional();
-            BranchRecord { pc, target, kind, taken, non_branch_insts: insts % 1000 }
-        },
-    )
+fn arb_record(rng: &mut SplitMix64) -> BranchRecord {
+    let pc = rng.next_u64();
+    let target = rng.next_u64();
+    let kind = BranchKind::from_u8(rng.below(6) as u8).expect("in range");
+    // Unconditional branches are always taken by construction.
+    let taken = rng.chance(1, 2) || kind.is_unconditional();
+    let insts = (rng.next_u64() % 1000) as u32;
+    BranchRecord::new(pc, target, kind, taken, insts)
 }
 
-proptest! {
-    /// Serialising and deserialising preserves every field and the name.
-    #[test]
-    fn trace_io_roundtrip(
-        name in "[a-zA-Z0-9_ -]{0,40}",
-        records in proptest::collection::vec(arb_record(), 0..200),
-    ) {
-        let trace = Trace::from_records(name.clone(), records);
+fn arb_records(rng: &mut SplitMix64, max: u64) -> Vec<BranchRecord> {
+    (0..rng.below(max)).map(|_| arb_record(rng)).collect()
+}
+
+/// Serialising and deserialising preserves every field and the name.
+#[test]
+fn trace_io_roundtrip() {
+    let mut rng = SplitMix64::new(0x10);
+    let names = ["", "a", "workload-x", "Some Name_09"];
+    for case in 0..60 {
+        let name = names[case % names.len()];
+        let trace = Trace::from_records(name, arb_records(&mut rng, 200));
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
         let back = read_trace(buf.as_slice()).unwrap();
-        prop_assert_eq!(back.name(), name.as_str());
-        prop_assert_eq!(back.records(), trace.records());
-        prop_assert_eq!(back.instructions(), trace.instructions());
+        assert_eq!(back.name(), name);
+        assert_eq!(back.records(), trace.records());
+        assert_eq!(back.instructions(), trace.instructions());
     }
+}
 
-    /// Any single-byte corruption of the payload is detected (either a
-    /// structured error or a checksum mismatch) — silent acceptance of a
-    /// modified payload is a bug unless the flip hits the name region
-    /// (not covered by the record checksum).
-    #[test]
-    fn corruption_is_detected(
-        records in proptest::collection::vec(arb_record(), 1..50),
-        flip_pos_seed in any::<usize>(),
-        flip_bit in 0u8..8,
-    ) {
+/// Any single-byte corruption of the record payload is detected (either a
+/// structured error or a checksum mismatch) — silent acceptance of a
+/// modified payload is a bug. The name region is not covered by the
+/// record checksum, so corruption is injected past the header only.
+#[test]
+fn corruption_is_detected() {
+    let mut rng = SplitMix64::new(0x11);
+    for _ in 0..120 {
+        let mut records = arb_records(&mut rng, 50);
+        if records.is_empty() {
+            records.push(arb_record(&mut rng));
+        }
         let trace = Trace::from_records("x", records);
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
@@ -48,28 +56,30 @@ proptest! {
         // header: magic 4 + version 2 + name len 2 + name 1 + count 8).
         let payload_start = 4 + 2 + 2 + 1 + 8;
         let payload_end = buf.len() - 8; // exclude the trailing checksum
-        prop_assume!(payload_end > payload_start);
-        let pos = payload_start + flip_pos_seed % (payload_end - payload_start);
-        buf[pos] ^= 1 << flip_bit;
-        let result = read_trace(buf.as_slice());
-        match result {
+        assert!(payload_end > payload_start);
+        let pos = payload_start + (rng.next_u64() as usize) % (payload_end - payload_start);
+        buf[pos] ^= 1 << rng.below(8);
+        match read_trace(buf.as_slice()) {
             Err(_) => {} // detected — good
             Ok(back) => {
-                // The only acceptable Ok is if the flip produced an
-                // identical payload, which a single bit flip cannot.
-                prop_assert_ne!(back.records(), trace.records());
-                prop_assert!(false, "corruption silently accepted");
+                // A single bit flip cannot produce an identical payload.
+                assert_ne!(back.records(), trace.records());
+                panic!("corruption silently accepted");
             }
         }
     }
+}
 
-    /// Instruction accounting: total instructions equal the sum of
-    /// per-record contributions.
-    #[test]
-    fn instruction_accounting(records in proptest::collection::vec(arb_record(), 0..100)) {
-        let expected: u64 = records.iter().map(|r| u64::from(r.non_branch_insts) + 1).sum();
+/// Instruction accounting: total instructions equal the sum of
+/// per-record contributions.
+#[test]
+fn instruction_accounting() {
+    let mut rng = SplitMix64::new(0x12);
+    for _ in 0..60 {
+        let records = arb_records(&mut rng, 100);
+        let expected: u64 = records.iter().map(|r| u64::from(r.non_branch_insts()) + 1).sum();
         let trace = Trace::from_records("t", records);
-        prop_assert_eq!(trace.instructions(), expected);
+        assert_eq!(trace.instructions(), expected);
     }
 }
 

@@ -52,8 +52,8 @@ impl Predictor for Gshare {
     }
 
     fn update_history(&mut self, record: &BranchRecord) {
-        if record.kind == BranchKind::Conditional {
-            self.ghr.push(record.taken);
+        if record.kind() == BranchKind::Conditional {
+            self.ghr.push(record.taken());
         }
     }
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass offline (no registry access) on a
+# fresh checkout. Run it before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release --offline
+
+echo "== tests =="
+cargo test --workspace --offline --quiet
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "tier1 OK"

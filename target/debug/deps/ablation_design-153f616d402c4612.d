@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design-153f616d402c4612.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/debug/deps/libablation_design-153f616d402c4612.rmeta: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

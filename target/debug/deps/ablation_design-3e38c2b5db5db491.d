@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_design-3e38c2b5db5db491.d: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_design-3e38c2b5db5db491.rmeta: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+crates/bench/src/bin/ablation_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design-e3272e4c3f6616b4.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/debug/deps/libablation_design-e3272e4c3f6616b4.rmeta: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design-f0d528b7b1c978c2.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/debug/deps/ablation_design-f0d528b7b1c978c2: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bputil-c353c5f2b55412c2.d: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbputil-c353c5f2b55412c2.rmeta: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs Cargo.toml
+
+crates/bputil/src/lib.rs:
+crates/bputil/src/counter.rs:
+crates/bputil/src/hash.rs:
+crates/bputil/src/history.rs:
+crates/bputil/src/rng.rs:
+crates/bputil/src/stats.rs:
+crates/bputil/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bputil-c5b4bb380beb79d2.d: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+/root/repo/target/debug/deps/libbputil-c5b4bb380beb79d2.rlib: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+/root/repo/target/debug/deps/libbputil-c5b4bb380beb79d2.rmeta: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+crates/bputil/src/lib.rs:
+crates/bputil/src/counter.rs:
+crates/bputil/src/hash.rs:
+crates/bputil/src/history.rs:
+crates/bputil/src/rng.rs:
+crates/bputil/src/stats.rs:
+crates/bputil/src/table.rs:

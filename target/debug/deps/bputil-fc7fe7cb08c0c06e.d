@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bputil-fc7fe7cb08c0c06e.d: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+/root/repo/target/debug/deps/bputil-fc7fe7cb08c0c06e: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+crates/bputil/src/lib.rs:
+crates/bputil/src/counter.rs:
+crates/bputil/src/hash.rs:
+crates/bputil/src/history.rs:
+crates/bputil/src/rng.rs:
+crates/bputil/src/stats.rs:
+crates/bputil/src/table.rs:

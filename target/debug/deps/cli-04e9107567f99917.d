@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-04e9107567f99917.d: crates/trace/tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-04e9107567f99917.rmeta: crates/trace/tests/cli.rs
+
+crates/trace/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_trace_tool=placeholder:trace_tool

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-05011e99c67c6808.d: crates/trace/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-05011e99c67c6808.rmeta: crates/trace/tests/cli.rs Cargo.toml
+
+crates/trace/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_trace_tool=placeholder:trace_tool
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-fe524fbabed84055.d: crates/trace/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-fe524fbabed84055: crates/trace/tests/cli.rs
+
+crates/trace/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_trace_tool=/root/repo/target/debug/trace_tool

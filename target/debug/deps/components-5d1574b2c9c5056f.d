@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-5d1574b2c9c5056f.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/libcomponents-5d1574b2c9c5056f.rmeta: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parity-23d56e42148c1935.d: crates/sim/tests/engine_parity.rs
+
+/root/repo/target/debug/deps/engine_parity-23d56e42148c1935: crates/sim/tests/engine_parity.rs
+
+crates/sim/tests/engine_parity.rs:

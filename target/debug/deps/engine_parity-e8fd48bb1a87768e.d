@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parity-e8fd48bb1a87768e.d: crates/sim/tests/engine_parity.rs
+
+/root/repo/target/debug/deps/libengine_parity-e8fd48bb1a87768e.rmeta: crates/sim/tests/engine_parity.rs
+
+crates/sim/tests/engine_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_parity-f372a2ad5a4ed380.d: crates/sim/tests/engine_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_parity-f372a2ad5a4ed380.rmeta: crates/sim/tests/engine_parity.rs Cargo.toml
+
+crates/sim/tests/engine_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_baselines-06d55b3ef79a8168.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/debug/deps/ext_baselines-06d55b3ef79a8168: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_baselines-7c2558b1855e454c.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/debug/deps/libext_baselines-7c2558b1855e454c.rmeta: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_baselines-c83edbb057c6602d.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/debug/deps/libext_baselines-c83edbb057c6602d.rmeta: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

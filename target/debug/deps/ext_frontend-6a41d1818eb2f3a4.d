@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_frontend-6a41d1818eb2f3a4.d: crates/bench/src/bin/ext_frontend.rs
+
+/root/repo/target/debug/deps/libext_frontend-6a41d1818eb2f3a4.rmeta: crates/bench/src/bin/ext_frontend.rs
+
+crates/bench/src/bin/ext_frontend.rs:

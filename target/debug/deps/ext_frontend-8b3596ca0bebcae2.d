@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_frontend-8b3596ca0bebcae2.d: crates/bench/src/bin/ext_frontend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_frontend-8b3596ca0bebcae2.rmeta: crates/bench/src/bin/ext_frontend.rs Cargo.toml
+
+crates/bench/src/bin/ext_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_frontend-9b3b2af773c455dc.d: crates/bench/src/bin/ext_frontend.rs
+
+/root/repo/target/debug/deps/ext_frontend-9b3b2af773c455dc: crates/bench/src/bin/ext_frontend.rs
+
+crates/bench/src/bin/ext_frontend.rs:

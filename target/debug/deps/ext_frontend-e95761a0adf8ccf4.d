@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_frontend-e95761a0adf8ccf4.d: crates/bench/src/bin/ext_frontend.rs
+
+/root/repo/target/debug/deps/libext_frontend-e95761a0adf8ccf4.rmeta: crates/bench/src/bin/ext_frontend.rs
+
+crates/bench/src/bin/ext_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_virtualized-097594a66e790d44.d: crates/bench/src/bin/ext_virtualized.rs
+
+/root/repo/target/debug/deps/libext_virtualized-097594a66e790d44.rmeta: crates/bench/src/bin/ext_virtualized.rs
+
+crates/bench/src/bin/ext_virtualized.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_virtualized-3b3dfeea4c0186ab.d: crates/bench/src/bin/ext_virtualized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_virtualized-3b3dfeea4c0186ab.rmeta: crates/bench/src/bin/ext_virtualized.rs Cargo.toml
+
+crates/bench/src/bin/ext_virtualized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_virtualized-7ed6bc006e38b611.d: crates/bench/src/bin/ext_virtualized.rs
+
+/root/repo/target/debug/deps/ext_virtualized-7ed6bc006e38b611: crates/bench/src/bin/ext_virtualized.rs
+
+crates/bench/src/bin/ext_virtualized.rs:

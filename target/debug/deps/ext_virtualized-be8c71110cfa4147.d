@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_virtualized-be8c71110cfa4147.d: crates/bench/src/bin/ext_virtualized.rs
+
+/root/repo/target/debug/deps/libext_virtualized-be8c71110cfa4147.rmeta: crates/bench/src/bin/ext_virtualized.rs
+
+crates/bench/src/bin/ext_virtualized.rs:

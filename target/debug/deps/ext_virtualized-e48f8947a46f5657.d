@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_virtualized-e48f8947a46f5657.d: crates/bench/src/bin/ext_virtualized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_virtualized-e48f8947a46f5657.rmeta: crates/bench/src/bin/ext_virtualized.rs Cargo.toml
+
+crates/bench/src/bin/ext_virtualized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

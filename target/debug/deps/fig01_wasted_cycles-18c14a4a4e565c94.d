@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_wasted_cycles-18c14a4a4e565c94.d: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+/root/repo/target/debug/deps/libfig01_wasted_cycles-18c14a4a4e565c94.rmeta: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+crates/bench/src/bin/fig01_wasted_cycles.rs:

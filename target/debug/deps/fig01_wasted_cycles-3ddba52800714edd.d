@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_wasted_cycles-3ddba52800714edd.d: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+/root/repo/target/debug/deps/libfig01_wasted_cycles-3ddba52800714edd.rmeta: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+crates/bench/src/bin/fig01_wasted_cycles.rs:

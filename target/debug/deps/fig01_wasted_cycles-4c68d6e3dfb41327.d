@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_wasted_cycles-4c68d6e3dfb41327.d: crates/bench/src/bin/fig01_wasted_cycles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_wasted_cycles-4c68d6e3dfb41327.rmeta: crates/bench/src/bin/fig01_wasted_cycles.rs Cargo.toml
+
+crates/bench/src/bin/fig01_wasted_cycles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_wasted_cycles-9738e7034922d59d.d: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+/root/repo/target/debug/deps/fig01_wasted_cycles-9738e7034922d59d: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+crates/bench/src/bin/fig01_wasted_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mpki_limits-22b6feab763adf8c.d: crates/bench/src/bin/fig02_mpki_limits.rs
+
+/root/repo/target/debug/deps/libfig02_mpki_limits-22b6feab763adf8c.rmeta: crates/bench/src/bin/fig02_mpki_limits.rs
+
+crates/bench/src/bin/fig02_mpki_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mpki_limits-528389ddc6592f33.d: crates/bench/src/bin/fig02_mpki_limits.rs
+
+/root/repo/target/debug/deps/libfig02_mpki_limits-528389ddc6592f33.rmeta: crates/bench/src/bin/fig02_mpki_limits.rs
+
+crates/bench/src/bin/fig02_mpki_limits.rs:

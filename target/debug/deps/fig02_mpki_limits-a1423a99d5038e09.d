@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mpki_limits-a1423a99d5038e09.d: crates/bench/src/bin/fig02_mpki_limits.rs
+
+/root/repo/target/debug/deps/fig02_mpki_limits-a1423a99d5038e09: crates/bench/src/bin/fig02_mpki_limits.rs
+
+crates/bench/src/bin/fig02_mpki_limits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_mpki_limits-cfb6d3bb7d59a34c.d: crates/bench/src/bin/fig02_mpki_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_mpki_limits-cfb6d3bb7d59a34c.rmeta: crates/bench/src/bin/fig02_mpki_limits.rs Cargo.toml
+
+crates/bench/src/bin/fig02_mpki_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_working_set-5ce9d0e9271c28ff.d: crates/bench/src/bin/fig03_working_set.rs
+
+/root/repo/target/debug/deps/libfig03_working_set-5ce9d0e9271c28ff.rmeta: crates/bench/src/bin/fig03_working_set.rs
+
+crates/bench/src/bin/fig03_working_set.rs:

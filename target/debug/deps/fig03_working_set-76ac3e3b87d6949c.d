@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_working_set-76ac3e3b87d6949c.d: crates/bench/src/bin/fig03_working_set.rs
+
+/root/repo/target/debug/deps/fig03_working_set-76ac3e3b87d6949c: crates/bench/src/bin/fig03_working_set.rs
+
+crates/bench/src/bin/fig03_working_set.rs:

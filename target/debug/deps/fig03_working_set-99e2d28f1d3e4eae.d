@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_working_set-99e2d28f1d3e4eae.d: crates/bench/src/bin/fig03_working_set.rs
+
+/root/repo/target/debug/deps/libfig03_working_set-99e2d28f1d3e4eae.rmeta: crates/bench/src/bin/fig03_working_set.rs
+
+crates/bench/src/bin/fig03_working_set.rs:

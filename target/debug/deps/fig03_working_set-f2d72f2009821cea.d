@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_working_set-f2d72f2009821cea.d: crates/bench/src/bin/fig03_working_set.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_working_set-f2d72f2009821cea.rmeta: crates/bench/src/bin/fig03_working_set.rs Cargo.toml
+
+crates/bench/src/bin/fig03_working_set.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

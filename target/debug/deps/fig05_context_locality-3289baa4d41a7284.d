@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_context_locality-3289baa4d41a7284.d: crates/bench/src/bin/fig05_context_locality.rs
+
+/root/repo/target/debug/deps/libfig05_context_locality-3289baa4d41a7284.rmeta: crates/bench/src/bin/fig05_context_locality.rs
+
+crates/bench/src/bin/fig05_context_locality.rs:

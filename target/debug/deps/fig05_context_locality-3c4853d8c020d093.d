@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_context_locality-3c4853d8c020d093.d: crates/bench/src/bin/fig05_context_locality.rs
+
+/root/repo/target/debug/deps/libfig05_context_locality-3c4853d8c020d093.rmeta: crates/bench/src/bin/fig05_context_locality.rs
+
+crates/bench/src/bin/fig05_context_locality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_context_locality-55c9a271180e0223.d: crates/bench/src/bin/fig05_context_locality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_context_locality-55c9a271180e0223.rmeta: crates/bench/src/bin/fig05_context_locality.rs Cargo.toml
+
+crates/bench/src/bin/fig05_context_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

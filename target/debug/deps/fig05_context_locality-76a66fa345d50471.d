@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_context_locality-76a66fa345d50471.d: crates/bench/src/bin/fig05_context_locality.rs
+
+/root/repo/target/debug/deps/fig05_context_locality-76a66fa345d50471: crates/bench/src/bin/fig05_context_locality.rs
+
+crates/bench/src/bin/fig05_context_locality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_mpki_reduction-06b714eabfcbade6.d: crates/bench/src/bin/fig09_mpki_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_mpki_reduction-06b714eabfcbade6.rmeta: crates/bench/src/bin/fig09_mpki_reduction.rs Cargo.toml
+
+crates/bench/src/bin/fig09_mpki_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

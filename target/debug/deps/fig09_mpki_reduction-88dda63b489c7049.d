@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_mpki_reduction-88dda63b489c7049.d: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+/root/repo/target/debug/deps/libfig09_mpki_reduction-88dda63b489c7049.rmeta: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+crates/bench/src/bin/fig09_mpki_reduction.rs:

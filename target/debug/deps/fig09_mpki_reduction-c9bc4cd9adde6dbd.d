@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_mpki_reduction-c9bc4cd9adde6dbd.d: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+/root/repo/target/debug/deps/fig09_mpki_reduction-c9bc4cd9adde6dbd: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+crates/bench/src/bin/fig09_mpki_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-1b68c5c158b09f5a.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/fig10_speedup-1b68c5c158b09f5a: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

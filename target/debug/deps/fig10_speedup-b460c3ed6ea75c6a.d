@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-b460c3ed6ea75c6a.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/libfig10_speedup-b460c3ed6ea75c6a.rmeta: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

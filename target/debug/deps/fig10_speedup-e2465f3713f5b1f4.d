@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-e2465f3713f5b1f4.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/libfig10_speedup-e2465f3713f5b1f4.rmeta: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-39e85dfb09b19a16.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/libfig11_bandwidth-39e85dfb09b19a16.rmeta: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

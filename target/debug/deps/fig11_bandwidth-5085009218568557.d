@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-5085009218568557.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/libfig11_bandwidth-5085009218568557.rmeta: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

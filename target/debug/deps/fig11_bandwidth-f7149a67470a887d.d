@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-f7149a67470a887d.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_bandwidth-f7149a67470a887d: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_energy-57ea170ee8f56fc4.d: crates/bench/src/bin/fig12_energy.rs
+
+/root/repo/target/debug/deps/libfig12_energy-57ea170ee8f56fc4.rmeta: crates/bench/src/bin/fig12_energy.rs
+
+crates/bench/src/bin/fig12_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_energy-585e051af85ddc18.d: crates/bench/src/bin/fig12_energy.rs
+
+/root/repo/target/debug/deps/libfig12_energy-585e051af85ddc18.rmeta: crates/bench/src/bin/fig12_energy.rs
+
+crates/bench/src/bin/fig12_energy.rs:

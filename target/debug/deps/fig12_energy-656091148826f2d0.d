@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_energy-656091148826f2d0.d: crates/bench/src/bin/fig12_energy.rs
+
+/root/repo/target/debug/deps/fig12_energy-656091148826f2d0: crates/bench/src/bin/fig12_energy.rs
+
+crates/bench/src/bin/fig12_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_energy-81a4b7e025c55891.d: crates/bench/src/bin/fig12_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_energy-81a4b7e025c55891.rmeta: crates/bench/src/bin/fig12_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig12_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

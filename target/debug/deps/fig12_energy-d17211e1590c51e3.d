@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_energy-d17211e1590c51e3.d: crates/bench/src/bin/fig12_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_energy-d17211e1590c51e3.rmeta: crates/bench/src/bin/fig12_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig12_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

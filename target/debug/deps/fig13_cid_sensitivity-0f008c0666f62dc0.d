@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_cid_sensitivity-0f008c0666f62dc0.d: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+/root/repo/target/debug/deps/fig13_cid_sensitivity-0f008c0666f62dc0: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+crates/bench/src/bin/fig13_cid_sensitivity.rs:

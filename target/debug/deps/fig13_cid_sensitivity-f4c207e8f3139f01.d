@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_cid_sensitivity-f4c207e8f3139f01.d: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+/root/repo/target/debug/deps/libfig13_cid_sensitivity-f4c207e8f3139f01.rmeta: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+crates/bench/src/bin/fig13_cid_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_cid_sensitivity-f6eae7124fdcc5b4.d: crates/bench/src/bin/fig13_cid_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_cid_sensitivity-f6eae7124fdcc5b4.rmeta: crates/bench/src/bin/fig13_cid_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/fig13_cid_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

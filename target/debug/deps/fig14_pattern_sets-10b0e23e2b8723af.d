@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_pattern_sets-10b0e23e2b8723af.d: crates/bench/src/bin/fig14_pattern_sets.rs
+
+/root/repo/target/debug/deps/libfig14_pattern_sets-10b0e23e2b8723af.rmeta: crates/bench/src/bin/fig14_pattern_sets.rs
+
+crates/bench/src/bin/fig14_pattern_sets.rs:

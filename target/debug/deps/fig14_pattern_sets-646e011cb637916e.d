@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_pattern_sets-646e011cb637916e.d: crates/bench/src/bin/fig14_pattern_sets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_pattern_sets-646e011cb637916e.rmeta: crates/bench/src/bin/fig14_pattern_sets.rs Cargo.toml
+
+crates/bench/src/bin/fig14_pattern_sets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

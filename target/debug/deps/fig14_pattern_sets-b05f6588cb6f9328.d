@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_pattern_sets-b05f6588cb6f9328.d: crates/bench/src/bin/fig14_pattern_sets.rs
+
+/root/repo/target/debug/deps/fig14_pattern_sets-b05f6588cb6f9328: crates/bench/src/bin/fig14_pattern_sets.rs
+
+crates/bench/src/bin/fig14_pattern_sets.rs:

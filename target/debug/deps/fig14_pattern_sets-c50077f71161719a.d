@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_pattern_sets-c50077f71161719a.d: crates/bench/src/bin/fig14_pattern_sets.rs
+
+/root/repo/target/debug/deps/libfig14_pattern_sets-c50077f71161719a.rmeta: crates/bench/src/bin/fig14_pattern_sets.rs
+
+crates/bench/src/bin/fig14_pattern_sets.rs:

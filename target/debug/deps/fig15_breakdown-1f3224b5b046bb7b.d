@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_breakdown-1f3224b5b046bb7b.d: crates/bench/src/bin/fig15_breakdown.rs
+
+/root/repo/target/debug/deps/libfig15_breakdown-1f3224b5b046bb7b.rmeta: crates/bench/src/bin/fig15_breakdown.rs
+
+crates/bench/src/bin/fig15_breakdown.rs:

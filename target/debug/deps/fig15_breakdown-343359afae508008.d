@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_breakdown-343359afae508008.d: crates/bench/src/bin/fig15_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_breakdown-343359afae508008.rmeta: crates/bench/src/bin/fig15_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig15_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_breakdown-76f4ad2f0952eb6e.d: crates/bench/src/bin/fig15_breakdown.rs
+
+/root/repo/target/debug/deps/fig15_breakdown-76f4ad2f0952eb6e: crates/bench/src/bin/fig15_breakdown.rs
+
+crates/bench/src/bin/fig15_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_breakdown-7b7f4c5d794522c9.d: crates/bench/src/bin/fig15_breakdown.rs
+
+/root/repo/target/debug/deps/libfig15_breakdown-7b7f4c5d794522c9.rmeta: crates/bench/src/bin/fig15_breakdown.rs
+
+crates/bench/src/bin/fig15_breakdown.rs:

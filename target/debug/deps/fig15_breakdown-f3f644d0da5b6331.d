@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_breakdown-f3f644d0da5b6331.d: crates/bench/src/bin/fig15_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_breakdown-f3f644d0da5b6331.rmeta: crates/bench/src/bin/fig15_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig15_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-cb0d7eaa0026e27d.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-cb0d7eaa0026e27d: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-d9bd669983d7cf0c.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-d9bd669983d7cf0c.rmeta: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llbp_bench-081acd9ced4837f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_bench-081acd9ced4837f2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llbp_bench-1d007f55216e8151.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllbp_bench-1d007f55216e8151.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llbp_bench-7754a93e2bd95fa9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/llbp_bench-7754a93e2bd95fa9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

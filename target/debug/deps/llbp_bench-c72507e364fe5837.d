@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llbp_bench-c72507e364fe5837.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_bench-c72507e364fe5837.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llbp_bench-f66f2ff68d31cea6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_bench-f66f2ff68d31cea6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_bench-f66f2ff68d31cea6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

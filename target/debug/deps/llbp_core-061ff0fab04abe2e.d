@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llbp_core-061ff0fab04abe2e.d: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllbp_core-061ff0fab04abe2e.rmeta: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/params.rs:
+crates/core/src/pattern.rs:
+crates/core/src/predictor.rs:
+crates/core/src/prefetch.rs:
+crates/core/src/rcr.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llbp_core-08e7b75b46392213.d: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/llbp_core-08e7b75b46392213: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/params.rs:
+crates/core/src/pattern.rs:
+crates/core/src/predictor.rs:
+crates/core/src/prefetch.rs:
+crates/core/src/rcr.rs:
+crates/core/src/stats.rs:

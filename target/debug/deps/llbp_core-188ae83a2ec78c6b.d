@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llbp_core-188ae83a2ec78c6b.d: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllbp_core-188ae83a2ec78c6b.rmeta: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/params.rs:
+crates/core/src/pattern.rs:
+crates/core/src/predictor.rs:
+crates/core/src/prefetch.rs:
+crates/core/src/rcr.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llbp_repro-255f2ac36d15cfa1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllbp_repro-255f2ac36d15cfa1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llbp_repro-45e3853dbd7acdbe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_repro-45e3853dbd7acdbe.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_repro-45e3853dbd7acdbe.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llbp_repro-6e9171ab62540bec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_repro-6e9171ab62540bec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llbp_repro-ae7c3915a6200a0c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libllbp_repro-ae7c3915a6200a0c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llbp_repro-c1a97ec87738aa59.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllbp_repro-c1a97ec87738aa59.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llbp_repro-c4356dd6a336d9f1.d: src/lib.rs
+
+/root/repo/target/debug/deps/llbp_repro-c4356dd6a336d9f1: src/lib.rs
+
+src/lib.rs:

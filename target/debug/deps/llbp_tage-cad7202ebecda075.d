@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/llbp_tage-cad7202ebecda075.d: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs
+
+/root/repo/target/debug/deps/libllbp_tage-cad7202ebecda075.rmeta: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs
+
+crates/tage/src/lib.rs:
+crates/tage/src/btb.rs:
+crates/tage/src/classic.rs:
+crates/tage/src/config.rs:
+crates/tage/src/frontend.rs:
+crates/tage/src/ittage.rs:
+crates/tage/src/loop_pred.rs:
+crates/tage/src/predictor.rs:
+crates/tage/src/ras.rs:
+crates/tage/src/sc.rs:
+crates/tage/src/tage.rs:
+crates/tage/src/useful.rs:
+crates/tage/src/tsl.rs:

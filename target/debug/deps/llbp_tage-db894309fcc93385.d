@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/llbp_tage-db894309fcc93385.d: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllbp_tage-db894309fcc93385.rmeta: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs Cargo.toml
+
+crates/tage/src/lib.rs:
+crates/tage/src/btb.rs:
+crates/tage/src/classic.rs:
+crates/tage/src/config.rs:
+crates/tage/src/frontend.rs:
+crates/tage/src/ittage.rs:
+crates/tage/src/loop_pred.rs:
+crates/tage/src/predictor.rs:
+crates/tage/src/ras.rs:
+crates/tage/src/sc.rs:
+crates/tage/src/tage.rs:
+crates/tage/src/useful.rs:
+crates/tage/src/tsl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictors-9201b65b5d20b658.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/debug/deps/libpredictors-9201b65b5d20b658.rmeta: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

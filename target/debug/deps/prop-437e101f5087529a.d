@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-437e101f5087529a.d: crates/tage/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-437e101f5087529a.rmeta: crates/tage/tests/prop.rs Cargo.toml
+
+crates/tage/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

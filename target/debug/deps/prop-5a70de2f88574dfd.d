@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5a70de2f88574dfd.d: crates/bputil/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5a70de2f88574dfd.rmeta: crates/bputil/tests/prop.rs Cargo.toml
+
+crates/bputil/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-66a079720d643e0b.d: crates/tage/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-66a079720d643e0b.rmeta: crates/tage/tests/prop.rs
+
+crates/tage/tests/prop.rs:

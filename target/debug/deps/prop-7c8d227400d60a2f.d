@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-7c8d227400d60a2f.d: crates/trace/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-7c8d227400d60a2f: crates/trace/tests/prop.rs
+
+crates/trace/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-836cf097a6a6dd64.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-836cf097a6a6dd64: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

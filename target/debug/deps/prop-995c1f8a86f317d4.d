@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-995c1f8a86f317d4.d: crates/tage/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-995c1f8a86f317d4: crates/tage/tests/prop.rs
+
+crates/tage/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-a3635d9d258bd2cd.d: crates/bputil/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-a3635d9d258bd2cd.rmeta: crates/bputil/tests/prop.rs
+
+crates/bputil/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-a541156f3ac62c96.d: crates/trace/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-a541156f3ac62c96.rmeta: crates/trace/tests/prop.rs Cargo.toml
+
+crates/trace/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

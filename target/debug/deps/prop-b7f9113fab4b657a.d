@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b7f9113fab4b657a.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-b7f9113fab4b657a.rmeta: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-cc6ea19c4dd18580.d: crates/trace/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-cc6ea19c4dd18580.rmeta: crates/trace/tests/prop.rs
+
+crates/trace/tests/prop.rs:

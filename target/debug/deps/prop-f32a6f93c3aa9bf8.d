@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-f32a6f93c3aa9bf8.d: crates/bputil/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-f32a6f93c3aa9bf8: crates/bputil/tests/prop.rs
+
+crates/bputil/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speculation-4ea7c87a2edf93d4.d: tests/speculation.rs
+
+/root/repo/target/debug/deps/speculation-4ea7c87a2edf93d4: tests/speculation.rs
+
+tests/speculation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speculation-82b2745bcc621c8d.d: tests/speculation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeculation-82b2745bcc621c8d.rmeta: tests/speculation.rs Cargo.toml
+
+tests/speculation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

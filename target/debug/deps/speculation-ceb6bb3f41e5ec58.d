@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speculation-ceb6bb3f41e5ec58.d: tests/speculation.rs
+
+/root/repo/target/debug/deps/libspeculation-ceb6bb3f41e5ec58.rmeta: tests/speculation.rs
+
+tests/speculation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_workloads-72d9dd147c1a38b6.d: crates/bench/src/bin/table01_workloads.rs
+
+/root/repo/target/debug/deps/table01_workloads-72d9dd147c1a38b6: crates/bench/src/bin/table01_workloads.rs
+
+crates/bench/src/bin/table01_workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table01_workloads-7da81391e20d7028.d: crates/bench/src/bin/table01_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable01_workloads-7da81391e20d7028.rmeta: crates/bench/src/bin/table01_workloads.rs Cargo.toml
+
+crates/bench/src/bin/table01_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

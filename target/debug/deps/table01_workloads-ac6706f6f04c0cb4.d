@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_workloads-ac6706f6f04c0cb4.d: crates/bench/src/bin/table01_workloads.rs
+
+/root/repo/target/debug/deps/libtable01_workloads-ac6706f6f04c0cb4.rmeta: crates/bench/src/bin/table01_workloads.rs
+
+crates/bench/src/bin/table01_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_workloads-b1490e0ee2c1b750.d: crates/bench/src/bin/table01_workloads.rs
+
+/root/repo/target/debug/deps/libtable01_workloads-b1490e0ee2c1b750.rmeta: crates/bench/src/bin/table01_workloads.rs
+
+crates/bench/src/bin/table01_workloads.rs:

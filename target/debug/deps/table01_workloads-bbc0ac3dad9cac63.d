@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table01_workloads-bbc0ac3dad9cac63.d: crates/bench/src/bin/table01_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable01_workloads-bbc0ac3dad9cac63.rmeta: crates/bench/src/bin/table01_workloads.rs Cargo.toml
+
+crates/bench/src/bin/table01_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_config-49b840df3c0d1f77.d: crates/bench/src/bin/table02_config.rs
+
+/root/repo/target/debug/deps/libtable02_config-49b840df3c0d1f77.rmeta: crates/bench/src/bin/table02_config.rs
+
+crates/bench/src/bin/table02_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_config-8d9af428528ad2de.d: crates/bench/src/bin/table02_config.rs
+
+/root/repo/target/debug/deps/table02_config-8d9af428528ad2de: crates/bench/src/bin/table02_config.rs
+
+crates/bench/src/bin/table02_config.rs:

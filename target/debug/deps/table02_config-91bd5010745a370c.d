@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table02_config-91bd5010745a370c.d: crates/bench/src/bin/table02_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable02_config-91bd5010745a370c.rmeta: crates/bench/src/bin/table02_config.rs Cargo.toml
+
+crates/bench/src/bin/table02_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

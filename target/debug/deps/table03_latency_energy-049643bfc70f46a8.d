@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_latency_energy-049643bfc70f46a8.d: crates/bench/src/bin/table03_latency_energy.rs
+
+/root/repo/target/debug/deps/table03_latency_energy-049643bfc70f46a8: crates/bench/src/bin/table03_latency_energy.rs
+
+crates/bench/src/bin/table03_latency_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_latency_energy-077af16ac2c20815.d: crates/bench/src/bin/table03_latency_energy.rs
+
+/root/repo/target/debug/deps/libtable03_latency_energy-077af16ac2c20815.rmeta: crates/bench/src/bin/table03_latency_energy.rs
+
+crates/bench/src/bin/table03_latency_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table03_latency_energy-b698e22b7568749b.d: crates/bench/src/bin/table03_latency_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable03_latency_energy-b698e22b7568749b.rmeta: crates/bench/src/bin/table03_latency_energy.rs Cargo.toml
+
+crates/bench/src/bin/table03_latency_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_latency_energy-e000823029a31ae8.d: crates/bench/src/bin/table03_latency_energy.rs
+
+/root/repo/target/debug/deps/libtable03_latency_energy-e000823029a31ae8.rmeta: crates/bench/src/bin/table03_latency_energy.rs
+
+crates/bench/src/bin/table03_latency_energy.rs:

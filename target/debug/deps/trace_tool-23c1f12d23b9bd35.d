@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-23c1f12d23b9bd35.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-23c1f12d23b9bd35: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

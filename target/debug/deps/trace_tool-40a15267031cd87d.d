@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-40a15267031cd87d.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/libtrace_tool-40a15267031cd87d.rmeta: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-54d59663ace3dea2.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-54d59663ace3dea2: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

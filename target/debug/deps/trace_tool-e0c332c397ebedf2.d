@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-e0c332c397ebedf2.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/libtrace_tool-e0c332c397ebedf2.rmeta: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

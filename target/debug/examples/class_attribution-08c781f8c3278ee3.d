@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/class_attribution-08c781f8c3278ee3.d: crates/tage/examples/class_attribution.rs
+
+/root/repo/target/debug/examples/class_attribution-08c781f8c3278ee3: crates/tage/examples/class_attribution.rs
+
+crates/tage/examples/class_attribution.rs:

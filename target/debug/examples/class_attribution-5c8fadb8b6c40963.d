@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/class_attribution-5c8fadb8b6c40963.d: crates/tage/examples/class_attribution.rs
+
+/root/repo/target/debug/examples/libclass_attribution-5c8fadb8b6c40963.rmeta: crates/tage/examples/class_attribution.rs
+
+crates/tage/examples/class_attribution.rs:

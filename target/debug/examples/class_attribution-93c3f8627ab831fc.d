@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/class_attribution-93c3f8627ab831fc.d: crates/tage/examples/class_attribution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclass_attribution-93c3f8627ab831fc.rmeta: crates/tage/examples/class_attribution.rs Cargo.toml
+
+crates/tage/examples/class_attribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

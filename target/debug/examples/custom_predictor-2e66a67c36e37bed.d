@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_predictor-2e66a67c36e37bed.d: examples/custom_predictor.rs
+
+/root/repo/target/debug/examples/libcustom_predictor-2e66a67c36e37bed.rmeta: examples/custom_predictor.rs
+
+examples/custom_predictor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_predictor-91c9f139cf1dca5a.d: examples/custom_predictor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_predictor-91c9f139cf1dca5a.rmeta: examples/custom_predictor.rs Cargo.toml
+
+examples/custom_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

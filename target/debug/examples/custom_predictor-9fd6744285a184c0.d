@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_predictor-9fd6744285a184c0.d: examples/custom_predictor.rs
+
+/root/repo/target/debug/examples/custom_predictor-9fd6744285a184c0: examples/custom_predictor.rs
+
+examples/custom_predictor.rs:

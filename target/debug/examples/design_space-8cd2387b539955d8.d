@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-8cd2387b539955d8.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-8cd2387b539955d8: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-9fa23b31b4470f79.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/libdesign_space-9fa23b31b4470f79.rmeta: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llbp_diag-5e3c8ab8bf164ebb.d: crates/bench/examples/llbp_diag.rs
+
+/root/repo/target/debug/examples/llbp_diag-5e3c8ab8bf164ebb: crates/bench/examples/llbp_diag.rs
+
+crates/bench/examples/llbp_diag.rs:

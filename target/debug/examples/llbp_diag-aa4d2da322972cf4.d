@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llbp_diag-aa4d2da322972cf4.d: crates/bench/examples/llbp_diag.rs
+
+/root/repo/target/debug/examples/libllbp_diag-aa4d2da322972cf4.rmeta: crates/bench/examples/llbp_diag.rs
+
+crates/bench/examples/llbp_diag.rs:

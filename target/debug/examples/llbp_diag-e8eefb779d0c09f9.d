@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/llbp_diag-e8eefb779d0c09f9.d: crates/bench/examples/llbp_diag.rs Cargo.toml
+
+/root/repo/target/debug/examples/libllbp_diag-e8eefb779d0c09f9.rmeta: crates/bench/examples/llbp_diag.rs Cargo.toml
+
+crates/bench/examples/llbp_diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bb36e069ec0bb1d1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bb36e069ec0bb1d1: examples/quickstart.rs
+
+examples/quickstart.rs:

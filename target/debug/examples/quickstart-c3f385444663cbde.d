@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c3f385444663cbde.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-c3f385444663cbde.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

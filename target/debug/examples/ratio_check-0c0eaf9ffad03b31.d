@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ratio_check-0c0eaf9ffad03b31.d: crates/trace/examples/ratio_check.rs
+
+/root/repo/target/debug/examples/ratio_check-0c0eaf9ffad03b31: crates/trace/examples/ratio_check.rs
+
+crates/trace/examples/ratio_check.rs:

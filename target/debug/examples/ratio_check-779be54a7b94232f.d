@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ratio_check-779be54a7b94232f.d: crates/trace/examples/ratio_check.rs Cargo.toml
+
+/root/repo/target/debug/examples/libratio_check-779be54a7b94232f.rmeta: crates/trace/examples/ratio_check.rs Cargo.toml
+
+crates/trace/examples/ratio_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ratio_check-eedf678df52e8e72.d: crates/trace/examples/ratio_check.rs
+
+/root/repo/target/debug/examples/libratio_check-eedf678df52e8e72.rmeta: crates/trace/examples/ratio_check.rs
+
+crates/trace/examples/ratio_check.rs:

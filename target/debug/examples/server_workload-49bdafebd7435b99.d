@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_workload-49bdafebd7435b99.d: examples/server_workload.rs
+
+/root/repo/target/debug/examples/libserver_workload-49bdafebd7435b99.rmeta: examples/server_workload.rs
+
+examples/server_workload.rs:

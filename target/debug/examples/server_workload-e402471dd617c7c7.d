@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_workload-e402471dd617c7c7.d: examples/server_workload.rs
+
+/root/repo/target/debug/examples/server_workload-e402471dd617c7c7: examples/server_workload.rs
+
+examples/server_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/server_workload-efd4dd9e01dbfb66.d: examples/server_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserver_workload-efd4dd9e01dbfb66.rmeta: examples/server_workload.rs Cargo.toml
+
+examples/server_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

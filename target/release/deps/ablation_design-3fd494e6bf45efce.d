@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_design-3fd494e6bf45efce.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/release/deps/ablation_design-3fd494e6bf45efce: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

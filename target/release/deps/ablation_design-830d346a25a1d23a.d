@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_design-830d346a25a1d23a.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/release/deps/ablation_design-830d346a25a1d23a: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bputil-11715c5e73bdf4af.d: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+/root/repo/target/release/deps/libbputil-11715c5e73bdf4af.rlib: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+/root/repo/target/release/deps/libbputil-11715c5e73bdf4af.rmeta: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+crates/bputil/src/lib.rs:
+crates/bputil/src/counter.rs:
+crates/bputil/src/hash.rs:
+crates/bputil/src/history.rs:
+crates/bputil/src/rng.rs:
+crates/bputil/src/stats.rs:
+crates/bputil/src/table.rs:

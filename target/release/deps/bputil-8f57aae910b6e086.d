@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bputil-8f57aae910b6e086.d: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+/root/repo/target/release/deps/bputil-8f57aae910b6e086: crates/bputil/src/lib.rs crates/bputil/src/counter.rs crates/bputil/src/hash.rs crates/bputil/src/history.rs crates/bputil/src/rng.rs crates/bputil/src/stats.rs crates/bputil/src/table.rs
+
+crates/bputil/src/lib.rs:
+crates/bputil/src/counter.rs:
+crates/bputil/src/hash.rs:
+crates/bputil/src/history.rs:
+crates/bputil/src/rng.rs:
+crates/bputil/src/stats.rs:
+crates/bputil/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-7d03a3a03a597b79.d: crates/trace/tests/cli.rs
+
+/root/repo/target/release/deps/cli-7d03a3a03a597b79: crates/trace/tests/cli.rs
+
+crates/trace/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_trace_tool=/root/repo/target/release/trace_tool

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/components-0991d2a168b1d6c8.d: crates/bench/benches/components.rs
+
+/root/repo/target/release/deps/components-0991d2a168b1d6c8: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_parity-ceea5b3e7cc80303.d: crates/sim/tests/engine_parity.rs
+
+/root/repo/target/release/deps/engine_parity-ceea5b3e7cc80303: crates/sim/tests/engine_parity.rs
+
+crates/sim/tests/engine_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_baselines-a1a92f60318ff067.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/release/deps/ext_baselines-a1a92f60318ff067: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_baselines-aebe076728ec2ad0.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/release/deps/ext_baselines-aebe076728ec2ad0: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

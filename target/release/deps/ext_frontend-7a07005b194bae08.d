@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_frontend-7a07005b194bae08.d: crates/bench/src/bin/ext_frontend.rs
+
+/root/repo/target/release/deps/ext_frontend-7a07005b194bae08: crates/bench/src/bin/ext_frontend.rs
+
+crates/bench/src/bin/ext_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_frontend-a6025c026fae9d4f.d: crates/bench/src/bin/ext_frontend.rs
+
+/root/repo/target/release/deps/ext_frontend-a6025c026fae9d4f: crates/bench/src/bin/ext_frontend.rs
+
+crates/bench/src/bin/ext_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_virtualized-43ccdf463cdc4558.d: crates/bench/src/bin/ext_virtualized.rs
+
+/root/repo/target/release/deps/ext_virtualized-43ccdf463cdc4558: crates/bench/src/bin/ext_virtualized.rs
+
+crates/bench/src/bin/ext_virtualized.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_virtualized-a97a2b1d4936aca4.d: crates/bench/src/bin/ext_virtualized.rs
+
+/root/repo/target/release/deps/ext_virtualized-a97a2b1d4936aca4: crates/bench/src/bin/ext_virtualized.rs
+
+crates/bench/src/bin/ext_virtualized.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_wasted_cycles-688321833babe504.d: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+/root/repo/target/release/deps/fig01_wasted_cycles-688321833babe504: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+crates/bench/src/bin/fig01_wasted_cycles.rs:

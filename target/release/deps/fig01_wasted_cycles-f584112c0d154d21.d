@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_wasted_cycles-f584112c0d154d21.d: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+/root/repo/target/release/deps/fig01_wasted_cycles-f584112c0d154d21: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+crates/bench/src/bin/fig01_wasted_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_mpki_limits-35239484431072ca.d: crates/bench/src/bin/fig02_mpki_limits.rs
+
+/root/repo/target/release/deps/fig02_mpki_limits-35239484431072ca: crates/bench/src/bin/fig02_mpki_limits.rs
+
+crates/bench/src/bin/fig02_mpki_limits.rs:

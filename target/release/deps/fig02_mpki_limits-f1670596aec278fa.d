@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_mpki_limits-f1670596aec278fa.d: crates/bench/src/bin/fig02_mpki_limits.rs
+
+/root/repo/target/release/deps/fig02_mpki_limits-f1670596aec278fa: crates/bench/src/bin/fig02_mpki_limits.rs
+
+crates/bench/src/bin/fig02_mpki_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_working_set-8e546f695242caf2.d: crates/bench/src/bin/fig03_working_set.rs
+
+/root/repo/target/release/deps/fig03_working_set-8e546f695242caf2: crates/bench/src/bin/fig03_working_set.rs
+
+crates/bench/src/bin/fig03_working_set.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_working_set-ba990ad7b64876d3.d: crates/bench/src/bin/fig03_working_set.rs
+
+/root/repo/target/release/deps/fig03_working_set-ba990ad7b64876d3: crates/bench/src/bin/fig03_working_set.rs
+
+crates/bench/src/bin/fig03_working_set.rs:

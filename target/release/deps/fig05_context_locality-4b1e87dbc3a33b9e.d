@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_context_locality-4b1e87dbc3a33b9e.d: crates/bench/src/bin/fig05_context_locality.rs
+
+/root/repo/target/release/deps/fig05_context_locality-4b1e87dbc3a33b9e: crates/bench/src/bin/fig05_context_locality.rs
+
+crates/bench/src/bin/fig05_context_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_context_locality-f322cdd5491850f3.d: crates/bench/src/bin/fig05_context_locality.rs
+
+/root/repo/target/release/deps/fig05_context_locality-f322cdd5491850f3: crates/bench/src/bin/fig05_context_locality.rs
+
+crates/bench/src/bin/fig05_context_locality.rs:

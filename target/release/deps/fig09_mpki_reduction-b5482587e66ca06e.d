@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_mpki_reduction-b5482587e66ca06e.d: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+/root/repo/target/release/deps/fig09_mpki_reduction-b5482587e66ca06e: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+crates/bench/src/bin/fig09_mpki_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_mpki_reduction-c8ea568403c5e8b3.d: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+/root/repo/target/release/deps/fig09_mpki_reduction-c8ea568403c5e8b3: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+crates/bench/src/bin/fig09_mpki_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_speedup-1fc76a72a73e5a7a.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/release/deps/fig10_speedup-1fc76a72a73e5a7a: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

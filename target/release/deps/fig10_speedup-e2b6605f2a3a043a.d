@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_speedup-e2b6605f2a3a043a.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/release/deps/fig10_speedup-e2b6605f2a3a043a: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bandwidth-48fd44f0e447cd52.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/release/deps/fig11_bandwidth-48fd44f0e447cd52: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bandwidth-d959711497b3ccee.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/release/deps/fig11_bandwidth-d959711497b3ccee: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_energy-6aa8836295d15ab5.d: crates/bench/src/bin/fig12_energy.rs
+
+/root/repo/target/release/deps/fig12_energy-6aa8836295d15ab5: crates/bench/src/bin/fig12_energy.rs
+
+crates/bench/src/bin/fig12_energy.rs:

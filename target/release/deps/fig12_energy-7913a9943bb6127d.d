@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_energy-7913a9943bb6127d.d: crates/bench/src/bin/fig12_energy.rs
+
+/root/repo/target/release/deps/fig12_energy-7913a9943bb6127d: crates/bench/src/bin/fig12_energy.rs
+
+crates/bench/src/bin/fig12_energy.rs:

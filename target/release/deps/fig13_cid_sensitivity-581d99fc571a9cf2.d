@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_cid_sensitivity-581d99fc571a9cf2.d: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+/root/repo/target/release/deps/fig13_cid_sensitivity-581d99fc571a9cf2: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+crates/bench/src/bin/fig13_cid_sensitivity.rs:

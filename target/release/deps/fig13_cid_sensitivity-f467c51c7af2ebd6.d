@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_cid_sensitivity-f467c51c7af2ebd6.d: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+/root/repo/target/release/deps/fig13_cid_sensitivity-f467c51c7af2ebd6: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+crates/bench/src/bin/fig13_cid_sensitivity.rs:

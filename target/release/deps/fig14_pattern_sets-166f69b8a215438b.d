@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_pattern_sets-166f69b8a215438b.d: crates/bench/src/bin/fig14_pattern_sets.rs
+
+/root/repo/target/release/deps/fig14_pattern_sets-166f69b8a215438b: crates/bench/src/bin/fig14_pattern_sets.rs
+
+crates/bench/src/bin/fig14_pattern_sets.rs:

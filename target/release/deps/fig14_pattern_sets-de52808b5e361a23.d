@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_pattern_sets-de52808b5e361a23.d: crates/bench/src/bin/fig14_pattern_sets.rs
+
+/root/repo/target/release/deps/fig14_pattern_sets-de52808b5e361a23: crates/bench/src/bin/fig14_pattern_sets.rs
+
+crates/bench/src/bin/fig14_pattern_sets.rs:

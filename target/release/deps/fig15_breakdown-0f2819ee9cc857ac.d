@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_breakdown-0f2819ee9cc857ac.d: crates/bench/src/bin/fig15_breakdown.rs
+
+/root/repo/target/release/deps/fig15_breakdown-0f2819ee9cc857ac: crates/bench/src/bin/fig15_breakdown.rs
+
+crates/bench/src/bin/fig15_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_breakdown-c9727786b9eb4eb4.d: crates/bench/src/bin/fig15_breakdown.rs
+
+/root/repo/target/release/deps/fig15_breakdown-c9727786b9eb4eb4: crates/bench/src/bin/fig15_breakdown.rs
+
+crates/bench/src/bin/fig15_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-1dc7c74e1024ea98.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-1dc7c74e1024ea98: tests/integration.rs
+
+tests/integration.rs:

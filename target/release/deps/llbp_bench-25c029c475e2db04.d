@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llbp_bench-25c029c475e2db04.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libllbp_bench-25c029c475e2db04.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libllbp_bench-25c029c475e2db04.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/llbp_bench-d834a8bfe3be1010.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/llbp_bench-d834a8bfe3be1010: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/llbp_core-cd21d3bd19ebd1f4.d: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libllbp_core-cd21d3bd19ebd1f4.rlib: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libllbp_core-cd21d3bd19ebd1f4.rmeta: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/params.rs:
+crates/core/src/pattern.rs:
+crates/core/src/predictor.rs:
+crates/core/src/prefetch.rs:
+crates/core/src/rcr.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/llbp_core-d746856b6cac5ad8.d: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/llbp_core-d746856b6cac5ad8: crates/core/src/lib.rs crates/core/src/params.rs crates/core/src/pattern.rs crates/core/src/predictor.rs crates/core/src/prefetch.rs crates/core/src/rcr.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/params.rs:
+crates/core/src/pattern.rs:
+crates/core/src/predictor.rs:
+crates/core/src/prefetch.rs:
+crates/core/src/rcr.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/llbp_repro-289271c83719de96.d: src/lib.rs
+
+/root/repo/target/release/deps/llbp_repro-289271c83719de96: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llbp_repro-58a685ba6bda402f.d: src/lib.rs
+
+/root/repo/target/release/deps/libllbp_repro-58a685ba6bda402f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libllbp_repro-58a685ba6bda402f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/llbp_tage-073416375831ea85.d: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs
+
+/root/repo/target/release/deps/llbp_tage-073416375831ea85: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs
+
+crates/tage/src/lib.rs:
+crates/tage/src/btb.rs:
+crates/tage/src/classic.rs:
+crates/tage/src/config.rs:
+crates/tage/src/frontend.rs:
+crates/tage/src/ittage.rs:
+crates/tage/src/loop_pred.rs:
+crates/tage/src/predictor.rs:
+crates/tage/src/ras.rs:
+crates/tage/src/sc.rs:
+crates/tage/src/tage.rs:
+crates/tage/src/useful.rs:
+crates/tage/src/tsl.rs:

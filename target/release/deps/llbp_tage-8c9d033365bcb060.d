@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/llbp_tage-8c9d033365bcb060.d: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs
+
+/root/repo/target/release/deps/libllbp_tage-8c9d033365bcb060.rlib: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs
+
+/root/repo/target/release/deps/libllbp_tage-8c9d033365bcb060.rmeta: crates/tage/src/lib.rs crates/tage/src/btb.rs crates/tage/src/classic.rs crates/tage/src/config.rs crates/tage/src/frontend.rs crates/tage/src/ittage.rs crates/tage/src/loop_pred.rs crates/tage/src/predictor.rs crates/tage/src/ras.rs crates/tage/src/sc.rs crates/tage/src/tage.rs crates/tage/src/useful.rs crates/tage/src/tsl.rs
+
+crates/tage/src/lib.rs:
+crates/tage/src/btb.rs:
+crates/tage/src/classic.rs:
+crates/tage/src/config.rs:
+crates/tage/src/frontend.rs:
+crates/tage/src/ittage.rs:
+crates/tage/src/loop_pred.rs:
+crates/tage/src/predictor.rs:
+crates/tage/src/ras.rs:
+crates/tage/src/sc.rs:
+crates/tage/src/tage.rs:
+crates/tage/src/useful.rs:
+crates/tage/src/tsl.rs:

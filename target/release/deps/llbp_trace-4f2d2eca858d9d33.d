@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/llbp_trace-4f2d2eca858d9d33.d: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+
+/root/repo/target/release/deps/llbp_trace-4f2d2eca858d9d33: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/io.rs:
+crates/trace/src/record.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/synth/mod.rs:
+crates/trace/src/synth/behavior.rs:
+crates/trace/src/synth/catalog.rs:
+crates/trace/src/synth/program.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predictors-3d253e6c1d39b88d.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/release/deps/predictors-3d253e6c1d39b88d: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-22596c1f0b00d7d9.d: crates/trace/tests/prop.rs
+
+/root/repo/target/release/deps/prop-22596c1f0b00d7d9: crates/trace/tests/prop.rs
+
+crates/trace/tests/prop.rs:

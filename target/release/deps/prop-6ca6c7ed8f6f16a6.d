@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-6ca6c7ed8f6f16a6.d: crates/bputil/tests/prop.rs
+
+/root/repo/target/release/deps/prop-6ca6c7ed8f6f16a6: crates/bputil/tests/prop.rs
+
+crates/bputil/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-843f8b1c54759348.d: crates/tage/tests/prop.rs
+
+/root/repo/target/release/deps/prop-843f8b1c54759348: crates/tage/tests/prop.rs
+
+crates/tage/tests/prop.rs:

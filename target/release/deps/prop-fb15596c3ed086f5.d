@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-fb15596c3ed086f5.d: crates/core/tests/prop.rs
+
+/root/repo/target/release/deps/prop-fb15596c3ed086f5: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speculation-1097c2e989ff175c.d: tests/speculation.rs
+
+/root/repo/target/release/deps/speculation-1097c2e989ff175c: tests/speculation.rs
+
+tests/speculation.rs:

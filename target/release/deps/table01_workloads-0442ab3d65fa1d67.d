@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01_workloads-0442ab3d65fa1d67.d: crates/bench/src/bin/table01_workloads.rs
+
+/root/repo/target/release/deps/table01_workloads-0442ab3d65fa1d67: crates/bench/src/bin/table01_workloads.rs
+
+crates/bench/src/bin/table01_workloads.rs:

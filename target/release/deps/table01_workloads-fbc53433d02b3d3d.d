@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01_workloads-fbc53433d02b3d3d.d: crates/bench/src/bin/table01_workloads.rs
+
+/root/repo/target/release/deps/table01_workloads-fbc53433d02b3d3d: crates/bench/src/bin/table01_workloads.rs
+
+crates/bench/src/bin/table01_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02_config-74fb67769c11e50e.d: crates/bench/src/bin/table02_config.rs
+
+/root/repo/target/release/deps/table02_config-74fb67769c11e50e: crates/bench/src/bin/table02_config.rs
+
+crates/bench/src/bin/table02_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02_config-db30f257e7f1e611.d: crates/bench/src/bin/table02_config.rs
+
+/root/repo/target/release/deps/table02_config-db30f257e7f1e611: crates/bench/src/bin/table02_config.rs
+
+crates/bench/src/bin/table02_config.rs:

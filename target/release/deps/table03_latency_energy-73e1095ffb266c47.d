@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03_latency_energy-73e1095ffb266c47.d: crates/bench/src/bin/table03_latency_energy.rs
+
+/root/repo/target/release/deps/table03_latency_energy-73e1095ffb266c47: crates/bench/src/bin/table03_latency_energy.rs
+
+crates/bench/src/bin/table03_latency_energy.rs:

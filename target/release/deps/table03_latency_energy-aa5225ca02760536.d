@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03_latency_energy-aa5225ca02760536.d: crates/bench/src/bin/table03_latency_energy.rs
+
+/root/repo/target/release/deps/table03_latency_energy-aa5225ca02760536: crates/bench/src/bin/table03_latency_energy.rs
+
+crates/bench/src/bin/table03_latency_energy.rs:

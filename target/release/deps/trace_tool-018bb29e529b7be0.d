@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-018bb29e529b7be0.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/release/deps/trace_tool-018bb29e529b7be0: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-cada4a29c65fa6a3.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/release/deps/trace_tool-cada4a29c65fa6a3: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

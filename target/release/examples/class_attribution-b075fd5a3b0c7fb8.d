@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/class_attribution-b075fd5a3b0c7fb8.d: crates/tage/examples/class_attribution.rs
+
+/root/repo/target/release/examples/class_attribution-b075fd5a3b0c7fb8: crates/tage/examples/class_attribution.rs
+
+crates/tage/examples/class_attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_predictor-c7ac24798d4bc038.d: examples/custom_predictor.rs
+
+/root/repo/target/release/examples/custom_predictor-c7ac24798d4bc038: examples/custom_predictor.rs
+
+examples/custom_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-46b2a64fe291d38f.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-46b2a64fe291d38f: examples/design_space.rs
+
+examples/design_space.rs:

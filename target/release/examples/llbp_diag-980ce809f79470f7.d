@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/llbp_diag-980ce809f79470f7.d: crates/bench/examples/llbp_diag.rs
+
+/root/repo/target/release/examples/llbp_diag-980ce809f79470f7: crates/bench/examples/llbp_diag.rs
+
+crates/bench/examples/llbp_diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c06c6b39b9bb3f7a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c06c6b39b9bb3f7a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ratio_check-e212cf34f3e2b344.d: crates/trace/examples/ratio_check.rs
+
+/root/repo/target/release/examples/ratio_check-e212cf34f3e2b344: crates/trace/examples/ratio_check.rs
+
+crates/trace/examples/ratio_check.rs:

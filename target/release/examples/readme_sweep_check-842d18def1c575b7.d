@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/readme_sweep_check-842d18def1c575b7.d: examples/readme_sweep_check.rs
+
+/root/repo/target/release/examples/readme_sweep_check-842d18def1c575b7: examples/readme_sweep_check.rs
+
+examples/readme_sweep_check.rs:

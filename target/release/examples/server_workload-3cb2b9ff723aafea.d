@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/server_workload-3cb2b9ff723aafea.d: examples/server_workload.rs
+
+/root/repo/target/release/examples/server_workload-3cb2b9ff723aafea: examples/server_workload.rs
+
+examples/server_workload.rs:

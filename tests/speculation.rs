@@ -20,9 +20,9 @@ fn trace(n: usize) -> Trace {
 fn drive(p: &mut dyn Predictor, records: &[BranchRecord]) -> Vec<bool> {
     let mut preds = Vec::new();
     for r in records {
-        if r.kind == BranchKind::Conditional {
-            preds.push(p.predict(r.pc));
-            p.train(r.pc, r.taken);
+        if r.kind() == BranchKind::Conditional {
+            preds.push(p.predict(r.pc()));
+            p.train(r.pc(), r.taken());
         }
         p.update_history(r);
     }
