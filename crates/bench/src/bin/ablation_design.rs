@@ -6,8 +6,9 @@
 //! Each row is the mean MPKI reduction over the selected workloads versus
 //! the 64K TSL baseline.
 
-use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
 use llbp_core::{CdReplacement, LlbpParams};
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
@@ -49,18 +50,12 @@ fn variants() -> Vec<LlbpParams> {
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
     let variants = variants();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let base = cfg.run(PredictorKind::Tsl64K, trace);
-        variants
-            .iter()
-            .map(|p| {
-                cfg.run(PredictorKind::Llbp(p.clone()), trace).mpki_reduction_vs(&base)
-            })
-            .collect::<Vec<_>>()
-    });
+    let mut predictors = vec![PredictorKind::Tsl64K];
+    predictors.extend(variants.iter().map(|p| PredictorKind::Llbp(p.clone())));
+    let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
+    let report = engine(&opts).run(&spec);
 
     println!("# Ablation — LLBP design choices (mean MPKI reduction vs 64K TSL)");
     println!(
@@ -69,8 +64,11 @@ fn main() {
     );
     let mut table = Table::new(["variant", "mean MPKI reduction"]);
     for (i, p) in variants.iter().enumerate() {
-        let vals: Vec<f64> = rows.iter().map(|(_, v)| v[i]).collect();
+        let vals: Vec<f64> = (0..opts.workloads.len())
+            .map(|w| report.get(w, 1 + i).mpki_reduction_vs(report.get(w, 0)))
+            .collect();
         table.row([p.label.clone(), format!("{}%", f1(mean_reduction(&vals)))]);
     }
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("ablation"));
 }

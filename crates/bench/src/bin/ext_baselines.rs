@@ -5,33 +5,50 @@
 //! → TAGE-SC-L → TAGE-SC-L + LLBP) on the same workloads, with storage
 //! budgets for scale.
 
-use llbp_bench::{parallel_over_workloads, Opts};
+use llbp_bench::{engine, workload_specs, Opts};
 use llbp_core::LlbpParams;
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
 use llbp_sim::{PredictorKind, SimConfig};
-use llbp_tage::classic::{Gshare, HashedPerceptron, TwoLevelLocal};
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        // Budgets loosely matched to 64 KiB-class designs.
-        let mut gshare = Gshare::new(18, 16); // 64 KiB
-        let mut twolevel = TwoLevelLocal::new(15, 14); // ≈64 KiB
-        let mut perceptron = HashedPerceptron::new(8, 13, 6); // 64 KiB
-        let g = cfg.run_predictor(&mut gshare, trace).mpki();
-        let t = cfg.run_predictor(&mut twolevel, trace).mpki();
-        let p = cfg.run_predictor(&mut perceptron, trace).mpki();
-        let tsl = cfg.run(PredictorKind::Tsl64K, trace).mpki();
-        let llbp = cfg.run(PredictorKind::Llbp(LlbpParams::default()), trace).mpki();
-        (g, t, p, tsl, llbp)
-    });
+    // Budgets loosely matched to 64 KiB-class designs.
+    let spec = SweepSpec::new(
+        vec![
+            PredictorKind::Gshare { index_bits: 18, history_bits: 16 }, // 64 KiB
+            PredictorKind::TwoLevelLocal { bht_bits: 15, local_bits: 14 }, // ≈64 KiB
+            PredictorKind::HashedPerceptron { tables: 8, index_bits: 13, segment_bits: 6 }, // 64 KiB
+            PredictorKind::Tsl64K,
+            PredictorKind::Llbp(LlbpParams::default()),
+        ],
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let report = engine(&opts).run(&spec);
+
+    let rows: Vec<_> = opts
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            (
+                w,
+                (
+                    report.get(i, 0).mpki(),
+                    report.get(i, 1).mpki(),
+                    report.get(i, 2).mpki(),
+                    report.get(i, 3).mpki(),
+                    report.get(i, 4).mpki(),
+                ),
+            )
+        })
+        .collect();
 
     println!("# Extension — predictor generations (MPKI)");
     println!("(equal ≈64 KiB budgets; LLBP adds its 517 KiB second level)\n");
-    let mut table =
-        Table::new(["workload", "gshare", "2level", "perceptron", "64K TSL", "+LLBP"]);
+    let mut table = Table::new(["workload", "gshare", "2level", "perceptron", "64K TSL", "+LLBP"]);
     let mut sums = [0.0f64; 5];
     for (w, (g, t, p, tsl, llbp)) in &rows {
         for (s, v) in sums.iter_mut().zip([g, t, p, tsl, llbp]) {
@@ -48,4 +65,5 @@ fn main() {
         f2(sums[4]),
     ]);
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("ext_baselines"));
 }

@@ -7,22 +7,21 @@
 //! indirect-target mispredictions — per workload, explaining why
 //! indirect-heavy workloads (PHPWiki) lose more of LLBP's benefit.
 
-use llbp_bench::{parallel_over_workloads, Opts};
-use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_bench::{engine, workload_specs, Opts};
+use llbp_core::LlbpParams;
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
-use llbp_sim::SimConfig;
+use llbp_sim::{PredictorKind, SimConfig};
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let mut p = LlbpPredictor::new(LlbpParams::default());
-        let result = cfg.run_predictor(&mut p, trace);
-        let fe = *p.frontend().stats();
-        let dir_resets = p.stats().pipeline_resets - fe.total_resets();
-        (result.mispredictions, fe, dir_resets, trace.len() as u64)
-    });
+    let spec = SweepSpec::new(
+        vec![PredictorKind::Llbp(LlbpParams::default())],
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let report = engine(&opts).run(&spec);
 
     println!("# Extension — pipeline-reset sources (per kilo-branch)");
     println!("(every reset squashes LLBP's in-flight prefetches, §VI)\n");
@@ -34,16 +33,22 @@ fn main() {
         "indirect target",
         "total/kbr",
     ]);
-    for (w, (_mis, fe, dir, branches)) in &rows {
-        let per_kbr = |v: u64| f2(v as f64 * 1000.0 / *branches as f64);
+    for (i, w) in opts.workloads.iter().enumerate() {
+        let rec = &report.jobs[i];
+        let cell = rec.result.llbp.as_ref().expect("LLBP cell stats");
+        let fe = cell.frontend;
+        let dir = cell.llbp.pipeline_resets - fe.total_resets();
+        let branches = rec.stats.branches;
+        let per_kbr = |v: u64| f2(v as f64 * 1000.0 / branches as f64);
         table.row([
             w.to_string(),
-            per_kbr(*dir),
+            per_kbr(dir),
             per_kbr(fe.btb_resets),
             per_kbr(fe.ras_resets),
             per_kbr(fe.indirect_resets),
-            per_kbr(*dir + fe.total_resets()),
+            per_kbr(dir + fe.total_resets()),
         ]);
     }
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("ext_frontend"));
 }

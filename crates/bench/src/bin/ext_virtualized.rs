@@ -7,8 +7,9 @@
 //! and reports how much of LLBP's MPKI reduction survives — i.e. how much
 //! slack the context prefetcher really has.
 
-use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
@@ -16,22 +17,18 @@ const DELAYS: [u64; 6] = [0, 6, 12, 20, 30, 45];
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let base = cfg.run(PredictorKind::Tsl64K, trace);
-        DELAYS
-            .iter()
-            .map(|&d| {
-                let params = LlbpParams {
-                    prefetch_delay: d,
-                    label: format!("LLBP@{d}cyc"),
-                    ..LlbpParams::default()
-                };
-                cfg.run(PredictorKind::Llbp(params), trace).mpki_reduction_vs(&base)
-            })
-            .collect::<Vec<_>>()
-    });
+    let mut predictors = vec![PredictorKind::Tsl64K];
+    for &d in &DELAYS {
+        let params = LlbpParams {
+            prefetch_delay: d,
+            label: format!("LLBP@{d}cyc"),
+            ..LlbpParams::default()
+        };
+        predictors.push(PredictorKind::Llbp(params));
+    }
+    let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
+    let report = engine(&opts).run(&spec);
 
     println!("# Extension — virtualised LLBP: MPKI reduction vs pattern-store latency");
     println!(
@@ -43,9 +40,12 @@ fn main() {
     );
     let mut cells = vec!["mean MPKI reduction".to_string()];
     for (i, _) in DELAYS.iter().enumerate() {
-        let vals: Vec<f64> = rows.iter().map(|(_, v)| v[i]).collect();
+        let vals: Vec<f64> = (0..opts.workloads.len())
+            .map(|w| report.get(w, 1 + i).mpki_reduction_vs(report.get(w, 0)))
+            .collect();
         cells.push(format!("{}%", f1(mean_reduction(&vals))));
     }
     table.row(cells);
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("ext_virtualized"));
 }

@@ -6,7 +6,8 @@
 //! 9.2% on average. Here the timing model substitutes for hardware
 //! counters (DESIGN.md §3).
 
-use llbp_bench::{mean_reduction, Opts};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{pct, Table};
 use llbp_sim::{PredictorKind, SimConfig, TimingModel};
 use llbp_trace::Workload;
@@ -16,23 +17,24 @@ fn main() {
     // Fig. 1 covers only the server workloads (no Google traces).
     opts.workloads.retain(|w| Workload::SERVER.contains(w));
 
-    let cfg = SimConfig::default();
     let timing = TimingModel::default();
 
-    let rows = llbp_bench::parallel_over_workloads(&opts, |_w, trace| {
-        let r = cfg.run(PredictorKind::Tsl64K, trace);
-        timing.wasted_fraction(r.instructions, r.mispredictions)
-    });
+    let spec =
+        SweepSpec::new(vec![PredictorKind::Tsl64K], workload_specs(&opts), SimConfig::default());
+    let report = engine(&opts).run(&spec);
 
     let mut table = Table::new(["workload", "wasted cycles"]);
     let mut fractions = Vec::new();
-    for (w, wasted) in &rows {
-        fractions.push(*wasted);
-        table.row([w.to_string(), pct(*wasted)]);
+    for (i, w) in opts.workloads.iter().enumerate() {
+        let r = report.get(i, 0);
+        let wasted = timing.wasted_fraction(r.instructions, r.mispredictions);
+        fractions.push(wasted);
+        table.row([w.to_string(), pct(wasted)]);
     }
     table.row(["GMean/Mean".to_string(), pct(mean_reduction(&fractions))]);
 
     println!("# Figure 1 — execution cycles wasted on conditional mispredictions");
     println!("(paper: 3.6–20%, avg 9.2%, measured on Sapphire Rapids hardware)\n");
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig01"));
 }

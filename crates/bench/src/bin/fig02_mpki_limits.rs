@@ -4,8 +4,8 @@
 //! Paper values: 64K TSL 0.29–6.4 MPKI (avg 2.91); Inf TAGE reduces
 //! mispredictions by 14–54% (avg 31.9%); Inf TSL by 36.5% on average.
 
-use llbp_bench::{mean_reduction, workload_specs, Opts};
-use llbp_sim::engine::{SweepEngine, SweepSpec};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, f2, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
@@ -17,7 +17,7 @@ fn main() {
         workload_specs(&opts),
         SimConfig::default(),
     );
-    let report = SweepEngine::new().run(&spec);
+    let report = engine(&opts).run(&spec);
 
     let mut table = Table::new([
         "workload",

@@ -7,11 +7,12 @@
 //! (b) Useful patterns per static branch under Inf TSL. Paper: average
 //!     14.1, the most-mispredicted branches have 100–9500.
 
-use llbp_bench::Opts;
+use llbp_bench::{engine, trace_cache, Opts};
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::patterns::{rank_by_mispredictions, useful_patterns_per_branch};
 use llbp_sim::report::{f1, f2, Table};
 use llbp_sim::{PredictorKind, SimConfig};
-use llbp_trace::Workload;
+use llbp_trace::{Workload, WorkloadSpec};
 
 fn main() {
     let mut opts = Opts::from_args();
@@ -20,10 +21,13 @@ fn main() {
         opts.workloads = vec![Workload::Tomcat];
     }
     let workload = opts.workloads[0];
-    let trace = opts.trace(workload);
+    let cache = trace_cache(&opts);
+    let wspec = WorkloadSpec::named(workload).with_branches(opts.branches);
+    let trace = cache.get_or_generate(&wspec);
 
     // --- (a) cumulative mispredictions by capacity -----------------------
-    let cfg = SimConfig { warmup_fraction: SimConfig::default().warmup_fraction, track_per_branch: true };
+    let cfg =
+        SimConfig { warmup_fraction: SimConfig::default().warmup_fraction, track_per_branch: true };
     let ranked = rank_by_mispredictions(&trace);
     let total_statics = ranked.len().max(1);
     let top_n = (total_statics as f64 * 0.008).ceil() as usize; // top 0.8%
@@ -36,21 +40,19 @@ fn main() {
         ("1M TSL".into(), PredictorKind::TslScaled(16)),
         ("Inf TSL".into(), PredictorKind::InfTsl),
     ];
+    let spec =
+        SweepSpec::new(configs.iter().map(|(_, kind)| kind.clone()).collect(), vec![wspec], cfg);
+    let report = engine(&opts).run_with_cache(&spec, &cache);
 
     println!("# Figure 3 — working set of {workload} ({total_statics} static branches)");
     println!("(paper: top 0.8% of branches ≈ 40% of mispredictions; doublings add −4…−7% each)\n");
 
-    let mut table_a = Table::new([
-        "config",
-        "mispredicts",
-        "vs 64K",
-        "top-0.8% share",
-    ]);
+    let mut table_a = Table::new(["config", "mispredicts", "vs 64K", "top-0.8% share"]);
     let mut base_mis = None;
     let top_set: std::collections::HashSet<u64> =
         ranked.iter().take(top_n).map(|&(pc, _)| pc).collect();
-    for (label, kind) in &configs {
-        let r = cfg.run(kind.clone(), &trace);
+    for (i, (label, _)) in configs.iter().enumerate() {
+        let r = report.get(0, i);
         let per_branch = r.per_branch_mispredicts.as_ref().expect("tracking enabled");
         let top_share: u64 =
             per_branch.iter().filter(|(pc, _)| top_set.contains(pc)).map(|(_, &m)| m).sum();
@@ -68,19 +70,13 @@ fn main() {
     // --- (b) useful patterns per branch under infinite capacity ----------
     let tracker = useful_patterns_per_branch(&trace);
     let hist = tracker.histogram();
-    let mut top_patterns: Vec<u64> = ranked
-        .iter()
-        .take(100)
-        .map(|&(pc, _)| tracker.patterns_for(pc) as u64)
-        .collect();
+    let mut top_patterns: Vec<u64> =
+        ranked.iter().take(100).map(|&(pc, _)| tracker.patterns_for(pc) as u64).collect();
     top_patterns.sort_unstable();
 
     let mut table_b = Table::new(["metric", "value"]);
     table_b.row(["branches with useful patterns".to_string(), hist.count().to_string()]);
-    table_b.row([
-        "avg patterns/branch".to_string(),
-        f2(hist.mean().unwrap_or(0.0)),
-    ]);
+    table_b.row(["avg patterns/branch".to_string(), f2(hist.mean().unwrap_or(0.0))]);
     table_b.row([
         "p50 / p95 / max".to_string(),
         format!(
@@ -101,4 +97,5 @@ fn main() {
     println!("## (b) useful patterns per branch (Inf TAGE)");
     println!("(paper: avg 14.1; top-100 branches have >100, up to ~9500)\n");
     println!("{}", table_b.to_markdown());
+    eprintln!("{}", report.throughput_json("fig03"));
 }

@@ -5,9 +5,9 @@
 //! reaches ~90% of the no-latency ideal); 512K TSL −12.5…−45.9%
 //! (avg −27.3%).
 
-use llbp_bench::{mean_reduction, workload_specs, Opts};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
-use llbp_sim::engine::{SweepEngine, SweepSpec};
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, f2, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
@@ -24,15 +24,10 @@ fn main() {
         workload_specs(&opts),
         SimConfig::default(),
     );
-    let report = SweepEngine::new().run(&spec);
+    let report = engine(&opts).run(&spec);
 
-    let mut table = Table::new([
-        "workload",
-        "64K TSL MPKI",
-        "LLBP red.",
-        "LLBP-0Lat red.",
-        "512K TSL red.",
-    ]);
+    let mut table =
+        Table::new(["workload", "64K TSL MPKI", "LLBP red.", "LLBP-0Lat red.", "512K TSL red."]);
     let (mut r_llbp, mut r_0lat, mut r_big) = (Vec::new(), Vec::new(), Vec::new());
     for (i, w) in opts.workloads.iter().enumerate() {
         let (base, llbp, zerolat, big) =

@@ -6,32 +6,49 @@
 //! the perfect-BP headroom; our analytic model is similarly soft on
 //! absolutes — the ordering is the reproducible part).
 
-use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
 use llbp_sim::{PredictorKind, SimConfig, TimingModel};
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
     let timing = TimingModel::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let base = cfg.run(PredictorKind::Tsl64K, trace);
-        let llbp = cfg.run(PredictorKind::Llbp(LlbpParams::default()), trace);
-        let zerolat = cfg.run(PredictorKind::Llbp(LlbpParams::zero_latency()), trace);
-        let big = cfg.run(PredictorKind::TslScaled(8), trace);
-        let insts = base.instructions;
-        (
-            timing.speedup(insts, base.mispredictions, llbp.mispredictions),
-            timing.speedup(insts, base.mispredictions, zerolat.mispredictions),
-            timing.speedup(insts, base.mispredictions, big.mispredictions),
-            timing.speedup(insts, base.mispredictions, 0),
-        )
-    });
+    let spec = SweepSpec::new(
+        vec![
+            PredictorKind::Tsl64K,
+            PredictorKind::Llbp(LlbpParams::default()),
+            PredictorKind::Llbp(LlbpParams::zero_latency()),
+            PredictorKind::TslScaled(8),
+        ],
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let report = engine(&opts).run(&spec);
 
-    let mut table =
-        Table::new(["workload", "LLBP", "LLBP-0Lat", "512K TSL", "Perfect BP"]);
+    let rows: Vec<_> = opts
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let (base, llbp, zerolat, big) =
+                (report.get(i, 0), report.get(i, 1), report.get(i, 2), report.get(i, 3));
+            let insts = base.instructions;
+            (
+                w,
+                (
+                    timing.speedup(insts, base.mispredictions, llbp.mispredictions),
+                    timing.speedup(insts, base.mispredictions, zerolat.mispredictions),
+                    timing.speedup(insts, base.mispredictions, big.mispredictions),
+                    timing.speedup(insts, base.mispredictions, 0),
+                ),
+            )
+        })
+        .collect();
+
+    let mut table = Table::new(["workload", "LLBP", "LLBP-0Lat", "512K TSL", "Perfect BP"]);
     let (mut s1, mut s2, mut s3, mut s4) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for (w, (llbp, zerolat, big, perfect)) in &rows {
         s1.push(*llbp);
@@ -51,4 +68,5 @@ fn main() {
     println!("# Figure 10 — speedup over 64K TSL (timing model)");
     println!("(paper: LLBP +0.63%, LLBP-0Lat +0.71%, 512K TSL +1.26%, perfect +3.6% on average)\n");
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig10"));
 }

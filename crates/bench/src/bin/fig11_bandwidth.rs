@@ -5,41 +5,41 @@
 //! reads); 64 entries −18.9% combined; 256 entries < 8 bits/inst total;
 //! the 64-entry PB read traffic is ~41% below L1I↔L2 traffic.
 
-use llbp_bench::{parallel_over_workloads, Opts};
-use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_bench::{engine, trace_cache, workload_specs, Opts};
+use llbp_core::LlbpParams;
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
-use llbp_sim::{L1iCache, SimConfig};
+use llbp_sim::{L1iCache, PredictorKind, SimConfig};
 
 const PB_SIZES: [usize; 3] = [16, 64, 256];
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
     let set_bits = LlbpParams::default().pattern_set_bits();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let mut out = Vec::new();
-        for &pb in &PB_SIZES {
-            let params = LlbpParams::default().with_pb_entries(pb);
-            let mut p = LlbpPredictor::new(params);
-            let _ = cfg.run_predictor(&mut p, trace);
-            let s = p.stats();
-            out.push((s.read_bits_per_inst(set_bits), s.write_bits_per_inst(set_bits)));
-        }
-        let l1i = L1iCache::traffic_per_instruction(trace);
-        (out, l1i)
-    });
+    let spec = SweepSpec::new(
+        PB_SIZES
+            .iter()
+            .map(|&pb| PredictorKind::Llbp(LlbpParams::default().with_pb_entries(pb)))
+            .collect(),
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let cache = trace_cache(&opts);
+    let report = engine(&opts).run_with_cache(&spec, &cache);
 
-    let n = rows.len().max(1) as f64;
+    let n = opts.workloads.len().max(1) as f64;
     let mut avg_read = [0.0f64; 3];
     let mut avg_write = [0.0f64; 3];
     let mut avg_l1i = 0.0;
-    for (_w, (per_pb, l1i)) in &rows {
-        for (i, (r, w)) in per_pb.iter().enumerate() {
-            avg_read[i] += r / n;
-            avg_write[i] += w / n;
+    for (i, _w) in opts.workloads.iter().enumerate() {
+        for j in 0..PB_SIZES.len() {
+            let s = &report.get(i, j).llbp.as_ref().expect("LLBP cell stats").llbp;
+            avg_read[j] += s.read_bits_per_inst(set_bits) / n;
+            avg_write[j] += s.write_bits_per_inst(set_bits) / n;
         }
-        avg_l1i += l1i / n;
+        let trace = cache.get_or_generate(&spec.workloads[i]);
+        avg_l1i += L1iCache::traffic_per_instruction(&trace) / n;
     }
 
     println!("# Figure 11 — transfer bandwidth (bits per instruction, mean over workloads)");
@@ -58,4 +58,5 @@ fn main() {
     }
     table.row(["L1I misses".to_string(), f1(avg_l1i), String::new(), f1(avg_l1i)]);
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig11"));
 }

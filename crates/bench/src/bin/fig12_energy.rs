@@ -5,30 +5,28 @@
 //! energy; the 64-entry PB is the optimum; total LLBP ≈1.53× the
 //! baseline vs 4.58× for a 512K TSL.
 
-use llbp_bench::{parallel_over_workloads, Opts};
-use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_bench::{engine, workload_specs, Opts};
+use llbp_core::LlbpParams;
 use llbp_sim::energy::TSL64K_BITS;
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
-use llbp_sim::{EnergyModel, SimConfig};
+use llbp_sim::{EnergyModel, PredictorKind, SimConfig};
 
 const PB_SIZES: [usize; 3] = [16, 64, 256];
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
     let model = EnergyModel::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
+    let spec = SweepSpec::new(
         PB_SIZES
             .iter()
-            .map(|&pb| {
-                let params = LlbpParams::default().with_pb_entries(pb);
-                let mut p = LlbpPredictor::new(params.clone());
-                let _ = cfg.run_predictor(&mut p, trace);
-                model.fig12(p.stats(), &params, pb)
-            })
-            .collect::<Vec<_>>()
-    });
+            .map(|&pb| PredictorKind::Llbp(LlbpParams::default().with_pb_entries(pb)))
+            .collect(),
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let report = engine(&opts).run(&spec);
 
     println!("# Figure 12 — relative dynamic energy (baseline 64K TSL = 1.0)");
     println!(
@@ -37,12 +35,15 @@ fn main() {
     );
     let mut table = Table::new(["config", "TSL", "PB", "CD", "LLBP", "total", "LLBP structures"]);
     for (i, &pb) in PB_SIZES.iter().enumerate() {
-        let n = rows.len().max(1) as f64;
+        let params = LlbpParams::default().with_pb_entries(pb);
+        let n = opts.workloads.len().max(1) as f64;
         let (mut pb_e, mut cd_e, mut llbp_e) = (0.0, 0.0, 0.0);
-        for (_w, per_pb) in &rows {
-            pb_e += per_pb[i].pb / n;
-            cd_e += per_pb[i].cd / n;
-            llbp_e += per_pb[i].llbp / n;
+        for (w, _) in opts.workloads.iter().enumerate() {
+            let stats = &report.get(w, i).llbp.as_ref().expect("LLBP cell stats").llbp;
+            let e = model.fig12(stats, &params, pb);
+            pb_e += e.pb / n;
+            cd_e += e.cd / n;
+            llbp_e += e.llbp / n;
         }
         table.row([
             format!("{pb}-entry PB"),
@@ -65,4 +66,5 @@ fn main() {
         String::new(),
     ]);
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig12"));
 }

@@ -5,8 +5,9 @@
 //! always late); Uncond peaks at −8.9% around D = 4; Call/Ret is too
 //! coarse; All degrades as D grows (conditional noise).
 
-use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
 use llbp_core::{ContextHistoryKind, LlbpParams};
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
@@ -19,42 +20,43 @@ const KINDS: [(ContextHistoryKind, &str); 3] = [
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    // reductions[kind][distance] = per-workload MPKI reductions.
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let base = cfg.run(PredictorKind::Tsl64K, trace);
-        let mut grid = Vec::new();
-        for (kind, _) in KINDS {
-            let mut per_d = Vec::new();
-            for &d in &DISTANCES {
-                let params = LlbpParams {
-                    history_kind: kind,
-                    prefetch_distance: d,
-                    label: format!("LLBP-{kind:?}-D{d}"),
-                    ..LlbpParams::default()
-                };
-                let r = cfg.run(PredictorKind::Llbp(params), trace);
-                per_d.push(r.mpki_reduction_vs(&base));
-            }
-            grid.push(per_d);
+    // Predictor 0 is the baseline; then kind-major × distance-minor.
+    let mut predictors = vec![PredictorKind::Tsl64K];
+    for (kind, _) in KINDS {
+        for &d in &DISTANCES {
+            let params = LlbpParams {
+                history_kind: kind,
+                prefetch_distance: d,
+                label: format!("LLBP-{kind:?}-D{d}"),
+                ..LlbpParams::default()
+            };
+            predictors.push(PredictorKind::Llbp(params));
         }
-        grid
-    });
+    }
+    let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
+    let report = engine(&opts).run(&spec);
 
     println!("# Figure 13 — CID history type × prefetch distance D (mean MPKI reduction)");
-    println!("(paper: all types ≈3.5–4.8% at D=0; Uncond best ≈8.9% at D=4; All degrades with D)\n");
+    println!(
+        "(paper: all types ≈3.5–4.8% at D=0; Uncond best ≈8.9% at D=4; All degrades with D)\n"
+    );
     let mut table = Table::new(
-        std::iter::once("history".to_string())
-            .chain(DISTANCES.iter().map(|d| format!("D={d}"))),
+        std::iter::once("history".to_string()).chain(DISTANCES.iter().map(|d| format!("D={d}"))),
     );
     for (k, (_, name)) in KINDS.iter().enumerate() {
         let mut cells = vec![(*name).to_string()];
         for (di, _) in DISTANCES.iter().enumerate() {
-            let vals: Vec<f64> = rows.iter().map(|(_, grid)| grid[k][di]).collect();
+            let vals: Vec<f64> = (0..opts.workloads.len())
+                .map(|w| {
+                    let base = report.get(w, 0);
+                    report.get(w, 1 + k * DISTANCES.len() + di).mpki_reduction_vs(base)
+                })
+                .collect();
             cells.push(format!("{}%", f1(mean_reduction(&vals))));
         }
         table.row(cells);
     }
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig13"));
 }

@@ -10,8 +10,9 @@
 //! context tags, no bucketing, zero latency. Context counts are powers of
 //! two here (the paper also samples 10/12/14K).
 
-use llbp_bench::{mean_reduction, parallel_over_workloads, Opts};
+use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
 use llbp_sim::{PredictorKind, SimConfig};
 
@@ -20,22 +21,16 @@ const SET_SIZES: [usize; 4] = [8, 16, 32, 64];
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let base = cfg.run(PredictorKind::Tsl64K, trace);
-        let mut grid = Vec::new();
-        for &set_size in &SET_SIZES {
-            let mut per_ctx = Vec::new();
-            for &contexts in &CONTEXTS {
-                let params = LlbpParams::study_full_assoc(contexts, set_size);
-                let r = cfg.run(PredictorKind::Llbp(params), trace);
-                per_ctx.push(r.mpki_reduction_vs(&base));
-            }
-            grid.push(per_ctx);
+    // Predictor 0 is the baseline; then set-size-major × context-minor.
+    let mut predictors = vec![PredictorKind::Tsl64K];
+    for &set_size in &SET_SIZES {
+        for &contexts in &CONTEXTS {
+            predictors.push(PredictorKind::Llbp(LlbpParams::study_full_assoc(contexts, set_size)));
         }
-        grid
-    });
+    }
+    let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
+    let report = engine(&opts).run(&spec);
 
     println!("# Figure 14 — contexts × pattern-set size (mean MPKI reduction & capacity)");
     println!("(paper: 16K×8 ≈ −11%; ×16 +2.6 more; ×32 +1.4; ×64 ≈ +0; ≈512KiB local optimum)\n");
@@ -46,7 +41,12 @@ fn main() {
     for (si, &set_size) in SET_SIZES.iter().enumerate() {
         let mut cells = vec![set_size.to_string()];
         for (ci, _) in CONTEXTS.iter().enumerate() {
-            let vals: Vec<f64> = rows.iter().map(|(_, grid)| grid[si][ci]).collect();
+            let vals: Vec<f64> = (0..opts.workloads.len())
+                .map(|w| {
+                    let base = report.get(w, 0);
+                    report.get(w, 1 + si * CONTEXTS.len() + ci).mpki_reduction_vs(base)
+                })
+                .collect();
             cells.push(format!("{}%", f1(mean_reduction(&vals))));
         }
         table.row(cells);
@@ -67,4 +67,5 @@ fn main() {
     }
     println!("## LLBP capacity per configuration\n");
     println!("{}", cap.to_markdown());
+    eprintln!("{}", report.throughput_json("fig14"));
 }

@@ -6,26 +6,28 @@
 //! are bad; 59% of overrides are redundant (both agree); 49% of all
 //! predictions come from the bimodal table.
 
-use llbp_bench::{parallel_over_workloads, Opts};
-use llbp_core::{LlbpParams, LlbpPredictor, LlbpStats};
+use llbp_bench::{engine, workload_specs, Opts};
+use llbp_core::{LlbpParams, LlbpStats};
+use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{pct, Table};
-use llbp_sim::SimConfig;
+use llbp_sim::{PredictorKind, SimConfig};
 
 fn main() {
     let opts = Opts::from_args();
-    let cfg = SimConfig::default();
 
-    let rows = parallel_over_workloads(&opts, |_w, trace| {
-        let mut p = LlbpPredictor::new(LlbpParams::default());
-        let result = cfg.run_predictor(&mut p, trace);
-        let bim = result.provider_counts.get("bim").copied().unwrap_or(0);
-        (p.stats().clone(), result.conditional_branches, bim)
-    });
+    let spec = SweepSpec::new(
+        vec![PredictorKind::Llbp(LlbpParams::default())],
+        workload_specs(&opts),
+        SimConfig::default(),
+    );
+    let report = engine(&opts).run(&spec);
 
     let mut total = LlbpStats::default();
     let mut conds = 0u64;
     let mut bim = 0u64;
-    for (_w, (s, c, b)) in &rows {
+    for (i, _w) in opts.workloads.iter().enumerate() {
+        let result = report.get(i, 0);
+        let s = &result.llbp.as_ref().expect("LLBP cell stats").llbp;
         total.predictions += s.predictions;
         total.llbp_matches += s.llbp_matches;
         total.no_override += s.no_override;
@@ -33,8 +35,8 @@ fn main() {
         total.bad_override += s.bad_override;
         total.both_correct += s.both_correct;
         total.both_wrong += s.both_wrong;
-        conds += c;
-        bim += b;
+        conds += result.conditional_branches;
+        bim += result.provider_counts.get("bim").copied().unwrap_or(0);
     }
     assert!(total.breakdown_is_consistent());
 
@@ -70,4 +72,5 @@ fn main() {
         pct(bim as f64 / conds.max(1) as f64),
     ]);
     println!("{}", table.to_markdown());
+    eprintln!("{}", report.throughput_json("fig15"));
 }

@@ -2,10 +2,9 @@
 //! their synthetic stand-ins (working set, branch mix — §IV-2 cites a
 //! 3.89 conditional-to-unconditional ratio).
 
-use llbp_bench::{workload_specs, Opts};
+use llbp_bench::{trace_cache, workload_specs, Opts};
 use llbp_sim::engine::{default_workers, run_indexed};
 use llbp_sim::report::{f2, Table};
-use llbp_sim::TraceCache;
 use std::time::Instant;
 
 fn main() {
@@ -13,13 +12,12 @@ fn main() {
 
     // No predictor grid here, so this drives the engine's building blocks
     // directly: the bounded pool over the workload list, with traces going
-    // through the shared cache.
+    // through the shared (persistent) cache.
     let specs = workload_specs(&opts);
-    let cache = TraceCache::new();
+    let cache = trace_cache(&opts);
     let started = Instant::now();
-    let rows = run_indexed(default_workers(), specs.len(), |i| {
-        cache.get_or_generate(&specs[i]).stats()
-    });
+    let rows =
+        run_indexed(default_workers(), specs.len(), |i| cache.get_or_generate(&specs[i]).stats());
     let wall = started.elapsed();
 
     println!("# Table I — workloads (synthetic stand-ins; see DESIGN.md §3)\n");
@@ -42,10 +40,12 @@ fn main() {
     println!("{}", table.to_markdown());
     eprintln!(
         "{{\"event\":\"sweep_throughput\",\"label\":\"table01\",\"jobs\":{},\"workers\":{},\
-         \"wall_s\":{:.3},\"trace_mib\":{:.1}}}",
+         \"wall_s\":{:.3},\"cache_misses\":{},\"trace_disk_hits\":{},\"trace_mib\":{:.1}}}",
         specs.len(),
         default_workers().min(specs.len().max(1)),
         wall.as_secs_f64(),
+        cache.misses(),
+        cache.disk_hits(),
         cache.memory_footprint() as f64 / (1024.0 * 1024.0),
     );
 }

@@ -48,10 +48,7 @@ fn main() {
             (llbp.storage_bits() + llbp.cd_bits() + llbp.pb_bits()) as f64 / 8192.0
         ),
     ]);
-    table.row([
-        "L1-I".to_string(),
-        "32 KiB, 8-way, 64 B lines, next-line prefetch".to_string(),
-    ]);
+    table.row(["L1-I".to_string(), "32 KiB, 8-way, 64 B lines, next-line prefetch".to_string()]);
     table.row([
         "Simulation".to_string(),
         "first third of each trace warms the predictor; statistics from the rest".to_string(),

@@ -14,8 +14,13 @@ fn main() {
     let params = LlbpParams::default();
 
     println!("# Table III — relative access latency & energy (4 GHz)\n");
-    let mut table =
-        Table::new(["component", "rel. latency", "cycles", "rel. energy", "paper (lat/cyc/energy)"]);
+    let mut table = Table::new([
+        "component",
+        "rel. latency",
+        "cycles",
+        "rel. energy",
+        "paper (lat/cyc/energy)",
+    ]);
     let paper: [(&str, &str); 5] = [
         ("64KiB TSL", "1.00 / 2 / 1.00"),
         ("512KiB TSL", "2.55 / 4 / 4.58"),

@@ -5,12 +5,19 @@
 //!
 //! * `--quick` — a much shorter trace, for CI smoke runs;
 //! * `--branches N` — explicit trace length in branch records;
-//! * `--workloads a,b,c` — restrict to a subset of workload names.
+//! * `--workloads a,b,c` — restrict to a subset of workload names;
+//! * `--cold` — bypass the persistent cache (re-simulate everything,
+//!   refreshing the stored entries).
 //!
 //! Results print as markdown tables so they can be pasted straight into
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. Traces and per-cell simulation results are memoized
+//! under `target/llbp-cache/` (override with `LLBP_CACHE_DIR`), so a
+//! re-run of any figure — or a figure sharing grid cells with a previous
+//! one — skips generation and simulation for everything already stored.
 
+use llbp_sim::{MemoStore, SweepEngine, TraceCache};
 use llbp_trace::{Trace, Workload, WorkloadSpec};
+use std::sync::Arc;
 
 /// Default branch records per workload for full experiment runs.
 pub const FULL_BRANCHES: usize = 1_000_000;
@@ -26,6 +33,8 @@ pub struct Opts {
     pub workloads: Vec<Workload>,
     /// Whether `--quick` was requested.
     pub quick: bool,
+    /// Whether `--cold` was requested (ignore persisted cache entries).
+    pub cold: bool,
 }
 
 impl Opts {
@@ -46,8 +55,12 @@ impl Opts {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut opts =
-            Self { branches: FULL_BRANCHES, workloads: Workload::ALL.to_vec(), quick: false };
+        let mut opts = Self {
+            branches: FULL_BRANCHES,
+            workloads: Workload::ALL.to_vec(),
+            quick: false,
+            cold: false,
+        };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -55,6 +68,7 @@ impl Opts {
                     opts.quick = true;
                     opts.branches = QUICK_BRANCHES;
                 }
+                "--cold" => opts.cold = true,
                 "--branches" => {
                     let v = iter.next().unwrap_or_else(|| usage("missing value for --branches"));
                     opts.branches =
@@ -64,14 +78,10 @@ impl Opts {
                     let v = iter.next().unwrap_or_else(|| usage("missing value for --workloads"));
                     opts.workloads = v
                         .split(',')
-                        .map(|s| {
-                            s.trim()
-                                .parse::<Workload>()
-                                .unwrap_or_else(|e| usage(&e))
-                        })
+                        .map(|s| s.trim().parse::<Workload>().unwrap_or_else(|e| usage(&e)))
                         .collect();
                 }
-                "--help" | "-h" => usage("") ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument: {other}")),
             }
         }
@@ -89,13 +99,42 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--quick] [--branches N] [--workloads A,B,C]");
+    eprintln!("usage: <bin> [--quick] [--cold] [--branches N] [--workloads A,B,C]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Opens the shared persistent memo store (`LLBP_CACHE_DIR`, defaulting
+/// to `target/llbp-cache/`). Returns `None` — and the binaries degrade to
+/// uncached operation — if the directory cannot be created.
+#[must_use]
+pub fn memo_store() -> Option<Arc<MemoStore>> {
+    MemoStore::open_default().ok().map(Arc::new)
+}
+
+/// A [`SweepEngine`] wired to the persistent store, honoring `--cold`.
+#[must_use]
+pub fn engine(opts: &Opts) -> SweepEngine {
+    let mut engine = SweepEngine::new();
+    if let Some(store) = memo_store() {
+        engine = engine.with_store(store);
+    }
+    engine.cold(opts.cold)
+}
+
+/// A [`TraceCache`] wired to the persistent store, honoring `--cold`.
+/// For binaries that analyse traces directly instead of sweeping.
+#[must_use]
+pub fn trace_cache(opts: &Opts) -> TraceCache {
+    match memo_store() {
+        Some(store) => TraceCache::with_store(store, opts.cold),
+        None => TraceCache::new(),
+    }
 }
 
 /// Runs `f` for every workload on the sweep engine's bounded worker pool
 /// and returns the results in workload order. The closure receives the
-/// workload and its trace.
+/// workload and its trace (served from the persistent trace store when
+/// warm).
 ///
 /// Fan-out is capped at the available core count (it used to be one
 /// thread per workload, which oversubscribes small machines and keeps
@@ -106,9 +145,11 @@ where
     F: Fn(Workload, &Trace) -> T + Sync,
 {
     let workloads = opts.workloads.clone();
+    let cache = trace_cache(opts);
     let results =
         llbp_sim::engine::run_indexed(llbp_sim::engine::default_workers(), workloads.len(), |i| {
-            let trace = opts.trace(workloads[i]);
+            let trace = cache
+                .get_or_generate(&WorkloadSpec::named(workloads[i]).with_branches(opts.branches));
             f(workloads[i], &trace)
         });
     workloads.into_iter().zip(results).collect()
@@ -118,10 +159,7 @@ where
 /// go through the engine (`SweepSpec`) rather than the closure helper.
 #[must_use]
 pub fn workload_specs(opts: &Opts) -> Vec<WorkloadSpec> {
-    opts.workloads
-        .iter()
-        .map(|&w| WorkloadSpec::named(w).with_branches(opts.branches))
-        .collect()
+    opts.workloads.iter().map(|&w| WorkloadSpec::named(w).with_branches(opts.branches)).collect()
 }
 
 /// Geometric-mean helper over positive percentage reductions expressed as
@@ -149,9 +187,8 @@ mod tests {
 
     #[test]
     fn parse_quick_and_filters() {
-        let o = Opts::parse(
-            ["--quick", "--workloads", "Tomcat,HTTP"].iter().map(ToString::to_string),
-        );
+        let o =
+            Opts::parse(["--quick", "--workloads", "Tomcat,HTTP"].iter().map(ToString::to_string));
         assert!(o.quick);
         assert_eq!(o.branches, QUICK_BRANCHES);
         assert_eq!(o.workloads, vec![Workload::Tomcat, Workload::Http]);

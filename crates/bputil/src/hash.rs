@@ -184,8 +184,7 @@ impl IndexCtx {
     #[must_use]
     pub fn index(&self, folded_index: u32, table: u32) -> u64 {
         let m = (1u64 << self.index_bits) - 1;
-        let path =
-            (self.path_a1 ^ self.path_a2.rotate_left(table % self.index_bits.max(1))) & m;
+        let path = (self.path_a1 ^ self.path_a2.rotate_left(table % self.index_bits.max(1))) & m;
         let mixed = self.pc_part ^ u64::from(folded_index) ^ path;
         fold_to_bits(mix64(mixed ^ u64::from(table) << 57), self.index_bits)
     }

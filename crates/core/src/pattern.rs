@@ -159,13 +159,11 @@ impl PatternSet {
     pub fn is_sorted(&self) -> bool {
         (0..self.num_buckets).all(|b| {
             let r = self.bucket_range(b);
-            self.slots[r]
-                .windows(2)
-                .all(|w| match (&w[0], &w[1]) {
-                    (Some(a), Some(b)) => a.len_idx <= b.len_idx,
-                    (Some(_), None) => false, // empties sort first
-                    _ => true,
-                })
+            self.slots[r].windows(2).all(|w| match (&w[0], &w[1]) {
+                (Some(a), Some(b)) => a.len_idx <= b.len_idx,
+                (Some(_), None) => false, // empties sort first
+                _ => true,
+            })
         })
     }
 }
@@ -238,9 +236,8 @@ mod tests {
         }
         for _ in 0..5 {
             for len in [0u8, 1, 3] {
-                let slot = (0..16)
-                    .find(|&i| s.pattern(i).is_some_and(|p| p.len_idx == len))
-                    .unwrap();
+                let slot =
+                    (0..16).find(|&i| s.pattern(i).is_some_and(|p| p.len_idx == len)).unwrap();
                 s.pattern_mut(slot).unwrap().ctr.update(true);
             }
         }

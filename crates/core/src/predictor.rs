@@ -340,8 +340,7 @@ impl LlbpPredictor {
     /// longer than `base_len` (§V-D steps 2–4). No-op when the provider
     /// already used the longest history.
     fn allocate_pattern(&mut self, cid: u64, tags: &[u32], base_len: usize, taken: bool) {
-        let Some(len_idx) = self.params.history_lengths.iter().position(|&l| l > base_len)
-        else {
+        let Some(len_idx) = self.params.history_lengths.iter().position(|&l| l > base_len) else {
             return;
         };
         self.ensure_context_in_pb(cid);
@@ -428,9 +427,8 @@ impl Predictor for LlbpPredictor {
         // catch LLBP's statistical noise. With the (ablation)
         // weak-override gate, a just-allocated pattern defers to a
         // baseline backed by a tagged TAGE match.
-        let weak_blocked = |m: &LlbpMatch| {
-            self.params.weak_override_gate && m.weak && tage.provider.is_some()
-        };
+        let weak_blocked =
+            |m: &LlbpMatch| self.params.weak_override_gate && m.weak && tage.provider.is_some();
         let inject = match &llbp {
             Some(m) if m.hist_len >= tage.provider_hist_len && !weak_blocked(m) => Some(m.pred),
             _ => None,

@@ -44,12 +44,7 @@ impl RollingContextRegister {
     ///
     /// Panics if `window` is zero or `cid_bits` is not in `1..=63`.
     #[must_use]
-    pub fn new(
-        window: usize,
-        distance: usize,
-        cid_bits: u32,
-        kind: ContextHistoryKind,
-    ) -> Self {
+    pub fn new(window: usize, distance: usize, cid_bits: u32, kind: ContextHistoryKind) -> Self {
         assert!(window > 0, "window must be non-zero");
         assert!((1..=63).contains(&cid_bits), "cid_bits out of range");
         Self { pcs: vec![0; window + distance], window, distance, cid_bits, kind }

@@ -153,7 +153,12 @@ mod tests {
 
     #[test]
     fn bandwidth_math() {
-        let s = LlbpStats { storage_reads: 10, storage_writes: 2, instructions: 288, ..Default::default() };
+        let s = LlbpStats {
+            storage_reads: 10,
+            storage_writes: 2,
+            instructions: 288,
+            ..Default::default()
+        };
         assert!((s.read_bits_per_inst(288) - 10.0).abs() < 1e-12);
         assert!((s.write_bits_per_inst(288) - 2.0).abs() < 1e-12);
     }

@@ -1,7 +1,8 @@
 //! Simulation configuration and the predictor factory.
 
-use crate::driver::{SimResult, Simulator};
+use crate::driver::{LlbpCellStats, SimResult, Simulator};
 use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_tage::classic::{Gshare, HashedPerceptron, TwoLevelLocal};
 use llbp_tage::{Predictor, TageScl, TslConfig};
 use llbp_trace::Trace;
 
@@ -21,6 +22,29 @@ pub enum PredictorKind {
     Llbp(LlbpParams),
     /// Any custom TSL configuration.
     CustomTsl(TslConfig),
+    /// Classic gshare with `2^index_bits` counters (historical baseline).
+    Gshare {
+        /// log2 entries of the counter table.
+        index_bits: u32,
+        /// Global history bits XORed into the index.
+        history_bits: u32,
+    },
+    /// Classic two-level local-history predictor (PAg flavour).
+    TwoLevelLocal {
+        /// log2 entries of the per-branch history table.
+        bht_bits: u32,
+        /// Local history register width / log2 pattern-table entries.
+        local_bits: u32,
+    },
+    /// Hashed perceptron (historical baseline).
+    HashedPerceptron {
+        /// Number of weight tables.
+        tables: usize,
+        /// log2 entries per weight table.
+        index_bits: u32,
+        /// History bits hashed per table segment.
+        segment_bits: u32,
+    },
 }
 
 impl PredictorKind {
@@ -34,6 +58,15 @@ impl PredictorKind {
             PredictorKind::InfTsl => Box::new(TageScl::new(TslConfig::infinite_tsl())),
             PredictorKind::Llbp(p) => Box::new(LlbpPredictor::new(p.clone())),
             PredictorKind::CustomTsl(cfg) => Box::new(TageScl::new(cfg.clone())),
+            PredictorKind::Gshare { index_bits, history_bits } => {
+                Box::new(Gshare::new(*index_bits, *history_bits))
+            }
+            PredictorKind::TwoLevelLocal { bht_bits, local_bits } => {
+                Box::new(TwoLevelLocal::new(*bht_bits, *local_bits))
+            }
+            PredictorKind::HashedPerceptron { tables, index_bits, segment_bits } => {
+                Box::new(HashedPerceptron::new(*tables, *index_bits, *segment_bits))
+            }
         }
     }
 
@@ -47,7 +80,21 @@ impl PredictorKind {
             PredictorKind::InfTsl => "Inf TSL".into(),
             PredictorKind::Llbp(p) => p.label.clone(),
             PredictorKind::CustomTsl(cfg) => cfg.label.clone(),
+            PredictorKind::Gshare { index_bits, .. } => format!("gshare-{index_bits}b"),
+            PredictorKind::TwoLevelLocal { bht_bits, local_bits } => {
+                format!("2level-{bht_bits}x{local_bits}")
+            }
+            PredictorKind::HashedPerceptron { tables, index_bits, .. } => {
+                format!("perceptron-{tables}x{index_bits}b")
+            }
         }
+    }
+
+    /// A stable string describing this predictor for cache fingerprinting:
+    /// the `Debug` form, which covers every configuration field.
+    #[must_use]
+    pub fn fingerprint_text(&self) -> String {
+        format!("{self:?}")
     }
 }
 
@@ -69,8 +116,21 @@ impl Default for SimConfig {
 
 impl SimConfig {
     /// Runs `kind` over `trace` and returns the measured result.
+    ///
+    /// For LLBP designs the result additionally carries the predictor's
+    /// internal statistics ([`SimResult::llbp`]) so bandwidth/energy/
+    /// breakdown analyses can run through the sweep engine.
     #[must_use]
     pub fn run(&self, kind: PredictorKind, trace: &Trace) -> SimResult {
+        if let PredictorKind::Llbp(params) = kind {
+            let mut predictor = LlbpPredictor::new(params);
+            let mut result = Simulator::new(*self).run(&mut predictor, trace);
+            result.llbp = Some(LlbpCellStats {
+                llbp: predictor.stats().clone(),
+                frontend: *predictor.frontend().stats(),
+            });
+            return result;
+        }
         let mut predictor = kind.build();
         Simulator::new(*self).run(predictor.as_mut(), trace)
     }

@@ -2,8 +2,21 @@
 
 use crate::config::SimConfig;
 use bputil::hash::FastHashMap;
-use llbp_tage::{Predictor, ProviderKind};
+use llbp_core::LlbpStats;
+use llbp_tage::{FrontEndStats, Predictor, ProviderKind};
 use llbp_trace::{BranchKind, Trace};
+
+/// Internal LLBP predictor statistics captured alongside a [`SimResult`]
+/// when the simulated design is an LLBP (bandwidth, energy and breakdown
+/// figures need them; carrying them in the result lets those figures run
+/// through the sweep engine and be memoized like any other cell).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LlbpCellStats {
+    /// The LLBP-level counters (matches, overrides, storage traffic, …).
+    pub llbp: LlbpStats,
+    /// Front-end reset attribution (BTB / RAS / indirect).
+    pub frontend: FrontEndStats,
+}
 
 /// Measured outcome of one simulation run (post-warmup statistics).
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +37,9 @@ pub struct SimResult {
     pub per_branch_mispredicts: Option<FastHashMap<u64, u64>>,
     /// Per-static-branch execution counts, when enabled.
     pub per_branch_executions: Option<FastHashMap<u64, u64>>,
+    /// LLBP-internal statistics, when the simulated design is an LLBP
+    /// (populated by [`SimConfig::run`], `None` for other predictors).
+    pub llbp: Option<LlbpCellStats>,
 }
 
 impl SimResult {
@@ -85,6 +101,7 @@ impl Simulator {
             provider_counts: FastHashMap::default(),
             per_branch_mispredicts: self.config.track_per_branch.then(FastHashMap::default),
             per_branch_executions: self.config.track_per_branch.then(FastHashMap::default),
+            llbp: None,
         };
         // Providers are a tiny closed set; counting into a fixed array and
         // materialising the map once afterwards keeps string hashing out of
@@ -126,6 +143,14 @@ impl Simulator {
 
 /// Report labels in [`provider_ordinal`] order.
 const PROVIDER_LABELS: [&str; 5] = ["bim", "tage", "sc", "loop", "llbp"];
+
+/// Maps a provider label back to its interned `&'static str` (the memo
+/// store deserializes provider counts from disk and must key the map with
+/// the same statics the simulator uses). Unknown labels return `None`,
+/// which deserialization treats as a stale cache entry.
+pub(crate) fn intern_provider_label(label: &str) -> Option<&'static str> {
+    PROVIDER_LABELS.iter().find(|&&l| l == label).copied()
+}
 
 fn provider_ordinal(kind: ProviderKind) -> usize {
     match kind {
@@ -192,6 +217,7 @@ mod tests {
             provider_counts: FastHashMap::default(),
             per_branch_mispredicts: None,
             per_branch_executions: None,
+            llbp: None,
         };
         let base = mk(100);
         let better = mk(80);

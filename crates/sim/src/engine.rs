@@ -40,14 +40,22 @@
 use crate::cache::TraceCache;
 use crate::config::{PredictorKind, SimConfig};
 use crate::driver::SimResult;
+use crate::memo::MemoStore;
 use llbp_trace::WorkloadSpec;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Number of workers the engine uses by default: one per available core.
+/// Number of workers the engine uses by default: the `LLBP_WORKERS`
+/// environment variable when set (clamped to ≥ 1, so CI and shared hosts
+/// can pin the pool size), else one per available core.
 #[must_use]
 pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("LLBP_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
@@ -128,7 +136,10 @@ impl SweepSpec {
     /// trace are adjacent in the queue and the cache holds few traces at
     /// a time.
     fn job(&self, index: usize) -> SweepJob {
-        SweepJob { workload: index / self.predictors.len(), predictor: index % self.predictors.len() }
+        SweepJob {
+            workload: index / self.predictors.len(),
+            predictor: index % self.predictors.len(),
+        }
     }
 }
 
@@ -188,10 +199,16 @@ pub struct SweepReport {
     pub workers: usize,
     /// Wall time of the whole sweep, including trace generation.
     pub wall: Duration,
-    /// Trace-cache requests served without generating.
+    /// Trace-cache requests served from memory without generating.
     pub cache_hits: u64,
     /// Traces generated.
     pub cache_misses: u64,
+    /// Trace-cache requests served from the persistent store.
+    pub trace_disk_hits: u64,
+    /// Grid cells whose result was served from the persistent store.
+    pub memo_hits: u64,
+    /// Grid cells simulated (and written back, when a store is attached).
+    pub memo_misses: u64,
     /// Peak heap bytes held by cached traces.
     pub trace_bytes: usize,
 }
@@ -240,7 +257,9 @@ impl SweepReport {
                 "{{\"event\":\"sweep_throughput\",\"label\":\"{}\",",
                 "\"jobs\":{},\"workers\":{},\"branches\":{},",
                 "\"wall_s\":{:.3},\"branches_per_sec\":{:.0},",
-                "\"cache_hits\":{},\"cache_misses\":{},\"trace_mib\":{:.1}}}"
+                "\"cache_hits\":{},\"cache_misses\":{},",
+                "\"trace_disk_hits\":{},\"memo_hits\":{},\"memo_misses\":{},",
+                "\"trace_mib\":{:.1}}}"
             ),
             label.replace(['"', '\\'], "_"),
             self.jobs.len(),
@@ -250,15 +269,21 @@ impl SweepReport {
             self.branches_per_sec(),
             self.cache_hits,
             self.cache_misses,
+            self.trace_disk_hits,
+            self.memo_hits,
+            self.memo_misses,
             self.trace_bytes as f64 / (1024.0 * 1024.0),
         )
     }
 }
 
-/// Schedules [`SweepSpec`] grids onto a worker pool.
-#[derive(Debug, Clone, Copy)]
+/// Schedules [`SweepSpec`] grids onto a worker pool, optionally memoizing
+/// every cell in a persistent [`MemoStore`].
+#[derive(Debug, Clone)]
 pub struct SweepEngine {
     workers: usize,
+    store: Option<Arc<MemoStore>>,
+    cold: bool,
 }
 
 impl Default for SweepEngine {
@@ -268,17 +293,37 @@ impl Default for SweepEngine {
 }
 
 impl SweepEngine {
-    /// An engine with one worker per available core.
+    /// An engine with one worker per available core (or `LLBP_WORKERS`)
+    /// and no persistent store.
     #[must_use]
     pub fn new() -> Self {
-        Self { workers: default_workers() }
+        Self { workers: default_workers(), store: None, cold: false }
     }
 
     /// An engine with an explicit worker count (`0` is clamped to 1).
     /// Results are identical at any worker count; only throughput varies.
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self { workers: workers.max(1), store: None, cold: false }
+    }
+
+    /// Attaches a persistent store: each grid cell probes it for a
+    /// memoized result before simulating and writes its result (plus the
+    /// wall time, the scheduling cost model) back on a miss. Results are
+    /// bit-identical with or without a store — the parity tests pin it.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<MemoStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// With `cold` set, memoized results and traces are ignored (every
+    /// cell re-simulates) but write-back still happens, so a cold run
+    /// refreshes the store and records fresh per-cell wall times.
+    #[must_use]
+    pub fn cold(mut self, cold: bool) -> Self {
+        self.cold = cold;
+        self
     }
 
     /// The worker count this engine schedules with.
@@ -294,18 +339,68 @@ impl SweepEngine {
     /// Propagates a panic from a simulation job.
     #[must_use]
     pub fn run(&self, spec: &SweepSpec) -> SweepReport {
+        let cache = match &self.store {
+            Some(store) => TraceCache::with_store(Arc::clone(store), self.cold),
+            None => TraceCache::new(),
+        };
+        self.run_with_cache(spec, &cache)
+    }
+
+    /// Runs the grid against a caller-provided trace cache, so harness
+    /// code that needs the traces afterwards (e.g. for L1-I traffic
+    /// analysis) shares one cache with the sweep instead of regenerating.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from a simulation job.
+    #[must_use]
+    pub fn run_with_cache(&self, spec: &SweepSpec, cache: &TraceCache) -> SweepReport {
         let started = Instant::now();
-        let cache = TraceCache::new();
         let n = spec.num_jobs();
-        let jobs = run_indexed(self.workers, n, |i| {
-            let job = spec.job(i);
+        let fingerprints: Vec<_> = self.store.as_ref().map_or_else(Vec::new, |store| {
+            (0..n)
+                .map(|i| {
+                    let job = spec.job(i);
+                    store.result_fingerprint(
+                        &spec.predictors[job.predictor],
+                        &spec.workloads[job.workload],
+                        &spec.sim,
+                    )
+                })
+                .collect()
+        });
+        let order = self.schedule(n, &fingerprints);
+        let memo_hits = AtomicU64::new(0);
+        let memo_misses = AtomicU64::new(0);
+        let mut claimed = run_indexed(self.workers, n, |slot| {
+            let index = order[slot];
+            let job = spec.job(index);
+            if let Some(store) = &self.store {
+                let fp = fingerprints[index];
+                if !self.cold {
+                    let probe_started = Instant::now();
+                    if let Some(cell) = store.load_result(fp) {
+                        memo_hits.fetch_add(1, Ordering::Relaxed);
+                        let stats =
+                            JobStats { wall: probe_started.elapsed(), branches: cell.trace_len };
+                        return (index, JobRecord { job, result: cell.result, stats });
+                    }
+                }
+                memo_misses.fetch_add(1, Ordering::Relaxed);
+            }
             let trace = cache.get_or_generate(&spec.workloads[job.workload]);
             let sim_started = Instant::now();
             let result = spec.sim.run(spec.predictors[job.predictor].clone(), &trace);
-            let stats =
-                JobStats { wall: sim_started.elapsed(), branches: trace.len() as u64 };
-            JobRecord { job, result, stats }
+            let wall = sim_started.elapsed();
+            if let Some(store) = &self.store {
+                let _ = store.store_result(fingerprints[index], &result, wall, trace.len() as u64);
+            }
+            let stats = JobStats { wall, branches: trace.len() as u64 };
+            (index, JobRecord { job, result, stats })
         });
+        // Workers claim in schedule order; reports stay in grid order.
+        claimed.sort_unstable_by_key(|&(index, _)| index);
+        let jobs = claimed.into_iter().map(|(_, record)| record).collect();
         SweepReport {
             jobs,
             num_predictors: spec.predictors.len(),
@@ -313,8 +408,40 @@ impl SweepEngine {
             wall: started.elapsed(),
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            trace_disk_hits: cache.disk_hits(),
+            memo_hits: memo_hits.into_inner(),
+            memo_misses: memo_misses.into_inner(),
             trace_bytes: cache.memory_footprint(),
         }
+    }
+
+    /// The order in which workers claim grid cells: longest-job-first,
+    /// using the store's recorded per-cell wall times as the cost model.
+    ///
+    /// Cells with no cost information (never simulated under this format
+    /// version) are assumed expensive and scheduled first; memoized cells
+    /// that will be served from disk are near-free and scheduled last.
+    /// Ties keep grid order, so a store-less engine degrades to exactly
+    /// the workload-major order (which maximizes trace-cache locality).
+    fn schedule(&self, n: usize, fingerprints: &[llbp_trace::Fingerprint]) -> Vec<usize> {
+        let Some(store) = &self.store else {
+            return (0..n).collect();
+        };
+        let mut keyed: Vec<(std::cmp::Reverse<u64>, usize)> = (0..n)
+            .map(|i| {
+                let fp = fingerprints[i];
+                let cost = if !self.cold && store.has_result(fp) {
+                    0
+                } else {
+                    store
+                        .recorded_cost(fp)
+                        .map_or(u64::MAX, |wall| u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX))
+                };
+                (std::cmp::Reverse(cost), i)
+            })
+            .collect();
+        keyed.sort_unstable();
+        keyed.into_iter().map(|(_, i)| i).collect()
     }
 }
 

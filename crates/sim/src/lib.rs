@@ -21,14 +21,16 @@ pub mod driver;
 pub mod energy;
 pub mod engine;
 pub mod l1i;
+pub mod memo;
 pub mod patterns;
 pub mod report;
 pub mod timing;
 
 pub use cache::TraceCache;
 pub use config::{PredictorKind, SimConfig};
-pub use driver::{SimResult, Simulator};
+pub use driver::{LlbpCellStats, SimResult, Simulator};
 pub use energy::EnergyModel;
 pub use engine::{SweepEngine, SweepReport, SweepSpec};
 pub use l1i::L1iCache;
+pub use memo::{CachedCell, MemoStore, MEMO_FORMAT_VERSION};
 pub use timing::TimingModel;

@@ -1,0 +1,745 @@
+//! Persistent, content-addressed memoization of traces and simulation
+//! results.
+//!
+//! The experiment harness re-runs the same `(predictor, workload, sim
+//! config)` grid cells constantly: every figure regenerates its traces
+//! from scratch, and recurring cells (the 64K TSL baseline alone appears
+//! in five figures) are re-simulated per binary. This module keeps both
+//! on disk, keyed by a stable 128-bit fingerprint of everything that
+//! influences the content:
+//!
+//! * **traces** (`<root>/traces/<fp>.llbt`) — serialized through the
+//!   `LLBT` binary format of `llbp_trace::io`, fingerprinted by the full
+//!   [`WorkloadSpec`] plus the trace-format version and the store salt;
+//! * **result cells** (`<root>/results/<fp>.llbr`) — serialized
+//!   [`SimResult`]s plus the simulation wall time and trace length,
+//!   fingerprinted by `(PredictorKind, WorkloadSpec, SimConfig)` plus the
+//!   format version and salt.
+//!
+//! The store root defaults to `target/llbp-cache/` and can be moved with
+//! the `LLBP_CACHE_DIR` environment variable; deleting the directory (or
+//! any file in it) is always safe. Every read validates a trailing
+//! checksum and parses defensively, so truncated or corrupt files degrade
+//! to cache misses rather than wrong results. Writes go through a
+//! temp-file + rename so concurrent processes never observe partial
+//! entries.
+//!
+//! Bumping [`MEMO_FORMAT_VERSION`] (or constructing the store with a
+//! different salt) changes every fingerprint and thereby invalidates the
+//! whole store cleanly — stale files are simply never addressed again.
+
+use crate::config::{PredictorKind, SimConfig};
+use crate::driver::{intern_provider_label, LlbpCellStats, SimResult};
+use bputil::hash::FastHashMap;
+use llbp_core::LlbpStats;
+use llbp_tage::FrontEndStats;
+use llbp_trace::fingerprint::{Fingerprint, StableHasher};
+use llbp_trace::{read_trace, write_trace, Trace, WorkloadSpec};
+use std::fs;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Version salt mixed into every fingerprint. Bump whenever the cell
+/// serialization layout, the set of serialized fields, or the semantics
+/// of the simulator change in a way old entries must not survive.
+pub const MEMO_FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes of a result-cell file.
+const CELL_MAGIC: [u8; 4] = *b"LLBR";
+
+/// Environment variable overriding the store directory.
+pub const CACHE_DIR_ENV: &str = "LLBP_CACHE_DIR";
+
+/// Default store directory, relative to the working directory (the repo
+/// root when binaries run via `cargo run`).
+pub const DEFAULT_CACHE_DIR: &str = "target/llbp-cache";
+
+/// A cached simulation cell: the result plus the bookkeeping the engine
+/// needs to schedule and report without touching the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedCell {
+    /// The memoized simulation result, bit-identical to a fresh run.
+    pub result: SimResult,
+    /// Wall time of the original simulation (the scheduling cost model).
+    pub wall: Duration,
+    /// Branch records in the simulated trace.
+    pub trace_len: u64,
+}
+
+/// The persistent content-addressed store.
+#[derive(Debug)]
+pub struct MemoStore {
+    root: PathBuf,
+    salt: u64,
+    trace_loads: AtomicU64,
+    trace_stores: AtomicU64,
+    result_loads: AtomicU64,
+    result_stores: AtomicU64,
+}
+
+impl MemoStore {
+    /// Opens (creating if necessary) the store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory tree cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_with_salt(dir, 0)
+    }
+
+    /// Opens the store at `dir` with an explicit extra salt (tests use
+    /// this to simulate a format-version bump).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory tree cannot be
+    /// created.
+    pub fn open_with_salt(dir: impl Into<PathBuf>, salt: u64) -> std::io::Result<Self> {
+        let root = dir.into();
+        fs::create_dir_all(root.join("traces"))?;
+        fs::create_dir_all(root.join("results"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(Self {
+            root,
+            salt,
+            trace_loads: AtomicU64::new(0),
+            trace_stores: AtomicU64::new(0),
+            result_loads: AtomicU64::new(0),
+            result_stores: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens the default store: `$LLBP_CACHE_DIR` if set, else
+    /// [`DEFAULT_CACHE_DIR`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory tree cannot be
+    /// created.
+    pub fn open_default() -> std::io::Result<Self> {
+        match std::env::var(CACHE_DIR_ENV) {
+            Ok(dir) if !dir.trim().is_empty() => Self::open(dir),
+            _ => Self::open(DEFAULT_CACHE_DIR),
+        }
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Traces successfully loaded from disk.
+    #[must_use]
+    pub fn trace_loads(&self) -> u64 {
+        self.trace_loads.load(Ordering::Relaxed)
+    }
+
+    /// Result cells successfully loaded from disk.
+    #[must_use]
+    pub fn result_loads(&self) -> u64 {
+        self.result_loads.load(Ordering::Relaxed)
+    }
+
+    /// Traces written to disk.
+    #[must_use]
+    pub fn trace_stores(&self) -> u64 {
+        self.trace_stores.load(Ordering::Relaxed)
+    }
+
+    /// Result cells written to disk.
+    #[must_use]
+    pub fn result_stores(&self) -> u64 {
+        self.result_stores.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Fingerprints
+    // ------------------------------------------------------------------
+
+    fn base_hasher(&self, domain: &str) -> StableHasher {
+        let mut h = StableHasher::new();
+        h.write_str(domain);
+        h.write_u64(u64::from(MEMO_FORMAT_VERSION));
+        h.write_u64(self.salt);
+        h
+    }
+
+    /// Fingerprint addressing the generated trace of `spec`.
+    #[must_use]
+    pub fn trace_fingerprint(&self, spec: &WorkloadSpec) -> Fingerprint {
+        let mut h = self.base_hasher("llbp-trace");
+        h.write_u64(u64::from(llbp_trace::io::VERSION));
+        // `WorkloadSpec`'s `Debug` form covers every generation parameter
+        // (preset fields, branch count, seed) and is deterministic; f64
+        // tuning fields keep the spec from implementing `Hash` directly.
+        h.write_str(&format!("{spec:?}"));
+        h.finish()
+    }
+
+    /// Fingerprint addressing the simulation result of one grid cell.
+    #[must_use]
+    pub fn result_fingerprint(
+        &self,
+        kind: &PredictorKind,
+        workload: &WorkloadSpec,
+        sim: &SimConfig,
+    ) -> Fingerprint {
+        let mut h = self.base_hasher("llbp-result");
+        h.write_str(&kind.fingerprint_text());
+        h.write_str(&format!("{workload:?}"));
+        h.write_str(&format!("{sim:?}"));
+        h.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // Traces
+    // ------------------------------------------------------------------
+
+    fn trace_path(&self, fp: Fingerprint) -> PathBuf {
+        self.root.join("traces").join(format!("{fp}.llbt"))
+    }
+
+    fn result_path(&self, fp: Fingerprint) -> PathBuf {
+        self.root.join("results").join(format!("{fp}.llbr"))
+    }
+
+    /// Loads the trace addressed by `fp`, or `None` on a miss or any form
+    /// of corruption (bad magic, truncation, checksum mismatch).
+    #[must_use]
+    pub fn load_trace(&self, fp: Fingerprint) -> Option<Trace> {
+        let file = fs::File::open(self.trace_path(fp)).ok()?;
+        let trace = read_trace(BufReader::new(file)).ok()?;
+        self.trace_loads.fetch_add(1, Ordering::Relaxed);
+        Some(trace)
+    }
+
+    /// Persists `trace` under `fp` (best-effort; callers typically ignore
+    /// the error since the cache is an optimization, not a correctness
+    /// requirement).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when the write or rename fails.
+    pub fn store_trace(&self, fp: Fingerprint, trace: &Trace) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(trace.len() * 22 + 64);
+        write_trace(&mut buf, trace).map_err(|e| match e {
+            llbp_trace::TraceIoError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        })?;
+        self.publish(&buf, &self.trace_path(fp))?;
+        self.trace_stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether a result cell exists for `fp` (no validation; a corrupt
+    /// file will still be rejected by [`MemoStore::load_result`]).
+    #[must_use]
+    pub fn has_result(&self, fp: Fingerprint) -> bool {
+        self.result_path(fp).exists()
+    }
+
+    /// The recorded simulation wall time of the cell addressed by `fp`,
+    /// used by the engine as the longest-job-first cost model.
+    #[must_use]
+    pub fn recorded_cost(&self, fp: Fingerprint) -> Option<Duration> {
+        // The wall time sits at a fixed offset right after magic+version;
+        // reading 16 bytes avoids parsing (and validating) the whole cell
+        // just to schedule it.
+        use std::io::Read;
+        let mut file = fs::File::open(self.result_path(fp)).ok()?;
+        let mut head = [0u8; 16];
+        file.read_exact(&mut head).ok()?;
+        if head[0..4] != CELL_MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(head[4..8].try_into().expect("slice length"));
+        if version != MEMO_FORMAT_VERSION {
+            return None;
+        }
+        let nanos = u64::from_le_bytes(head[8..16].try_into().expect("slice length"));
+        Some(Duration::from_nanos(nanos))
+    }
+
+    /// Loads the result cell addressed by `fp`, or `None` on a miss or
+    /// any corruption.
+    #[must_use]
+    pub fn load_result(&self, fp: Fingerprint) -> Option<CachedCell> {
+        let bytes = fs::read(self.result_path(fp)).ok()?;
+        let cell = decode_cell(&bytes)?;
+        self.result_loads.fetch_add(1, Ordering::Relaxed);
+        Some(cell)
+    }
+
+    /// Persists a result cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when the write or rename fails.
+    pub fn store_result(
+        &self,
+        fp: Fingerprint,
+        result: &SimResult,
+        wall: Duration,
+        trace_len: u64,
+    ) -> std::io::Result<()> {
+        let bytes = encode_cell(result, wall, trace_len);
+        self.publish(&bytes, &self.result_path(fp))?;
+        self.result_stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes `bytes` to a unique temp file and renames it into place, so
+    /// readers (including other processes) only ever see complete files.
+    fn publish(&self, bytes: &[u8], dest: &Path) -> std::io::Result<()> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+            dest.file_name().and_then(|n| n.to_str()).unwrap_or("cell")
+        ));
+        fs::write(&tmp, bytes)?;
+        match fs::rename(&tmp, dest) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Result-cell serialization
+//
+// Layout (little-endian):
+//   magic   [u8;4] = "LLBR"
+//   version u32    = MEMO_FORMAT_VERSION
+//   payload        (see encode_cell; starts with wall_nanos for the
+//                   fixed-offset recorded_cost read)
+//   digest  u128   StableHasher (FNV-1a 128) over the payload
+// ----------------------------------------------------------------------
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_llbp_stats(buf: &mut Vec<u8>, s: &LlbpCellStats) {
+    let l = &s.llbp;
+    for v in [
+        l.predictions,
+        l.llbp_matches,
+        l.no_override,
+        l.good_override,
+        l.bad_override,
+        l.both_correct,
+        l.both_wrong,
+        l.storage_reads,
+        l.storage_writes,
+        l.cd_lookups,
+        l.cd_hits,
+        l.pb_hits,
+        l.late_prefetches,
+        l.pipeline_resets,
+        l.contexts_created,
+        l.pattern_allocs,
+        l.instructions,
+        l.cycles,
+    ] {
+        put_u64(buf, v);
+    }
+    let f = &s.frontend;
+    for v in [f.branches, f.btb_resets, f.ras_resets, f.indirect_resets] {
+        put_u64(buf, v);
+    }
+}
+
+fn put_branch_map(buf: &mut Vec<u8>, map: Option<&FastHashMap<u64, u64>>) {
+    match map {
+        None => buf.push(0),
+        Some(map) => {
+            buf.push(1);
+            let mut entries: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+            entries.sort_unstable();
+            put_u64(buf, entries.len() as u64);
+            for (k, v) in entries {
+                put_u64(buf, k);
+                put_u64(buf, v);
+            }
+        }
+    }
+}
+
+fn encode_cell(result: &SimResult, wall: Duration, trace_len: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(256);
+    put_u64(&mut payload, u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX));
+    put_u64(&mut payload, trace_len);
+    put_str(&mut payload, &result.label);
+    put_str(&mut payload, &result.workload);
+    put_u64(&mut payload, result.instructions);
+    put_u64(&mut payload, result.conditional_branches);
+    put_u64(&mut payload, result.mispredictions);
+    let mut providers: Vec<(&str, u64)> =
+        result.provider_counts.iter().map(|(&k, &v)| (k, v)).collect();
+    providers.sort_unstable();
+    put_u64(&mut payload, providers.len() as u64);
+    for (k, v) in providers {
+        put_str(&mut payload, k);
+        put_u64(&mut payload, v);
+    }
+    put_branch_map(&mut payload, result.per_branch_mispredicts.as_ref());
+    put_branch_map(&mut payload, result.per_branch_executions.as_ref());
+    match &result.llbp {
+        None => payload.push(0),
+        Some(s) => {
+            payload.push(1);
+            put_llbp_stats(&mut payload, s);
+        }
+    }
+
+    let mut hasher = StableHasher::new();
+    hasher.write(&payload);
+    let digest = hasher.finish();
+
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&CELL_MAGIC);
+    out.extend_from_slice(&MEMO_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&digest.0.to_le_bytes());
+    out
+}
+
+/// A bounds-checked little-endian reader over a cell payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        if len > self.bytes.len() {
+            return None;
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn branch_map(&mut self) -> Option<Option<FastHashMap<u64, u64>>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => {
+                let n = usize::try_from(self.u64()?).ok()?;
+                if n > self.bytes.len() / 16 {
+                    return None;
+                }
+                let mut map = FastHashMap::default();
+                map.reserve(n);
+                for _ in 0..n {
+                    let k = self.u64()?;
+                    let v = self.u64()?;
+                    map.insert(k, v);
+                }
+                Some(Some(map))
+            }
+            _ => None,
+        }
+    }
+
+    fn llbp_stats(&mut self) -> Option<LlbpCellStats> {
+        let mut l = LlbpStats::default();
+        for field in [
+            &mut l.predictions,
+            &mut l.llbp_matches,
+            &mut l.no_override,
+            &mut l.good_override,
+            &mut l.bad_override,
+            &mut l.both_correct,
+            &mut l.both_wrong,
+            &mut l.storage_reads,
+            &mut l.storage_writes,
+            &mut l.cd_lookups,
+            &mut l.cd_hits,
+            &mut l.pb_hits,
+            &mut l.late_prefetches,
+            &mut l.pipeline_resets,
+            &mut l.contexts_created,
+            &mut l.pattern_allocs,
+            &mut l.instructions,
+            &mut l.cycles,
+        ] {
+            *field = self.u64()?;
+        }
+        let mut f = FrontEndStats::default();
+        for field in [&mut f.branches, &mut f.btb_resets, &mut f.ras_resets, &mut f.indirect_resets]
+        {
+            *field = self.u64()?;
+        }
+        Some(LlbpCellStats { llbp: l, frontend: f })
+    }
+}
+
+fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
+    // magic + version + digest are the fixed overhead around the payload.
+    if bytes.len() < 4 + 4 + 16 || bytes[0..4] != CELL_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if version != MEMO_FORMAT_VERSION {
+        return None;
+    }
+    let payload = &bytes[8..bytes.len() - 16];
+    let stored = u128::from_le_bytes(bytes[bytes.len() - 16..].try_into().ok()?);
+    let mut hasher = StableHasher::new();
+    hasher.write(payload);
+    if hasher.finish().0 != stored {
+        return None;
+    }
+
+    let mut c = Cursor { bytes: payload, pos: 0 };
+    let wall = Duration::from_nanos(c.u64()?);
+    let trace_len = c.u64()?;
+    let label = c.str()?;
+    let workload = c.str()?;
+    let instructions = c.u64()?;
+    let conditional_branches = c.u64()?;
+    let mispredictions = c.u64()?;
+    let n_providers = usize::try_from(c.u64()?).ok()?;
+    if n_providers > 64 {
+        return None;
+    }
+    let mut provider_counts: FastHashMap<&'static str, u64> = FastHashMap::default();
+    for _ in 0..n_providers {
+        let key = c.str()?;
+        let count = c.u64()?;
+        provider_counts.insert(intern_provider_label(&key)?, count);
+    }
+    let per_branch_mispredicts = c.branch_map()?;
+    let per_branch_executions = c.branch_map()?;
+    let llbp = match c.u8()? {
+        0 => None,
+        1 => Some(c.llbp_stats()?),
+        _ => return None,
+    };
+    if c.pos != payload.len() {
+        return None; // trailing garbage inside a checksummed payload
+    }
+    Some(CachedCell {
+        result: SimResult {
+            label,
+            workload,
+            instructions,
+            conditional_branches,
+            mispredictions,
+            provider_counts,
+            per_branch_mispredicts,
+            per_branch_executions,
+            llbp,
+        },
+        wall,
+        trace_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llbp_trace::Workload;
+    use std::sync::atomic::AtomicU32;
+
+    /// A unique throwaway store rooted under the system temp dir.
+    fn scratch_store() -> (MemoStore, PathBuf) {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "llbp-memo-unit-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        (MemoStore::open(&dir).expect("temp store"), dir)
+    }
+
+    fn sample_result(with_maps: bool, with_llbp: bool) -> SimResult {
+        let mut provider_counts: FastHashMap<&'static str, u64> = FastHashMap::default();
+        provider_counts.insert("tage", 900);
+        provider_counts.insert("bim", 100);
+        let mk_map = || {
+            let mut m: FastHashMap<u64, u64> = FastHashMap::default();
+            m.insert(0x4000, 17);
+            m.insert(0x4abc, 3);
+            m
+        };
+        SimResult {
+            label: "64K TSL".into(),
+            workload: "HTTP".into(),
+            instructions: 123_456,
+            conditional_branches: 1_000,
+            mispredictions: 42,
+            provider_counts,
+            per_branch_mispredicts: with_maps.then(mk_map),
+            per_branch_executions: with_maps.then(mk_map),
+            llbp: with_llbp.then(|| {
+                let mut s = LlbpCellStats::default();
+                s.llbp.predictions = 1_000;
+                s.llbp.llbp_matches = 140;
+                s.frontend.btb_resets = 7;
+                s
+            }),
+        }
+    }
+
+    #[test]
+    fn result_cell_roundtrips_exactly() {
+        for (maps, llbp) in [(false, false), (true, false), (false, true), (true, true)] {
+            let r = sample_result(maps, llbp);
+            let bytes = encode_cell(&r, Duration::from_millis(250), 5_000);
+            let cell = decode_cell(&bytes).expect("roundtrip");
+            assert_eq!(cell.result, r);
+            assert_eq!(cell.wall, Duration::from_millis(250));
+            assert_eq!(cell.trace_len, 5_000);
+        }
+    }
+
+    #[test]
+    fn corrupt_cells_are_rejected() {
+        let bytes = encode_cell(&sample_result(true, true), Duration::from_secs(1), 100);
+        // Truncation anywhere → None.
+        for cut in [1, 8, 20, bytes.len() - 1] {
+            assert!(decode_cell(&bytes[..cut]).is_none(), "cut={cut}");
+        }
+        // Any flipped payload bit → checksum mismatch → None.
+        for i in [9, 20, bytes.len() / 2, bytes.len() - 17] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_cell(&bad).is_none(), "flip at {i}");
+        }
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode_cell(&bad).is_none());
+    }
+
+    #[test]
+    fn store_roundtrips_results_and_costs() {
+        let (store, dir) = scratch_store();
+        let fp = Fingerprint(0xfeed);
+        assert!(store.load_result(fp).is_none());
+        assert!(!store.has_result(fp));
+        assert!(store.recorded_cost(fp).is_none());
+
+        let r = sample_result(false, false);
+        store.store_result(fp, &r, Duration::from_micros(1234), 777).expect("store");
+        assert!(store.has_result(fp));
+        assert_eq!(store.recorded_cost(fp), Some(Duration::from_micros(1234)));
+        let cell = store.load_result(fp).expect("load");
+        assert_eq!(cell.result, r);
+        assert_eq!(cell.trace_len, 777);
+        assert_eq!(store.result_loads(), 1);
+        assert_eq!(store.result_stores(), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_roundtrips_traces() {
+        let (store, dir) = scratch_store();
+        let spec = WorkloadSpec::named(Workload::Http).with_branches(800);
+        let fp = store.trace_fingerprint(&spec);
+        assert!(store.load_trace(fp).is_none());
+        let trace = spec.generate();
+        store.store_trace(fp, &trace).expect("store trace");
+        let back = store.load_trace(fp).expect("load trace");
+        assert_eq!(back.records(), trace.records());
+        assert_eq!(back.name(), trace.name());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fingerprints_separate_every_input() {
+        let (store, dir) = scratch_store();
+        let spec = WorkloadSpec::named(Workload::Http).with_branches(1_000);
+        let sim = SimConfig::default();
+        let base = store.result_fingerprint(&PredictorKind::Tsl64K, &spec, &sim);
+        assert_ne!(
+            base,
+            store.result_fingerprint(&PredictorKind::TslScaled(2), &spec, &sim),
+            "predictor must be keyed"
+        );
+        assert_ne!(
+            base,
+            store.result_fingerprint(
+                &PredictorKind::Tsl64K,
+                &spec.clone().with_branches(2_000),
+                &sim
+            ),
+            "workload must be keyed"
+        );
+        assert_ne!(
+            base,
+            store.result_fingerprint(
+                &PredictorKind::Tsl64K,
+                &spec,
+                &SimConfig { track_per_branch: true, ..sim }
+            ),
+            "sim config must be keyed"
+        );
+        assert_ne!(store.trace_fingerprint(&spec), base, "domains must not collide");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn salt_changes_every_fingerprint() {
+        let (a, dir_a) = scratch_store();
+        let dir_b = std::env::temp_dir().join(format!("llbp-memo-salt-{}", std::process::id()));
+        let b = MemoStore::open_with_salt(&dir_b, 1).expect("salted store");
+        let spec = WorkloadSpec::named(Workload::Kafka).with_branches(500);
+        assert_ne!(a.trace_fingerprint(&spec), b.trace_fingerprint(&spec));
+        assert_ne!(
+            a.result_fingerprint(&PredictorKind::Tsl64K, &spec, &SimConfig::default()),
+            b.result_fingerprint(&PredictorKind::Tsl64K, &spec, &SimConfig::default())
+        );
+        let _ = fs::remove_dir_all(dir_a);
+        let _ = fs::remove_dir_all(dir_b);
+    }
+
+    #[test]
+    fn unknown_provider_label_invalidates_cell() {
+        // Simulate a cell written by a future simulator with a new
+        // provider kind: today's reader must treat it as a miss.
+        let r = sample_result(false, false);
+        let mut bytes = encode_cell(&r, Duration::ZERO, 1);
+        // Corrupting the interned label text breaks the checksum first,
+        // which is already a rejection; rebuild a cell whose payload is
+        // valid but carries an unknown label.
+        let pos = bytes.windows(3).position(|w| w == b"bim").expect("label present in encoding");
+        bytes[pos..pos + 3].copy_from_slice(b"xyz");
+        // Fix up the digest so only the label is "wrong".
+        let payload_end = bytes.len() - 16;
+        let mut hasher = StableHasher::new();
+        hasher.write(&bytes[8..payload_end]);
+        let digest = hasher.finish().0.to_le_bytes();
+        bytes[payload_end..].copy_from_slice(&digest);
+        assert!(decode_cell(&bytes).is_none());
+    }
+}

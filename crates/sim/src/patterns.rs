@@ -20,11 +20,8 @@ use llbp_trace::{BranchKind, Trace};
 pub fn rank_by_mispredictions(trace: &Trace) -> Vec<(u64, u64)> {
     let cfg = SimConfig { warmup_fraction: 0.0, track_per_branch: true };
     let result = cfg.run(PredictorKind::Tsl64K, trace);
-    let mut ranked: Vec<(u64, u64)> = result
-        .per_branch_mispredicts
-        .expect("per-branch tracking enabled")
-        .into_iter()
-        .collect();
+    let mut ranked: Vec<(u64, u64)> =
+        result.per_branch_mispredicts.expect("per-branch tracking enabled").into_iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked
 }

@@ -9,11 +9,7 @@ use llbp_trace::{Workload, WorkloadSpec};
 
 fn grid() -> SweepSpec {
     SweepSpec::new(
-        vec![
-            PredictorKind::Tsl64K,
-            PredictorKind::TslScaled(2),
-            PredictorKind::InfTage,
-        ],
+        vec![PredictorKind::Tsl64K, PredictorKind::TslScaled(2), PredictorKind::InfTage],
         vec![
             WorkloadSpec::named(Workload::Http).with_branches(4_000),
             WorkloadSpec::named(Workload::Tpcc).with_branches(4_000),
@@ -44,10 +40,7 @@ fn engine_matches_serial_at_any_worker_count() {
         let report = SweepEngine::with_workers(workers).run(&spec);
         assert_eq!(report.jobs.len(), reference.len(), "workers={workers}");
         for (i, rec) in report.jobs.iter().enumerate() {
-            assert_eq!(
-                rec.result, reference[i],
-                "cell {i} diverged at workers={workers}"
-            );
+            assert_eq!(rec.result, reference[i], "cell {i} diverged at workers={workers}");
         }
     }
 }

@@ -1,0 +1,137 @@
+//! Warm-vs-cold parity for the persistent memo store: results served from
+//! disk must be byte-for-byte equal to freshly simulated ones, cold mode
+//! must bypass (but refresh) the store, and bumping the format-version
+//! salt must invalidate every entry cleanly.
+
+use llbp_core::LlbpParams;
+use llbp_sim::engine::{SweepEngine, SweepSpec};
+use llbp_sim::{MemoStore, PredictorKind, SimConfig};
+use llbp_trace::{Workload, WorkloadSpec};
+use std::sync::Arc;
+
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("llbp-memo-parity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn grid() -> SweepSpec {
+    SweepSpec::new(
+        vec![
+            PredictorKind::Tsl64K,
+            PredictorKind::InfTage,
+            // An LLBP cell exercises the LlbpCellStats (provider counts,
+            // LLBP + front-end stats) serialization paths.
+            PredictorKind::Llbp(LlbpParams::default()),
+        ],
+        vec![
+            WorkloadSpec::named(Workload::Http).with_branches(4_000),
+            WorkloadSpec::named(Workload::Kafka).with_branches(4_000),
+        ],
+        SimConfig::default(),
+    )
+}
+
+#[test]
+fn warm_rerun_is_identical_and_fully_memoized() {
+    let dir = temp_store_dir("warm");
+    let spec = grid();
+    let store = Arc::new(MemoStore::open(&dir).expect("temp store"));
+
+    let cold = SweepEngine::with_workers(2).with_store(Arc::clone(&store)).run(&spec);
+    assert_eq!(cold.memo_hits, 0);
+    assert_eq!(cold.memo_misses, spec.num_jobs() as u64);
+
+    let warm = SweepEngine::with_workers(2).with_store(Arc::clone(&store)).run(&spec);
+    assert_eq!(warm.memo_hits, spec.num_jobs() as u64);
+    assert_eq!(warm.memo_misses, 0);
+    // No trace needs generating or even loading on a fully warm sweep.
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.trace_disk_hits, 0);
+
+    for (c, w) in cold.jobs.iter().zip(&warm.jobs) {
+        assert_eq!(c.result, w.result);
+        assert_eq!(c.job, w.job);
+        assert_eq!(c.stats.branches, w.stats.branches);
+    }
+
+    // And both match a store-less engine exactly.
+    let plain = SweepEngine::with_workers(1).run(&spec);
+    for (p, w) in plain.jobs.iter().zip(&warm.jobs) {
+        assert_eq!(p.result, w.result);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cold_mode_bypasses_reads_but_refreshes_the_store() {
+    let dir = temp_store_dir("cold");
+    let spec = grid();
+    let store = Arc::new(MemoStore::open(&dir).expect("temp store"));
+
+    let first = SweepEngine::with_workers(1).with_store(Arc::clone(&store)).run(&spec);
+    let cold = SweepEngine::with_workers(1).with_store(Arc::clone(&store)).cold(true).run(&spec);
+    assert_eq!(cold.memo_hits, 0, "cold run must not read memoized results");
+    assert_eq!(cold.memo_misses, spec.num_jobs() as u64);
+    for (a, b) in first.jobs.iter().zip(&cold.jobs) {
+        assert_eq!(a.result, b.result);
+    }
+
+    // The cold run re-published every cell, so a subsequent warm run
+    // still hits everything.
+    let warm = SweepEngine::with_workers(1).with_store(Arc::clone(&store)).run(&spec);
+    assert_eq!(warm.memo_hits, spec.num_jobs() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn salt_bump_invalidates_cleanly() {
+    let dir = temp_store_dir("salt");
+    let spec = grid();
+
+    let v0 = Arc::new(MemoStore::open_with_salt(&dir, 0).expect("temp store"));
+    let first = SweepEngine::with_workers(1).with_store(Arc::clone(&v0)).run(&spec);
+    assert_eq!(first.memo_misses, spec.num_jobs() as u64);
+
+    // Same directory, new salt: every fingerprint changes, so nothing
+    // hits — stale entries can never be served across a format bump.
+    let v1 = Arc::new(MemoStore::open_with_salt(&dir, 1).expect("temp store"));
+    let bumped = SweepEngine::with_workers(1).with_store(Arc::clone(&v1)).run(&spec);
+    assert_eq!(bumped.memo_hits, 0);
+    assert_eq!(bumped.memo_misses, spec.num_jobs() as u64);
+    for (a, b) in first.jobs.iter().zip(&bumped.jobs) {
+        assert_eq!(a.result, b.result);
+    }
+
+    // The old-salt view still works after the bump wrote its own entries.
+    let old_view = SweepEngine::with_workers(1).with_store(v0).run(&spec);
+    assert_eq!(old_view.memo_hits, spec.num_jobs() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cells_degrade_to_misses() {
+    let dir = temp_store_dir("corrupt");
+    let spec = grid();
+    let store = Arc::new(MemoStore::open(&dir).expect("temp store"));
+    let first = SweepEngine::with_workers(1).with_store(Arc::clone(&store)).run(&spec);
+
+    // Truncate every stored result cell mid-payload.
+    for entry in std::fs::read_dir(dir.join("results")).expect("results dir") {
+        let path = entry.expect("dir entry").path();
+        let bytes = std::fs::read(&path).expect("cell bytes");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate cell");
+    }
+
+    let rerun = SweepEngine::with_workers(1).with_store(Arc::clone(&store)).run(&spec);
+    assert_eq!(rerun.memo_hits, 0, "corrupt cells must not be served");
+    assert_eq!(rerun.memo_misses, spec.num_jobs() as u64);
+    for (a, b) in first.jobs.iter().zip(&rerun.jobs) {
+        assert_eq!(a.result, b.result);
+    }
+
+    // The rerun replaced the corrupt cells with good ones.
+    let warm = SweepEngine::with_workers(1).with_store(store).run(&spec);
+    assert_eq!(warm.memo_hits, spec.num_jobs() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -65,7 +65,15 @@ impl TageConfig {
         let tag_bits = lengths
             .iter()
             .enumerate()
-            .map(|(i, _)| if i < 7 { 9 } else if i < 14 { 11 } else { 13 })
+            .map(|(i, _)| {
+                if i < 7 {
+                    9
+                } else if i < 14 {
+                    11
+                } else {
+                    13
+                }
+            })
             .collect();
         Self {
             history_lengths: lengths,

@@ -92,7 +92,13 @@ impl LoopPredictor {
     /// Trains on the resolved direction. `tage_pred` is the baseline
     /// prediction (used to learn the global gate) and `tage_mispredicted`
     /// gates new allocations, as in CBP-5.
-    pub fn train(&mut self, lookup: &LoopLookup, taken: bool, tage_pred: bool, tage_mispredicted: bool) {
+    pub fn train(
+        &mut self,
+        lookup: &LoopLookup,
+        taken: bool,
+        tage_pred: bool,
+        tage_mispredicted: bool,
+    ) {
         if let Some(p) = lookup.pred {
             if p != tage_pred {
                 // The gate learns from disagreements.
@@ -123,20 +129,11 @@ impl LoopPredictor {
         // against the repeated direction, so the repeated direction is the
         // *opposite* of the mispredicted outcome.
         if tage_mispredicted {
-            let entry = LoopEntry {
-                past_iter: 0,
-                current_iter: 0,
-                confidence: 0,
-                dir: !taken,
-                age: 3,
-            };
+            let entry =
+                LoopEntry { past_iter: 0, current_iter: 0, confidence: 0, dir: !taken, age: 3 };
             self.table.insert_with(lookup.set, lookup.tag, entry, |ways| {
                 // Prefer the lowest-age way.
-                ways.iter()
-                    .enumerate()
-                    .min_by_key(|(_, (_, e))| e.age)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+                ways.iter().enumerate().min_by_key(|(_, (_, e))| e.age).map(|(i, _)| i).unwrap_or(0)
             });
         }
     }

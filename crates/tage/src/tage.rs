@@ -155,11 +155,8 @@ impl Tage {
         assert!(cfg.num_tables() <= MAX_TABLES, "too many tables");
         let ghr = HistoryBuffer::new(cfg.max_history() + 64);
         let path = PathHistory::new(cfg.path_bits);
-        let folded_index = cfg
-            .history_lengths
-            .iter()
-            .map(|&l| FoldedHistory::new(l, cfg.index_bits))
-            .collect();
+        let folded_index =
+            cfg.history_lengths.iter().map(|&l| FoldedHistory::new(l, cfg.index_bits)).collect();
         let folded_tag0 = cfg
             .history_lengths
             .iter()
@@ -176,9 +173,7 @@ impl Tage {
             StorageKind::Finite => cfg
                 .history_lengths
                 .iter()
-                .map(|_| {
-                    vec![Entry::empty(cfg.counter_bits, cfg.useful_bits); 1 << cfg.index_bits]
-                })
+                .map(|_| vec![Entry::empty(cfg.counter_bits, cfg.useful_bits); 1 << cfg.index_bits])
                 .collect(),
             StorageKind::Infinite => Vec::new(),
         };
@@ -339,15 +334,13 @@ impl Tage {
                         match provider {
                             None => {
                                 provider = Some(t);
-                                provider_state =
-                                    Some((s.entry.ctr.taken(), s.entry.ctr.is_weak()));
+                                provider_state = Some((s.entry.ctr.taken(), s.entry.ctr.is_weak()));
                             }
                             Some(p) if t > p => {
                                 alt_table = provider;
                                 alt_state = provider_state.map(|(taken, _)| taken);
                                 provider = Some(t);
-                                provider_state =
-                                    Some((s.entry.ctr.taken(), s.entry.ctr.is_weak()));
+                                provider_state = Some((s.entry.ctr.taken(), s.entry.ctr.is_weak()));
                             }
                             Some(_) => {
                                 if alt_table.is_none_or(|a| t > a) {

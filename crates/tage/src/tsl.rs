@@ -296,20 +296,14 @@ mod tests {
     fn infinite_beats_baseline() {
         let base = mpki(TslConfig::cbp64k(), Workload::NodeApp, 120_000);
         let inf = mpki(TslConfig::infinite_tage(), Workload::NodeApp, 120_000);
-        assert!(
-            inf < base,
-            "Inf TAGE ({inf:.3} MPKI) should beat 64K TSL ({base:.3} MPKI)"
-        );
+        assert!(inf < base, "Inf TAGE ({inf:.3} MPKI) should beat 64K TSL ({base:.3} MPKI)");
     }
 
     #[test]
     fn scaled_beats_baseline() {
         let base = mpki(TslConfig::cbp64k(), Workload::Tpcc, 120_000);
         let big = mpki(TslConfig::scaled(8), Workload::Tpcc, 120_000);
-        assert!(
-            big < base,
-            "512K TSL ({big:.3} MPKI) should beat 64K TSL ({base:.3} MPKI)"
-        );
+        assert!(big < base, "512K TSL ({big:.3} MPKI) should beat 64K TSL ({base:.3} MPKI)");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Stable content fingerprints for cache addressing.
+//!
+//! The persistent memoization layer (`llbp-sim`'s `memo` module) keys
+//! traces and simulation results by a fingerprint of everything that
+//! influences their content: the workload spec, the predictor
+//! configuration, the simulation parameters, and a format-version salt.
+//! Fingerprints must be *stable across processes and runs* — Rust's
+//! `std::hash::Hasher` machinery is explicitly allowed to vary between
+//! releases and seeds per-process, so this module implements a fixed
+//! 128-bit FNV-1a over the fed bytes instead.
+//!
+//! # Example
+//!
+//! ```
+//! use llbp_trace::fingerprint::StableHasher;
+//!
+//! let mut h = StableHasher::new();
+//! h.write_str("predictor=64K TSL");
+//! h.write_u64(42);
+//! let fp = h.finish();
+//! assert_eq!(fp.to_string().len(), 32); // 128 bits as hex
+//! ```
+
+/// A 128-bit content fingerprint, displayed as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A deterministic, platform-independent 128-bit FNV-1a hasher.
+///
+/// Unlike [`std::hash::Hasher`] implementations, the digest depends only
+/// on the exact byte sequence fed in — never on process, architecture or
+/// library version — so it is safe to use for on-disk cache keys.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher(u128);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a string, length-prefixed so that adjacent fields cannot
+    /// alias (`"ab" + "c"` hashes differently from `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest of everything fed so far.
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.0)
+    }
+}
+
+/// Fingerprints a single string with a one-shot hasher.
+#[must_use]
+pub fn fingerprint_str(s: &str) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_is_stable() {
+        // Pin the digest of a fixed input so accidental algorithm changes
+        // (which would silently invalidate every on-disk cache) fail CI.
+        let fp = fingerprint_str("llbp");
+        assert_eq!(fp.to_string(), format!("{:032x}", fp.0));
+        let again = fingerprint_str("llbp");
+        assert_eq!(fp, again);
+        // FNV-1a of the length prefix + "llbp" — computed once, frozen.
+        assert_eq!(fp, Fingerprint(0x7ca8_7d9c_5034_002f_e20a_3cfd_28eb_6e43));
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn display_is_32_hex_chars() {
+        assert_eq!(Fingerprint(0).to_string(), "0".repeat(32));
+        assert_eq!(Fingerprint(u128::MAX).to_string(), "f".repeat(32));
+    }
+}

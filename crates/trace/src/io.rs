@@ -266,10 +266,7 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample_trace()).unwrap();
         buf[4] = 0xFF;
-        assert!(matches!(
-            read_trace(buf.as_slice()),
-            Err(TraceIoError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::UnsupportedVersion(_))));
     }
 
     #[test]

@@ -24,11 +24,13 @@
 //! assert!(stats.conditional > 0 && stats.unconditional > 0);
 //! ```
 
+pub mod fingerprint;
 pub mod io;
 pub mod record;
 pub mod stats;
 pub mod synth;
 
+pub use fingerprint::{Fingerprint, StableHasher};
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use record::{BranchKind, BranchRecord, Trace};
 pub use stats::TraceStats;

@@ -197,7 +197,12 @@ mod tests {
             for i in 0..64 {
                 // Deterministic filler outcomes via a biased branch.
                 let filler = i % 3 == 0;
-                st.evaluate(Behavior::Biased { p_taken: if filler { 1.0 } else { 0.0 } }, 9, 0, &mut r);
+                st.evaluate(
+                    Behavior::Biased { p_taken: if filler { 1.0 } else { 0.0 } },
+                    9,
+                    0,
+                    &mut r,
+                );
                 outs.push(st.evaluate(Behavior::PathTable { k: 3 }, 7, 0, &mut r));
             }
             outs

@@ -160,12 +160,8 @@ impl Workload {
         match self {
             Workload::NodeApp => "NodeJS online shop webserver",
             Workload::PhpWiki => "PHP wiki web server",
-            Workload::Tpcc | Workload::Twitter | Workload::Wikipedia => {
-                "Java BenchBase suite"
-            }
-            Workload::Kafka | Workload::Spring | Workload::Tomcat => {
-                "Java DaCapo benchmark suite"
-            }
+            Workload::Tpcc | Workload::Twitter | Workload::Wikipedia => "Java BenchBase suite",
+            Workload::Kafka | Workload::Spring | Workload::Tomcat => "Java DaCapo benchmark suite",
             Workload::Chirper | Workload::Http => "Java Renaissance suite",
             Workload::Charlie | Workload::Delta | Workload::Merced | Workload::Whiskey => {
                 "Google traces"

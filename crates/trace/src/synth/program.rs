@@ -260,8 +260,7 @@ impl Run<'_> {
         // function's (fixed) hot call site; the rest pick uniformly, which
         // keeps the whole static call graph covered over time.
         let hot_site = bputil::hash::mix64(f.base_pc) % statics;
-        let forced_site =
-            if self.rng.chance(9, 10) { hot_site } else { self.rng.below(statics) };
+        let forced_site = if self.rng.chance(9, 10) { hot_site } else { self.rng.below(statics) };
         let mut ctl = CallCtl { next_site: 0, forced_site, forced_done: false };
         self.run_stmts(&f.stmts, depth, idx, &mut ctl);
         // Function return: control transfers back to the instruction after
@@ -331,8 +330,8 @@ impl Run<'_> {
                             min + self.rng.below(u64::from(max - min) + 1) as u32
                         }
                         TripCount::Context { min, max } => {
-                            min + (mix64(self.ctx_sig() ^ *backedge_pc)
-                                % u64::from(max - min + 1)) as u32
+                            min + (mix64(self.ctx_sig() ^ *backedge_pc) % u64::from(max - min + 1))
+                                as u32
                         }
                     }
                     .max(1);
@@ -407,7 +406,13 @@ impl ProgramBuilder {
         Program { functions, params: p, entry_cdf }
     }
 
-    fn build_function(&mut self, idx: usize, n: usize, shared_start: usize, base_pc: u64) -> Function {
+    fn build_function(
+        &mut self,
+        idx: usize,
+        n: usize,
+        shared_start: usize,
+        base_pc: u64,
+    ) -> Function {
         let p = self.params.clone();
         let mut pc = base_pc;
         let mut next_pc = |step: u64| {

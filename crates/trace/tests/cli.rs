@@ -18,10 +18,8 @@ fn gen_info_head_csv_pipeline() {
     let llbt = temp_path("a.llbt");
     let csv = temp_path("a.csv");
 
-    let out = tool()
-        .args(["gen", "HTTP", "2000", llbt.to_str().unwrap()])
-        .output()
-        .expect("run gen");
+    let out =
+        tool().args(["gen", "HTTP", "2000", llbt.to_str().unwrap()]).output().expect("run gen");
     assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote 2000 records"));
 

@@ -83,6 +83,59 @@ fn instruction_accounting() {
     }
 }
 
+/// Truncating a valid file at *any* byte boundary is detected: the reader
+/// returns an error (an IO error for short reads, or a structured error
+/// when the truncation point lands after a self-consistent prefix) and
+/// never panics or silently returns a shorter trace.
+#[test]
+fn truncation_at_every_prefix_is_detected() {
+    let mut rng = SplitMix64::new(0x13);
+    let trace = Trace::from_records("trunc", arb_records(&mut rng, 30));
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    for len in 0..buf.len() {
+        assert!(
+            read_trace(&buf[..len]).is_err(),
+            "truncation to {len}/{} bytes was silently accepted",
+            buf.len()
+        );
+    }
+}
+
+/// Corrupting any byte of the trailing checksum itself is reported as a
+/// checksum mismatch (the payload is intact; the trailer is wrong).
+#[test]
+fn checksum_trailer_corruption_is_detected() {
+    let mut rng = SplitMix64::new(0x14);
+    for _ in 0..40 {
+        let mut records = arb_records(&mut rng, 40);
+        if records.is_empty() {
+            records.push(arb_record(&mut rng));
+        }
+        let trace = Trace::from_records("crc", records);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let pos = buf.len() - 8 + (rng.next_u64() as usize) % 8;
+        buf[pos] ^= 1 << rng.below(8);
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::ChecksumMismatch { .. })));
+    }
+}
+
+/// Every corruption of the magic bytes is rejected as `BadMagic` before
+/// anything else is parsed.
+#[test]
+fn any_bad_magic_is_rejected() {
+    let mut rng = SplitMix64::new(0x15);
+    let trace = Trace::from_records("magic", arb_records(&mut rng, 10));
+    let mut pristine = Vec::new();
+    write_trace(&mut pristine, &trace).unwrap();
+    for byte in 0..4 {
+        let mut buf = pristine.clone();
+        buf[byte] ^= 1 << rng.below(8);
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::BadMagic(_))));
+    }
+}
+
 #[test]
 fn reading_garbage_never_panics() {
     // A few deterministic garbage inputs exercising each failure path.

@@ -18,10 +18,7 @@ fn main() {
     let base = cfg.run(PredictorKind::Tsl64K, &trace);
     println!("baseline 64K TSL: {:.3} MPKI on {}\n", base.mpki(), trace.name());
 
-    println!(
-        "{:28} {:>10} {:>12} {:>14}",
-        "configuration", "KiB", "MPKI red.", "red. per 100KiB"
-    );
+    println!("{:28} {:>10} {:>12} {:>14}", "configuration", "KiB", "MPKI red.", "red. per 100KiB");
 
     // Sweep pattern-set capacity (the Fig. 14 axis).
     for (contexts, set_size) in [(8_192, 8), (16_384, 8), (16_384, 16), (32_768, 16)] {

@@ -1,18 +1,23 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper into results/.
-# Usage: ./run_experiments.sh [--quick]
+# Usage: ./run_experiments.sh [--quick] [--cold] [extra bench args...]
+# Exits non-zero if any binary failed, after running all of them.
 set -u
 cd "$(dirname "$0")"
-ARGS="${1:-}"
 BINS="table01_workloads table02_config table03_latency_energy \
       fig01_wasted_cycles fig02_mpki_limits fig09_mpki_reduction fig10_speedup \
       fig15_breakdown fig11_bandwidth fig12_energy fig03_working_set \
       fig05_context_locality ext_frontend ablation_design ext_virtualized \
       ext_baselines \
       fig13_cid_sensitivity fig14_pattern_sets"
+FAILED=0
 for b in $BINS; do
     echo "=== $b $(date +%H:%M:%S)"
-    cargo run --release -q -p llbp-bench --bin "$b" -- $ARGS > "results/$b.md" 2>"results/$b.err" \
-        || echo "FAILED: $b"
+    cargo run --release -q -p llbp-bench --bin "$b" -- "$@" > "results/$b.md" 2>"results/$b.err" \
+        || { echo "FAILED: $b"; FAILED=$((FAILED + 1)); }
 done
+if [ "$FAILED" -ne 0 ]; then
+    echo "CAMPAIGN_FAILED: $FAILED binaries failed $(date +%H:%M:%S)"
+    exit 1
+fi
 echo "CAMPAIGN_DONE $(date +%H:%M:%S)"

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --workspace --release --offline
 
@@ -12,5 +15,20 @@ cargo test --workspace --offline --quiet
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== persistent cache smoke =="
+# A warm re-run of the same sweep must be served from the memo store.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+LLBP_CACHE_DIR="$SMOKE_DIR" ./target/release/fig02_mpki_limits --quick \
+    > /dev/null 2> "$SMOKE_DIR/first.err"
+LLBP_CACHE_DIR="$SMOKE_DIR" ./target/release/fig02_mpki_limits --quick \
+    > /dev/null 2> "$SMOKE_DIR/second.err"
+grep -q '"memo_misses":0' "$SMOKE_DIR/second.err" || {
+    echo "cache smoke: warm run still simulated cells:"; cat "$SMOKE_DIR/second.err"; exit 1
+}
+grep -Eq '"memo_hits":[1-9]' "$SMOKE_DIR/second.err" || {
+    echo "cache smoke: warm run reported no memo hits:"; cat "$SMOKE_DIR/second.err"; exit 1
+}
 
 echo "tier1 OK"

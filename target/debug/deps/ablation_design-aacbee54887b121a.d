@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design-aacbee54887b121a.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/debug/deps/ablation_design-aacbee54887b121a: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_baselines-728178cbe88712e6.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/debug/deps/ext_baselines-728178cbe88712e6: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

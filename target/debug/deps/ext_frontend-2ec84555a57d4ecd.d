@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_frontend-2ec84555a57d4ecd.d: crates/bench/src/bin/ext_frontend.rs
+
+/root/repo/target/debug/deps/ext_frontend-2ec84555a57d4ecd: crates/bench/src/bin/ext_frontend.rs
+
+crates/bench/src/bin/ext_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_virtualized-257166e0cd11f4a6.d: crates/bench/src/bin/ext_virtualized.rs
+
+/root/repo/target/debug/deps/ext_virtualized-257166e0cd11f4a6: crates/bench/src/bin/ext_virtualized.rs
+
+crates/bench/src/bin/ext_virtualized.rs:

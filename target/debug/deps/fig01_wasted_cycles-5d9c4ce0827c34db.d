@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_wasted_cycles-5d9c4ce0827c34db.d: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+/root/repo/target/debug/deps/fig01_wasted_cycles-5d9c4ce0827c34db: crates/bench/src/bin/fig01_wasted_cycles.rs
+
+crates/bench/src/bin/fig01_wasted_cycles.rs:

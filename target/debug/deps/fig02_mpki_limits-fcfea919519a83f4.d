@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_mpki_limits-fcfea919519a83f4.d: crates/bench/src/bin/fig02_mpki_limits.rs
+
+/root/repo/target/debug/deps/fig02_mpki_limits-fcfea919519a83f4: crates/bench/src/bin/fig02_mpki_limits.rs
+
+crates/bench/src/bin/fig02_mpki_limits.rs:

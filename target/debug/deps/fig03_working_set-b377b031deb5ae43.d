@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_working_set-b377b031deb5ae43.d: crates/bench/src/bin/fig03_working_set.rs
+
+/root/repo/target/debug/deps/fig03_working_set-b377b031deb5ae43: crates/bench/src/bin/fig03_working_set.rs
+
+crates/bench/src/bin/fig03_working_set.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_context_locality-4f8eb4bff6187355.d: crates/bench/src/bin/fig05_context_locality.rs
+
+/root/repo/target/debug/deps/fig05_context_locality-4f8eb4bff6187355: crates/bench/src/bin/fig05_context_locality.rs
+
+crates/bench/src/bin/fig05_context_locality.rs:

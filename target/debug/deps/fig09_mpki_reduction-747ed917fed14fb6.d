@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_mpki_reduction-747ed917fed14fb6.d: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+/root/repo/target/debug/deps/fig09_mpki_reduction-747ed917fed14fb6: crates/bench/src/bin/fig09_mpki_reduction.rs
+
+crates/bench/src/bin/fig09_mpki_reduction.rs:

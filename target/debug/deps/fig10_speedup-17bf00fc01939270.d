@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-17bf00fc01939270.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/fig10_speedup-17bf00fc01939270: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

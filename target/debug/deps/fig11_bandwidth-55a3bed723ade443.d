@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-55a3bed723ade443.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_bandwidth-55a3bed723ade443: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_energy-8353527cd38baf83.d: crates/bench/src/bin/fig12_energy.rs
+
+/root/repo/target/debug/deps/fig12_energy-8353527cd38baf83: crates/bench/src/bin/fig12_energy.rs
+
+crates/bench/src/bin/fig12_energy.rs:

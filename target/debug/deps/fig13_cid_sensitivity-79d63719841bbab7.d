@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_cid_sensitivity-79d63719841bbab7.d: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+/root/repo/target/debug/deps/fig13_cid_sensitivity-79d63719841bbab7: crates/bench/src/bin/fig13_cid_sensitivity.rs
+
+crates/bench/src/bin/fig13_cid_sensitivity.rs:

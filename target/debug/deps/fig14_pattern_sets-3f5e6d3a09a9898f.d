@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_pattern_sets-3f5e6d3a09a9898f.d: crates/bench/src/bin/fig14_pattern_sets.rs
+
+/root/repo/target/debug/deps/fig14_pattern_sets-3f5e6d3a09a9898f: crates/bench/src/bin/fig14_pattern_sets.rs
+
+crates/bench/src/bin/fig14_pattern_sets.rs:

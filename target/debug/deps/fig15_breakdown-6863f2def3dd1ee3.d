@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_breakdown-6863f2def3dd1ee3.d: crates/bench/src/bin/fig15_breakdown.rs
+
+/root/repo/target/debug/deps/fig15_breakdown-6863f2def3dd1ee3: crates/bench/src/bin/fig15_breakdown.rs
+
+crates/bench/src/bin/fig15_breakdown.rs:

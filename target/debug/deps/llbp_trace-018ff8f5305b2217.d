@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/llbp_trace-018ff8f5305b2217.d: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs Cargo.toml
+/root/repo/target/debug/deps/llbp_trace-018ff8f5305b2217.d: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs Cargo.toml
 
-/root/repo/target/debug/deps/libllbp_trace-018ff8f5305b2217.rmeta: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs Cargo.toml
+/root/repo/target/debug/deps/libllbp_trace-018ff8f5305b2217.rmeta: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs Cargo.toml
 
 crates/trace/src/lib.rs:
+crates/trace/src/fingerprint.rs:
 crates/trace/src/io.rs:
 crates/trace/src/record.rs:
 crates/trace/src/stats.rs:

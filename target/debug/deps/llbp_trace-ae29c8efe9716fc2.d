@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/llbp_trace-ae29c8efe9716fc2.d: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/debug/deps/llbp_trace-ae29c8efe9716fc2.d: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
-/root/repo/target/debug/deps/libllbp_trace-ae29c8efe9716fc2.rlib: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/debug/deps/libllbp_trace-ae29c8efe9716fc2.rlib: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
-/root/repo/target/debug/deps/libllbp_trace-ae29c8efe9716fc2.rmeta: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/debug/deps/libllbp_trace-ae29c8efe9716fc2.rmeta: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
 crates/trace/src/lib.rs:
+crates/trace/src/fingerprint.rs:
 crates/trace/src/io.rs:
 crates/trace/src/record.rs:
 crates/trace/src/stats.rs:

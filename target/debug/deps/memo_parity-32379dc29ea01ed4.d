@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memo_parity-32379dc29ea01ed4.d: crates/sim/tests/memo_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemo_parity-32379dc29ea01ed4.rmeta: crates/sim/tests/memo_parity.rs Cargo.toml
+
+crates/sim/tests/memo_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

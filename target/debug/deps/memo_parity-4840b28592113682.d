@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memo_parity-4840b28592113682.d: crates/sim/tests/memo_parity.rs
+
+/root/repo/target/debug/deps/memo_parity-4840b28592113682: crates/sim/tests/memo_parity.rs
+
+crates/sim/tests/memo_parity.rs:

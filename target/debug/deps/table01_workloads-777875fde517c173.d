@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_workloads-777875fde517c173.d: crates/bench/src/bin/table01_workloads.rs
+
+/root/repo/target/debug/deps/table01_workloads-777875fde517c173: crates/bench/src/bin/table01_workloads.rs
+
+crates/bench/src/bin/table01_workloads.rs:

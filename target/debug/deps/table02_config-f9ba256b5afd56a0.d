@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_config-f9ba256b5afd56a0.d: crates/bench/src/bin/table02_config.rs
+
+/root/repo/target/debug/deps/table02_config-f9ba256b5afd56a0: crates/bench/src/bin/table02_config.rs
+
+crates/bench/src/bin/table02_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_latency_energy-9d300d9fbd71a558.d: crates/bench/src/bin/table03_latency_energy.rs
+
+/root/repo/target/debug/deps/table03_latency_energy-9d300d9fbd71a558: crates/bench/src/bin/table03_latency_energy.rs
+
+crates/bench/src/bin/table03_latency_energy.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/llbp_trace-30aad9839771f2c2.d: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/release/deps/llbp_trace-30aad9839771f2c2.d: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
-/root/repo/target/release/deps/libllbp_trace-30aad9839771f2c2.rlib: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/release/deps/libllbp_trace-30aad9839771f2c2.rlib: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
-/root/repo/target/release/deps/libllbp_trace-30aad9839771f2c2.rmeta: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/release/deps/libllbp_trace-30aad9839771f2c2.rmeta: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
 crates/trace/src/lib.rs:
+crates/trace/src/fingerprint.rs:
 crates/trace/src/io.rs:
 crates/trace/src/record.rs:
 crates/trace/src/stats.rs:

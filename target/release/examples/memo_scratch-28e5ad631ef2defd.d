@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/memo_scratch-28e5ad631ef2defd.d: examples/memo_scratch.rs
+
+/root/repo/target/release/examples/memo_scratch-28e5ad631ef2defd: examples/memo_scratch.rs
+
+examples/memo_scratch.rs:

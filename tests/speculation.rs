@@ -92,11 +92,7 @@ fn llbp_rollback_restores_exact_behaviour() {
     // in-flight prefetches squashed, which can perturb a handful of
     // PB-timing-dependent predictions — but direction state must match.
     let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
-    assert!(
-        diff <= a.len() / 200,
-        "{diff}/{} predictions diverged after rollback",
-        a.len()
-    );
+    assert!(diff <= a.len() / 200, "{diff}/{} predictions diverged after rollback", a.len());
 }
 
 #[test]
