@@ -6,7 +6,7 @@
 //! Each row is the mean MPKI reduction over the selected workloads versus
 //! the 64K TSL baseline.
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_core::{CdReplacement, LlbpParams};
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
@@ -70,5 +70,5 @@ fn main() {
         table.row([p.label.clone(), format!("{}%", f1(mean_reduction(&vals)))]);
     }
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("ablation"));
+    emit(&report, "ablation", &opts);
 }

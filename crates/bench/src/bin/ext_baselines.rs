@@ -5,7 +5,7 @@
 //! → TAGE-SC-L → TAGE-SC-L + LLBP) on the same workloads, with storage
 //! budgets for scale.
 
-use llbp_bench::{engine, workload_specs, Opts};
+use llbp_bench::{emit, engine, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
@@ -65,5 +65,5 @@ fn main() {
         f2(sums[4]),
     ]);
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("ext_baselines"));
+    emit(&report, "ext_baselines", &opts);
 }

@@ -7,7 +7,7 @@
 //! indirect-target mispredictions — per workload, explaining why
 //! indirect-heavy workloads (PHPWiki) lose more of LLBP's benefit.
 
-use llbp_bench::{engine, workload_specs, Opts};
+use llbp_bench::{emit, engine, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
@@ -50,5 +50,5 @@ fn main() {
         ]);
     }
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("ext_frontend"));
+    emit(&report, "ext_frontend", &opts);
 }

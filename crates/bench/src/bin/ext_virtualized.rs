@@ -7,7 +7,7 @@
 //! and reports how much of LLBP's MPKI reduction survives — i.e. how much
 //! slack the context prefetcher really has.
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
@@ -47,5 +47,5 @@ fn main() {
     }
     table.row(cells);
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("ext_virtualized"));
+    emit(&report, "ext_virtualized", &opts);
 }

@@ -6,7 +6,7 @@
 //! 9.2% on average. Here the timing model substitutes for hardware
 //! counters (DESIGN.md §3).
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{pct, Table};
 use llbp_sim::{PredictorKind, SimConfig, TimingModel};
@@ -36,5 +36,5 @@ fn main() {
     println!("# Figure 1 — execution cycles wasted on conditional mispredictions");
     println!("(paper: 3.6–20%, avg 9.2%, measured on Sapphire Rapids hardware)\n");
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig01"));
+    emit(&report, "fig01", &opts);
 }

@@ -4,7 +4,7 @@
 //! Paper values: 64K TSL 0.29–6.4 MPKI (avg 2.91); Inf TAGE reduces
 //! mispredictions by 14–54% (avg 31.9%); Inf TSL by 36.5% on average.
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, f2, Table};
 use llbp_sim::{PredictorKind, SimConfig};
@@ -61,5 +61,5 @@ fn main() {
          Inf TAGE captures ~87% of Inf TSL)\n"
     );
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig02"));
+    emit(&report, "fig02", &opts);
 }

@@ -7,7 +7,7 @@
 //! (b) Useful patterns per static branch under Inf TSL. Paper: average
 //!     14.1, the most-mispredicted branches have 100–9500.
 
-use llbp_bench::{engine, trace_cache, Opts};
+use llbp_bench::{emit, engine, trace_cache, Opts};
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::patterns::{rank_by_mispredictions, useful_patterns_per_branch};
 use llbp_sim::report::{f1, f2, Table};
@@ -97,5 +97,5 @@ fn main() {
     println!("## (b) useful patterns per branch (Inf TAGE)");
     println!("(paper: avg 14.1; top-100 branches have >100, up to ~9500)\n");
     println!("{}", table_b.to_markdown());
-    eprintln!("{}", report.throughput_json("fig03"));
+    emit(&report, "fig03", &opts);
 }

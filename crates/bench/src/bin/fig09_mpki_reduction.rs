@@ -5,7 +5,7 @@
 //! reaches ~90% of the no-latency ideal); 512K TSL −12.5…−45.9%
 //! (avg −27.3%).
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, f2, Table};
@@ -57,5 +57,5 @@ fn main() {
     println!("# Figure 9 — MPKI reduction over 64K TSL");
     println!("(paper: LLBP avg −8.9%; LLBP-0Lat avg −9.9%; 512K TSL avg −27.3%)\n");
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig09"));
+    emit(&report, "fig09", &opts);
 }

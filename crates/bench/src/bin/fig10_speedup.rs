@@ -6,7 +6,7 @@
 //! the perfect-BP headroom; our analytic model is similarly soft on
 //! absolutes — the ordering is the reproducible part).
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
@@ -68,5 +68,5 @@ fn main() {
     println!("# Figure 10 — speedup over 64K TSL (timing model)");
     println!("(paper: LLBP +0.63%, LLBP-0Lat +0.71%, 512K TSL +1.26%, perfect +3.6% on average)\n");
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig10"));
+    emit(&report, "fig10", &opts);
 }

@@ -5,7 +5,7 @@
 //! reads); 64 entries −18.9% combined; 256 entries < 8 bits/inst total;
 //! the 64-entry PB read traffic is ~41% below L1I↔L2 traffic.
 
-use llbp_bench::{engine, trace_cache, workload_specs, Opts};
+use llbp_bench::{emit, engine, trace_cache, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
@@ -58,5 +58,5 @@ fn main() {
     }
     table.row(["L1I misses".to_string(), f1(avg_l1i), String::new(), f1(avg_l1i)]);
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig11"));
+    emit(&report, "fig11", &opts);
 }

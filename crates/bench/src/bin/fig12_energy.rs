@@ -5,7 +5,7 @@
 //! energy; the 64-entry PB is the optimum; total LLBP ≈1.53× the
 //! baseline vs 4.58× for a 512K TSL.
 
-use llbp_bench::{engine, workload_specs, Opts};
+use llbp_bench::{emit, engine, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::energy::TSL64K_BITS;
 use llbp_sim::engine::SweepSpec;
@@ -66,5 +66,5 @@ fn main() {
         String::new(),
     ]);
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig12"));
+    emit(&report, "fig12", &opts);
 }

@@ -5,7 +5,7 @@
 //! always late); Uncond peaks at −8.9% around D = 4; Call/Ret is too
 //! coarse; All degrades as D grows (conditional noise).
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_core::{ContextHistoryKind, LlbpParams};
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
@@ -58,5 +58,5 @@ fn main() {
         table.row(cells);
     }
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig13"));
+    emit(&report, "fig13", &opts);
 }

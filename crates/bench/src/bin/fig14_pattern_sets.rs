@@ -10,7 +10,7 @@
 //! context tags, no bucketing, zero latency. Context counts are powers of
 //! two here (the paper also samples 10/12/14K).
 
-use llbp_bench::{engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, Table};
@@ -67,5 +67,5 @@ fn main() {
     }
     println!("## LLBP capacity per configuration\n");
     println!("{}", cap.to_markdown());
-    eprintln!("{}", report.throughput_json("fig14"));
+    emit(&report, "fig14", &opts);
 }

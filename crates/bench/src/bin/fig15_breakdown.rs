@@ -6,7 +6,7 @@
 //! are bad; 59% of overrides are redundant (both agree); 49% of all
 //! predictions come from the bimodal table.
 
-use llbp_bench::{engine, workload_specs, Opts};
+use llbp_bench::{emit, engine, workload_specs, Opts};
 use llbp_core::{LlbpParams, LlbpStats};
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{pct, Table};
@@ -72,5 +72,5 @@ fn main() {
         pct(bim as f64 / conds.max(1) as f64),
     ]);
     println!("{}", table.to_markdown());
-    eprintln!("{}", report.throughput_json("fig15"));
+    emit(&report, "fig15", &opts);
 }

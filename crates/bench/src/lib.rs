@@ -7,7 +7,10 @@
 //! * `--branches N` — explicit trace length in branch records;
 //! * `--workloads a,b,c` — restrict to a subset of workload names;
 //! * `--cold` — bypass the persistent cache (re-simulate everything,
-//!   refreshing the stored entries).
+//!   refreshing the stored entries);
+//! * `--resume` — skip grid cells the campaign journal records as
+//!   completed (picking an interrupted campaign back up);
+//! * `--strict` — exit nonzero if any grid cell ultimately failed.
 //!
 //! Results print as markdown tables so they can be pasted straight into
 //! `EXPERIMENTS.md`. Traces and per-cell simulation results are memoized
@@ -15,9 +18,9 @@
 //! re-run of any figure — or a figure sharing grid cells with a previous
 //! one — skips generation and simulation for everything already stored.
 
-use llbp_sim::{MemoStore, SweepEngine, TraceCache};
+use llbp_sim::{FaultInjector, MemoStore, SweepEngine, SweepReport, TraceCache};
 use llbp_trace::{Trace, Workload, WorkloadSpec};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Default branch records per workload for full experiment runs.
 pub const FULL_BRANCHES: usize = 1_000_000;
@@ -35,6 +38,12 @@ pub struct Opts {
     pub quick: bool,
     /// Whether `--cold` was requested (ignore persisted cache entries).
     pub cold: bool,
+    /// Whether `--resume` was requested (trust the campaign journal and
+    /// skip cells it records as completed).
+    pub resume: bool,
+    /// Whether `--strict` was requested (exit nonzero if any grid cell
+    /// ultimately failed).
+    pub strict: bool,
 }
 
 impl Opts {
@@ -60,6 +69,8 @@ impl Opts {
             workloads: Workload::ALL.to_vec(),
             quick: false,
             cold: false,
+            resume: false,
+            strict: false,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -69,6 +80,8 @@ impl Opts {
                     opts.branches = QUICK_BRANCHES;
                 }
                 "--cold" => opts.cold = true,
+                "--resume" => opts.resume = true,
+                "--strict" => opts.strict = true,
                 "--branches" => {
                     let v = iter.next().unwrap_or_else(|| usage("missing value for --branches"));
                     opts.branches =
@@ -99,8 +112,27 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--quick] [--cold] [--branches N] [--workloads A,B,C]");
+    eprintln!(
+        "usage: <bin> [--quick] [--cold] [--resume] [--strict] [--branches N] [--workloads A,B,C]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// The process-wide fault injector parsed from `LLBP_FAULT_SPEC`, shared
+/// by the engine (panic/slow rules) and the memo store (IO rules). A
+/// malformed spec is a configuration error and exits with status 2 —
+/// silently running fault-free would invalidate a resilience campaign.
+pub fn fault_injector() -> Option<Arc<FaultInjector>> {
+    static INJECTOR: OnceLock<Option<Arc<FaultInjector>>> = OnceLock::new();
+    INJECTOR
+        .get_or_init(|| match FaultInjector::from_env() {
+            Ok(injector) => injector.map(Arc::new),
+            Err(msg) => {
+                eprintln!("error: bad {}: {msg}", llbp_sim::FAULT_SPEC_ENV);
+                std::process::exit(2);
+            }
+        })
+        .clone()
 }
 
 /// Opens the shared persistent memo store (`LLBP_CACHE_DIR`, defaulting
@@ -108,17 +140,44 @@ fn usage(msg: &str) -> ! {
 /// uncached operation — if the directory cannot be created.
 #[must_use]
 pub fn memo_store() -> Option<Arc<MemoStore>> {
-    MemoStore::open_default().ok().map(Arc::new)
+    let mut store = MemoStore::open_default().ok()?;
+    if let Some(faults) = fault_injector() {
+        store.attach_faults(faults);
+    }
+    Some(Arc::new(store))
 }
 
-/// A [`SweepEngine`] wired to the persistent store, honoring `--cold`.
+/// A [`SweepEngine`] wired to the persistent store and the
+/// `LLBP_FAULT_SPEC` injector, honoring `--cold` and `--resume`.
 #[must_use]
 pub fn engine(opts: &Opts) -> SweepEngine {
     let mut engine = SweepEngine::new();
     if let Some(store) = memo_store() {
         engine = engine.with_store(store);
     }
-    engine.cold(opts.cold)
+    if let Some(faults) = fault_injector() {
+        engine = engine.with_faults(faults);
+    }
+    engine.cold(opts.cold).resume(opts.resume)
+}
+
+/// Standard epilogue for every sweep binary: archives the throughput
+/// record on stderr, reports any ultimately-failed cells, and — under
+/// `--strict` — exits nonzero so campaign scripts notice incomplete
+/// grids. Call it after printing the figure's tables.
+pub fn emit(report: &SweepReport, label: &str, opts: &Opts) {
+    eprintln!("{}", report.throughput_json(label));
+    for err in &report.failed {
+        eprintln!("warning: {err}");
+    }
+    if opts.strict && !report.is_complete() {
+        eprintln!(
+            "error: {} of {} cells failed; rerun with --resume to retry only the gaps",
+            report.failed.len(),
+            report.jobs.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// A [`TraceCache`] wired to the persistent store, honoring `--cold`.

@@ -1,6 +1,7 @@
 //! Simulation configuration and the predictor factory.
 
 use crate::driver::{LlbpCellStats, SimResult, Simulator};
+use crate::error::{CancelToken, SimError};
 use llbp_core::{LlbpParams, LlbpPredictor};
 use llbp_tage::classic::{Gshare, HashedPerceptron, TwoLevelLocal};
 use llbp_tage::{Predictor, TageScl, TslConfig};
@@ -122,17 +123,36 @@ impl SimConfig {
     /// breakdown analyses can run through the sweep engine.
     #[must_use]
     pub fn run(&self, kind: PredictorKind, trace: &Trace) -> SimResult {
+        match self.run_cancellable(kind, trace, &CancelToken::none()) {
+            Ok(result) => result,
+            Err(_) => unreachable!("a no-op cancel token never fires"),
+        }
+    }
+
+    /// [`SimConfig::run`] under a cooperative [`CancelToken`]: the sweep
+    /// engine's watchdog path, where a hung cell must abandon itself at
+    /// the token's deadline instead of stalling the whole campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the token fires mid-run.
+    pub fn run_cancellable(
+        &self,
+        kind: PredictorKind,
+        trace: &Trace,
+        token: &CancelToken,
+    ) -> Result<SimResult, SimError> {
         if let PredictorKind::Llbp(params) = kind {
             let mut predictor = LlbpPredictor::new(params);
-            let mut result = Simulator::new(*self).run(&mut predictor, trace);
+            let mut result = Simulator::new(*self).run_cancellable(&mut predictor, trace, token)?;
             result.llbp = Some(LlbpCellStats {
                 llbp: predictor.stats().clone(),
                 frontend: *predictor.frontend().stats(),
             });
-            return result;
+            return Ok(result);
         }
         let mut predictor = kind.build();
-        Simulator::new(*self).run(predictor.as_mut(), trace)
+        Simulator::new(*self).run_cancellable(predictor.as_mut(), trace, token)
     }
 
     /// Runs a pre-built predictor (for callers that need to inspect its

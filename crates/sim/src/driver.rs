@@ -1,6 +1,7 @@
 //! The trace-driven simulation loop.
 
 use crate::config::SimConfig;
+use crate::error::{CancelToken, SimError};
 use bputil::hash::FastHashMap;
 use llbp_core::LlbpStats;
 use llbp_tage::{FrontEndStats, Predictor, ProviderKind};
@@ -91,6 +92,32 @@ impl Simulator {
     /// Runs the CBP-style loop: for each conditional branch `predict`,
     /// compare, `train`; for every branch `update_history`.
     pub fn run(&self, predictor: &mut dyn Predictor, trace: &Trace) -> SimResult {
+        match self.run_cancellable(predictor, trace, &CancelToken::none()) {
+            Ok(result) => result,
+            Err(_) => unreachable!("a no-op cancel token never fires"),
+        }
+    }
+
+    /// How many branch records the loop processes between cancellation
+    /// polls. A power of two so the check compiles to a mask; small
+    /// enough that a watchdog deadline is honored within milliseconds.
+    pub const CANCEL_POLL_INTERVAL: usize = 8192;
+
+    /// [`Simulator::run`] with cooperative cancellation: the loop polls
+    /// `token` every [`Simulator::CANCEL_POLL_INTERVAL`] records and
+    /// abandons the simulation once it fires. This is the watchdog
+    /// mechanism for hung or injected-slow sweep cells — nothing is
+    /// forcibly killed, the loop just returns early.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the token fires mid-run.
+    pub fn run_cancellable(
+        &self,
+        predictor: &mut dyn Predictor,
+        trace: &Trace,
+        token: &CancelToken,
+    ) -> Result<SimResult, SimError> {
         let warmup = (trace.len() as f64 * self.config.warmup_fraction.clamp(0.0, 1.0)) as usize;
         let mut result = SimResult {
             label: predictor.label().to_string(),
@@ -108,6 +135,9 @@ impl Simulator {
         // the per-branch loop.
         let mut provider_counts = [0u64; PROVIDER_LABELS.len()];
         for (i, record) in trace.iter().enumerate() {
+            if i % Self::CANCEL_POLL_INTERVAL == 0 && token.is_cancelled() {
+                return Err(token.cancellation_error());
+            }
             let measuring = i >= warmup;
             if measuring {
                 result.instructions += record.instructions();
@@ -137,7 +167,7 @@ impl Simulator {
                 result.provider_counts.insert(PROVIDER_LABELS[ordinal], count);
             }
         }
-        result
+        Ok(result)
     }
 }
 
@@ -204,6 +234,27 @@ mod tests {
         let a = SimConfig::default().run(PredictorKind::Tsl64K, &trace);
         let b = SimConfig::default().run(PredictorKind::Tsl64K, &trace);
         assert_eq!(a.mispredictions, b.mispredictions);
+    }
+
+    #[test]
+    fn cancelled_runs_return_timeout_not_a_result() {
+        let trace = WorkloadSpec::named(Workload::Http).with_branches(5_000).generate();
+        let token = CancelToken::manual();
+        token.cancel();
+        let mut predictor = PredictorKind::Tsl64K.build();
+        let err = Simulator::new(SimConfig::default())
+            .run_cancellable(predictor.as_mut(), &trace, &token)
+            .expect_err("a pre-cancelled token must abort the run");
+        assert_eq!(err.class(), "timeout");
+
+        // An inert token runs to completion with the identical result.
+        let mut a = PredictorKind::Tsl64K.build();
+        let mut b = PredictorKind::Tsl64K.build();
+        let plain = Simulator::new(SimConfig::default()).run(a.as_mut(), &trace);
+        let tokened = Simulator::new(SimConfig::default())
+            .run_cancellable(b.as_mut(), &trace, &CancelToken::none())
+            .expect("inert token never cancels");
+        assert_eq!(plain, tokened);
     }
 
     #[test]

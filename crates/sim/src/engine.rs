@@ -19,6 +19,23 @@
 //! distinct spec (see [`TraceCache`]) and shared immutably, and results
 //! are reassembled by job index rather than completion order.
 //!
+//! # Fault tolerance
+//!
+//! Long campaigns must survive single-cell failures. Each job runs
+//! inside a `catch_unwind` isolation boundary, so a panicking cell
+//! becomes a structured [`JobError`] in [`SweepReport::failed`] instead
+//! of aborting the sweep. Transient failures (memo-store IO, injected
+//! faults, watchdog timeouts) are retried with bounded deterministic
+//! backoff (`LLBP_MAX_RETRIES`, default 2); deterministic failures
+//! (predictor or trace-gen panics) fail fast. A per-job watchdog
+//! (`LLBP_JOB_TIMEOUT_SECS`) hands each attempt a deadline-carrying
+//! [`CancelToken`] that the simulation loop polls, so a hung cell
+//! cancels itself cooperatively. When a persistent store is attached the
+//! engine also appends per-cell outcomes to a campaign journal
+//! (`<cache-root>/<campaign-fingerprint>.journal`); together with the
+//! memoized cells this makes an interrupted campaign resumable — a
+//! re-run only simulates missing or previously-failed cells.
+//!
 //! # Example
 //!
 //! ```
@@ -40,11 +57,40 @@
 use crate::cache::TraceCache;
 use crate::config::{PredictorKind, SimConfig};
 use crate::driver::SimResult;
+use crate::error::{backoff_delay, panic_message, CancelToken, SimError};
+use crate::faultinject::FaultInjector;
+use crate::journal::{campaign_fingerprint, CampaignJournal, CellOutcome};
 use crate::memo::MemoStore;
-use llbp_trace::WorkloadSpec;
+use bputil::hash::FastHashMap;
+use llbp_trace::{Fingerprint, WorkloadSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Environment variable bounding per-cell retries of transient failures
+/// (memo-store IO errors, injected faults, watchdog timeouts).
+pub const MAX_RETRIES_ENV: &str = "LLBP_MAX_RETRIES";
+
+/// Retry budget used when [`MAX_RETRIES_ENV`] is unset or unparsable.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
+/// Environment variable setting the per-job watchdog timeout in seconds
+/// (fractional values accepted; unset or non-positive disables it).
+pub const JOB_TIMEOUT_ENV: &str = "LLBP_JOB_TIMEOUT_SECS";
+
+fn retries_from_env() -> u32 {
+    std::env::var(MAX_RETRIES_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_MAX_RETRIES)
+}
+
+fn timeout_from_env() -> Option<Duration> {
+    let raw = std::env::var(JOB_TIMEOUT_ENV).ok()?;
+    let secs: f64 = raw.trim().parse().ok()?;
+    (secs > 0.0 && secs.is_finite()).then(|| Duration::from_secs_f64(secs))
+}
 
 /// Number of workers the engine uses by default: the `LLBP_WORKERS`
 /// environment variable when set (clamped to ≥ 1, so CI and shared hosts
@@ -68,6 +114,12 @@ pub fn default_workers() -> usize {
 /// from a shared atomic counter, so a slow job never blocks the queue
 /// behind it; with `workers <= 1` the closure runs inline on the caller's
 /// thread.
+///
+/// A panic in `f` poisons nothing: the collection mutex only guards a
+/// `Vec` whose partial contents stay structurally valid, so surviving
+/// workers recover the guard with [`PoisonError::into_inner`] and keep
+/// collecting. (The sweep engine additionally catches panics per job, so
+/// its closures never unwind out of here at all.)
 ///
 /// # Panics
 ///
@@ -94,11 +146,11 @@ where
                     }
                     local.push((i, f(i)));
                 }
-                collected.lock().expect("worker result lock poisoned").extend(local);
+                collected.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
             });
         }
     });
-    let mut indexed = collected.into_inner().expect("worker result lock poisoned");
+    let mut indexed = collected.into_inner().unwrap_or_else(PoisonError::into_inner);
     indexed.sort_unstable_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, value)| value).collect()
 }
@@ -187,6 +239,39 @@ pub struct JobRecord {
     pub stats: JobStats,
 }
 
+/// A grid cell that exhausted its retry budget (or failed
+/// deterministically) — the sweep's structured record of the failure.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Which grid cell failed.
+    pub job: SweepJob,
+    /// The cell's flat grid index (`workload * num_predictors + predictor`).
+    pub index: usize,
+    /// Label of the predictor that was being simulated.
+    pub predictor: String,
+    /// Name of the workload that was being simulated.
+    pub workload: String,
+    /// How many attempts were made (1 = failed without retrying).
+    pub attempts: u32,
+    /// The final attempt's error.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} ({} on {}) failed after {} attempt{}: {}",
+            self.index,
+            self.predictor,
+            self.workload,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.error
+        )
+    }
+}
+
 /// Everything a sweep produced, in deterministic grid order
 /// (workload-major: all predictors of workload 0, then workload 1, …).
 #[derive(Debug, Clone)]
@@ -211,10 +296,25 @@ pub struct SweepReport {
     pub memo_misses: u64,
     /// Peak heap bytes held by cached traces.
     pub trace_bytes: usize,
+    /// Grid cells that ultimately failed after exhausting retries. Their
+    /// slot in [`SweepReport::jobs`] holds an all-zero placeholder result
+    /// so dense grid indexing stays valid; consult this list (or
+    /// [`SweepReport::is_complete`]) before trusting a cell.
+    pub failed: Vec<JobError>,
+    /// Cells skipped because a `--resume` run found them already
+    /// completed in the campaign journal and memo store.
+    pub resumed: u64,
 }
 
 impl SweepReport {
-    /// The result for `(workload index, predictor index)`.
+    /// `true` when every grid cell produced a real result.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// The result for `(workload index, predictor index)`. For a cell
+    /// listed in [`SweepReport::failed`] this is the all-zero placeholder.
     ///
     /// # Panics
     ///
@@ -249,19 +349,22 @@ impl SweepReport {
     }
 
     /// A single-line JSON record of the sweep's throughput, for harness
-    /// scripts that archive perf numbers (`results/`).
+    /// scripts that archive perf numbers (`results/`). When any cell
+    /// ultimately failed, a `"failed"` array of per-cell error records is
+    /// appended so archived campaigns are honest about missing data.
     #[must_use]
     pub fn throughput_json(&self, label: &str) -> String {
-        format!(
+        let sanitize = |s: &str| s.replace(['"', '\\'], "_");
+        let mut line = format!(
             concat!(
                 "{{\"event\":\"sweep_throughput\",\"label\":\"{}\",",
                 "\"jobs\":{},\"workers\":{},\"branches\":{},",
                 "\"wall_s\":{:.3},\"branches_per_sec\":{:.0},",
                 "\"cache_hits\":{},\"cache_misses\":{},",
                 "\"trace_disk_hits\":{},\"memo_hits\":{},\"memo_misses\":{},",
-                "\"trace_mib\":{:.1}}}"
+                "\"resumed\":{},\"trace_mib\":{:.1}"
             ),
-            label.replace(['"', '\\'], "_"),
+            sanitize(label),
             self.jobs.len(),
             self.workers,
             self.total_branches(),
@@ -272,18 +375,48 @@ impl SweepReport {
             self.trace_disk_hits,
             self.memo_hits,
             self.memo_misses,
+            self.resumed,
             self.trace_bytes as f64 / (1024.0 * 1024.0),
-        )
+        );
+        if !self.failed.is_empty() {
+            line.push_str(",\"failed\":[");
+            for (i, err) in self.failed.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!(
+                    concat!(
+                        "{{\"cell\":{},\"workload\":\"{}\",\"predictor\":\"{}\",",
+                        "\"attempts\":{},\"class\":\"{}\",\"error\":\"{}\"}}"
+                    ),
+                    err.index,
+                    sanitize(&err.workload),
+                    sanitize(&err.predictor),
+                    err.attempts,
+                    err.error.class(),
+                    sanitize(&err.error.to_string()),
+                ));
+            }
+            line.push(']');
+        }
+        line.push('}');
+        line
     }
 }
 
 /// Schedules [`SweepSpec`] grids onto a worker pool, optionally memoizing
-/// every cell in a persistent [`MemoStore`].
+/// every cell in a persistent [`MemoStore`], with per-job panic
+/// isolation, bounded retry, watchdog timeouts and campaign resume (see
+/// the module docs).
 #[derive(Debug, Clone)]
 pub struct SweepEngine {
     workers: usize,
     store: Option<Arc<MemoStore>>,
     cold: bool,
+    max_retries: u32,
+    job_timeout: Option<Duration>,
+    faults: Option<Arc<FaultInjector>>,
+    resume: bool,
 }
 
 impl Default for SweepEngine {
@@ -294,17 +427,26 @@ impl Default for SweepEngine {
 
 impl SweepEngine {
     /// An engine with one worker per available core (or `LLBP_WORKERS`)
-    /// and no persistent store.
+    /// and no persistent store. The retry budget and watchdog timeout are
+    /// read from `LLBP_MAX_RETRIES` / `LLBP_JOB_TIMEOUT_SECS`.
     #[must_use]
     pub fn new() -> Self {
-        Self { workers: default_workers(), store: None, cold: false }
+        Self::with_workers(default_workers())
     }
 
     /// An engine with an explicit worker count (`0` is clamped to 1).
     /// Results are identical at any worker count; only throughput varies.
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
-        Self { workers: workers.max(1), store: None, cold: false }
+        Self {
+            workers: workers.max(1),
+            store: None,
+            cold: false,
+            max_retries: retries_from_env(),
+            job_timeout: timeout_from_env(),
+            faults: None,
+            resume: false,
+        }
     }
 
     /// Attaches a persistent store: each grid cell probes it for a
@@ -326,17 +468,53 @@ impl SweepEngine {
         self
     }
 
+    /// Overrides the transient-failure retry budget (`0` disables
+    /// retrying; the default comes from `LLBP_MAX_RETRIES`, else 2).
+    #[must_use]
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the per-job watchdog timeout (`None` disables it; the
+    /// default comes from `LLBP_JOB_TIMEOUT_SECS`, else disabled). Each
+    /// *attempt* gets a fresh deadline, so a retried timeout is not
+    /// charged for its predecessor's wasted wall time.
+    #[must_use]
+    pub fn timeout(mut self, job_timeout: Option<Duration>) -> Self {
+        self.job_timeout = job_timeout;
+        self
+    }
+
+    /// Attaches a deterministic fault injector: jobs consult it at each
+    /// attempt start (panic / slow-down rules keyed by grid cell). IO
+    /// rules are injected separately at the store via
+    /// [`MemoStore::attach_faults`].
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// With `resume` set (and a store attached), cells recorded as
+    /// completed in the campaign journal *and* still present in the memo
+    /// store are served from disk without re-entering the fault/retry
+    /// path, and the journal is appended to instead of truncated. Cells
+    /// the journal records as failed are retried from scratch.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
     /// The worker count this engine schedules with.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Runs the full grid and returns the report.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from a simulation job.
+    /// Runs the full grid and returns the report. Job panics are caught
+    /// and surface as [`SweepReport::failed`] entries, not unwinds.
     #[must_use]
     pub fn run(&self, spec: &SweepSpec) -> SweepReport {
         let cache = match &self.store {
@@ -349,10 +527,8 @@ impl SweepEngine {
     /// Runs the grid against a caller-provided trace cache, so harness
     /// code that needs the traces afterwards (e.g. for L1-I traffic
     /// analysis) shares one cache with the sweep instead of regenerating.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from a simulation job.
+    /// Job panics are caught and surface as [`SweepReport::failed`]
+    /// entries, not unwinds.
     #[must_use]
     pub fn run_with_cache(&self, spec: &SweepSpec, cache: &TraceCache) -> SweepReport {
         let started = Instant::now();
@@ -369,38 +545,62 @@ impl SweepEngine {
                 })
                 .collect()
         });
+        let journal = self.open_journal(&fingerprints);
+        // On resume, cells the journal marks completed (and whose result
+        // is still memoized under the recorded fingerprint) are trusted;
+        // anything else — failed, unrecorded, or evicted — re-runs.
+        let done_before: FastHashMap<usize, Fingerprint> = match (&journal, self.resume) {
+            (Some(journal), true) => journal
+                .load()
+                .into_iter()
+                .filter_map(|(cell, outcome)| match outcome {
+                    CellOutcome::Ok { fingerprint }
+                        if cell < n && fingerprints[cell] == fingerprint =>
+                    {
+                        Some((cell, fingerprint))
+                    }
+                    _ => None,
+                })
+                .collect(),
+            _ => FastHashMap::default(),
+        };
         let order = self.schedule(n, &fingerprints);
         let memo_hits = AtomicU64::new(0);
         let memo_misses = AtomicU64::new(0);
+        let resumed = AtomicU64::new(0);
         let mut claimed = run_indexed(self.workers, n, |slot| {
             let index = order[slot];
-            let job = spec.job(index);
-            if let Some(store) = &self.store {
-                let fp = fingerprints[index];
-                if !self.cold {
-                    let probe_started = Instant::now();
-                    if let Some(cell) = store.load_result(fp) {
-                        memo_hits.fetch_add(1, Ordering::Relaxed);
-                        let stats =
-                            JobStats { wall: probe_started.elapsed(), branches: cell.trace_len };
-                        return (index, JobRecord { job, result: cell.result, stats });
-                    }
+            let outcome = self.run_cell(
+                spec,
+                index,
+                cache,
+                fingerprints.get(index).copied(),
+                done_before.contains_key(&index),
+                (&memo_hits, &memo_misses, &resumed),
+            );
+            if let Some(journal) = &journal {
+                match &outcome {
+                    Ok(_) => journal.record_ok(index, fingerprints[index]),
+                    Err(err) => journal.record_failed(index, err.error.class()),
                 }
-                memo_misses.fetch_add(1, Ordering::Relaxed);
             }
-            let trace = cache.get_or_generate(&spec.workloads[job.workload]);
-            let sim_started = Instant::now();
-            let result = spec.sim.run(spec.predictors[job.predictor].clone(), &trace);
-            let wall = sim_started.elapsed();
-            if let Some(store) = &self.store {
-                let _ = store.store_result(fingerprints[index], &result, wall, trace.len() as u64);
-            }
-            let stats = JobStats { wall, branches: trace.len() as u64 };
-            (index, JobRecord { job, result, stats })
+            (index, outcome)
         });
         // Workers claim in schedule order; reports stay in grid order.
         claimed.sort_unstable_by_key(|&(index, _)| index);
-        let jobs = claimed.into_iter().map(|(_, record)| record).collect();
+        let mut jobs = Vec::with_capacity(n);
+        let mut failed = Vec::new();
+        for (index, outcome) in claimed {
+            match outcome {
+                Ok(record) => jobs.push(record),
+                Err(err) => {
+                    // A placeholder keeps dense grid indexing valid;
+                    // `failed` is the authoritative record of the gap.
+                    jobs.push(Self::placeholder_record(spec, index));
+                    failed.push(*err);
+                }
+            }
+        }
         SweepReport {
             jobs,
             num_predictors: spec.predictors.len(),
@@ -412,6 +612,177 @@ impl SweepEngine {
             memo_hits: memo_hits.into_inner(),
             memo_misses: memo_misses.into_inner(),
             trace_bytes: cache.memory_footprint(),
+            failed,
+            resumed: resumed.into_inner(),
+        }
+    }
+
+    /// Opens the campaign journal when a persistent store is attached.
+    /// The campaign identity is a fold of the grid's cell fingerprints,
+    /// so two different sweeps never share a journal. Best-effort: an
+    /// unopenable journal degrades to running without one.
+    fn open_journal(&self, fingerprints: &[Fingerprint]) -> Option<CampaignJournal> {
+        let store = self.store.as_ref()?;
+        if fingerprints.is_empty() {
+            return None;
+        }
+        CampaignJournal::open(store.root(), campaign_fingerprint(fingerprints), self.resume).ok()
+    }
+
+    /// Runs one grid cell to completion: retry loop around
+    /// [`SweepEngine::attempt_cell`] with deterministic backoff between
+    /// transient failures, mapping the final error into a [`JobError`]
+    /// (boxed: the error path is cold and the `Ok` path shouldn't pay
+    /// its footprint).
+    fn run_cell(
+        &self,
+        spec: &SweepSpec,
+        index: usize,
+        cache: &TraceCache,
+        fingerprint: Option<Fingerprint>,
+        resumable: bool,
+        counters: (&AtomicU64, &AtomicU64, &AtomicU64),
+    ) -> Result<JobRecord, Box<JobError>> {
+        let job = spec.job(index);
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.attempt_cell(
+                spec,
+                job,
+                index,
+                cache,
+                fingerprint,
+                resumable,
+                counters,
+                attempt,
+            );
+            match outcome {
+                Ok(record) => return Ok(record),
+                Err(error) if error.is_transient() && attempt < self.max_retries => {
+                    std::thread::sleep(backoff_delay(attempt));
+                    attempt += 1;
+                }
+                Err(error) => {
+                    return Err(Box::new(JobError {
+                        job,
+                        index,
+                        predictor: spec.predictors[job.predictor].label(),
+                        workload: spec.workloads[job.workload].name().to_string(),
+                        attempts: attempt + 1,
+                        error,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// One attempt at one grid cell, fully isolated: injected faults,
+    /// trace generation and the simulation itself each run under
+    /// `catch_unwind`, and every failure maps to a typed [`SimError`].
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_cell(
+        &self,
+        spec: &SweepSpec,
+        job: SweepJob,
+        index: usize,
+        cache: &TraceCache,
+        fingerprint: Option<Fingerprint>,
+        resumable: bool,
+        (memo_hits, memo_misses, resumed): (&AtomicU64, &AtomicU64, &AtomicU64),
+        attempt: u32,
+    ) -> Result<JobRecord, SimError> {
+        // The watchdog deadline starts before fault injection so that an
+        // injected-slow attempt is charged for its sleep: the simulation
+        // loop's first poll then observes the expired deadline.
+        let token = match self.job_timeout {
+            Some(limit) => CancelToken::with_timeout(limit),
+            None => CancelToken::none(),
+        };
+        if let Some(faults) = &self.faults {
+            catch_unwind(AssertUnwindSafe(|| faults.on_job_start(index, attempt))).map_err(
+                |payload| SimError::Injected { detail: panic_message(payload.as_ref()) },
+            )?;
+        }
+        if let (Some(store), Some(fp)) = (&self.store, fingerprint) {
+            if !self.cold || resumable {
+                let probe_started = Instant::now();
+                if let Some(cell) = store.load_result(fp)? {
+                    memo_hits.fetch_add(1, Ordering::Relaxed);
+                    if resumable {
+                        resumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let stats =
+                        JobStats { wall: probe_started.elapsed(), branches: cell.trace_len };
+                    return Ok(JobRecord { job, result: cell.result, stats });
+                }
+            }
+        }
+        let wspec = &spec.workloads[job.workload];
+        let trace =
+            catch_unwind(AssertUnwindSafe(|| cache.get_or_generate(wspec))).map_err(|payload| {
+                SimError::TraceGen {
+                    workload: wspec.name().to_string(),
+                    detail: panic_message(payload.as_ref()),
+                }
+            })?;
+        let kind = spec.predictors[job.predictor].clone();
+        let label = kind.label();
+        let sim_started = Instant::now();
+        let result =
+            catch_unwind(AssertUnwindSafe(|| spec.sim.run_cancellable(kind, &trace, &token)))
+                .map_err(|payload| SimError::PredictorPanic {
+                    label,
+                    detail: panic_message(payload.as_ref()),
+                })??;
+        let wall = sim_started.elapsed();
+        // Counted on successful simulation (not per probe attempt), so
+        // the counter still reads "cells simulated" under retries.
+        memo_misses.fetch_add(1, Ordering::Relaxed);
+        if let (Some(store), Some(fp)) = (&self.store, fingerprint) {
+            self.write_back(store, fp, &result, wall, trace.len() as u64);
+        }
+        Ok(JobRecord { job, result, stats: JobStats { wall, branches: trace.len() as u64 } })
+    }
+
+    /// Persists a freshly simulated cell with its own bounded retry.
+    /// Ultimately best-effort: the in-memory result stands even if the
+    /// store never accepts the write.
+    fn write_back(
+        &self,
+        store: &MemoStore,
+        fp: Fingerprint,
+        result: &SimResult,
+        wall: Duration,
+        trace_len: u64,
+    ) {
+        let mut attempt = 0u32;
+        while store.store_result(fp, result, wall, trace_len).is_err() {
+            if attempt >= self.max_retries {
+                return;
+            }
+            std::thread::sleep(backoff_delay(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// An all-zero stand-in result for a failed cell, carrying the
+    /// correct labels so report tables still render the grid shape.
+    fn placeholder_record(spec: &SweepSpec, index: usize) -> JobRecord {
+        let job = spec.job(index);
+        JobRecord {
+            job,
+            result: SimResult {
+                label: spec.predictors[job.predictor].label(),
+                workload: spec.workloads[job.workload].name().to_string(),
+                instructions: 0,
+                conditional_branches: 0,
+                mispredictions: 0,
+                provider_counts: FastHashMap::default(),
+                per_branch_mispredicts: None,
+                per_branch_executions: None,
+                llbp: None,
+            },
+            stats: JobStats { wall: Duration::ZERO, branches: 0 },
         }
     }
 

@@ -1,0 +1,315 @@
+//! Deterministic fault injection for exercising the resilience layer.
+//!
+//! Production sweeps run for hours; the failure modes they must survive
+//! (a predictor bug in one cell, a flaky disk under the memo store, a
+//! cell that stalls) are rare and hard to reproduce on demand. This
+//! module turns each of them into a switch: a [`FaultInjector`] parsed
+//! from a compact spec string injects panics, memo-store IO errors and
+//! artificial slowness at precisely chosen points, so the tests (and the
+//! tier-1 smoke gate) can prove that injected faults never change a
+//! campaign's final report.
+//!
+//! # Spec grammar
+//!
+//! Rules are `;`-separated, each `kind:key=value,key=value`:
+//!
+//! ```text
+//! panic:cell=3            panic on cell 3's first attempt
+//! panic:cell=3,count=2    …on its first two attempts
+//! io:rate=1/7             fail 1 in 7 memo-store IO operations
+//! slow:cell=5,ms=200      sleep 200ms at the start of cell 5's first attempt
+//! ```
+//!
+//! The `LLBP_FAULT_SPEC` environment variable carries the spec into the
+//! experiment binaries (e.g. `LLBP_FAULT_SPEC=panic:cell=0 cargo run
+//! --release -p llbp-bench --bin fig02_mpki_limits -- --quick`).
+//!
+//! Injection is deterministic: `panic`/`slow` rules key on the grid cell
+//! index and the attempt number (so a bounded retry always converges once
+//! `count` attempts have been burned), and `io` rules draw from a
+//! [`SplitMix64`](bputil::rng::SplitMix64) stream seeded with a fixed
+//! constant, so a serial run injects the same faults every time.
+
+use crate::error::SimError;
+use bputil::rng::SplitMix64;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Environment variable carrying the fault spec into binaries.
+pub const FAULT_SPEC_ENV: &str = "LLBP_FAULT_SPEC";
+
+/// Panic-payload tag for injected panics, so the engine (and a human
+/// reading stderr) can tell them apart from genuine predictor bugs.
+pub const INJECTED_PANIC_TAG: &str = "llbp injected panic";
+
+/// Fixed seed of the IO-fault random stream (reproducible by design).
+const IO_FAULT_SEED: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// One parsed fault rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRule {
+    /// Panic at the start of the given cell's first `count` attempts.
+    Panic {
+        /// Grid cell index (scheduling-independent: the workload-major
+        /// grid index, not the claim order).
+        cell: usize,
+        /// Number of attempts that panic before the cell succeeds.
+        count: u32,
+    },
+    /// Fail `num` out of every `den` memo-store IO operations.
+    Io {
+        /// Numerator of the failure rate.
+        num: u64,
+        /// Denominator of the failure rate.
+        den: u64,
+    },
+    /// Sleep at the start of the given cell's first `count` attempts.
+    Slow {
+        /// Grid cell index.
+        cell: usize,
+        /// Sleep length in milliseconds.
+        ms: u64,
+        /// Number of attempts that sleep.
+        count: u32,
+    },
+}
+
+/// A shared, thread-safe injector consulted by the sweep engine (cell
+/// attempts) and the memo store (IO operations).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    rules: Vec<FaultRule>,
+    io_rng: Mutex<SplitMix64>,
+}
+
+impl FaultInjector {
+    /// Builds an injector from parsed rules.
+    #[must_use]
+    pub fn new(rules: Vec<FaultRule>) -> Self {
+        Self { rules, io_rng: Mutex::new(SplitMix64::new(IO_FAULT_SEED)) }
+    }
+
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed rule.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut rules = Vec::new();
+        for rule in spec.split(';') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                continue;
+            }
+            rules.push(parse_rule(rule)?);
+        }
+        Ok(Self::new(rules))
+    }
+
+    /// Parses `LLBP_FAULT_SPEC`, returning `Ok(None)` when unset/empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed rule.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULT_SPEC_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The parsed rules.
+    #[must_use]
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Fires `panic`/`slow` rules for one attempt of one cell. Called by
+    /// the engine inside its `catch_unwind` isolation boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with [`INJECTED_PANIC_TAG`] in the payload) when a `panic`
+    /// rule matches — that is the injection.
+    pub fn on_job_start(&self, cell: usize, attempt: u32) {
+        for rule in &self.rules {
+            match *rule {
+                FaultRule::Slow { cell: c, ms, count } if c == cell && attempt < count => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                FaultRule::Panic { cell: c, count } if c == cell && attempt < count => {
+                    panic!("{INJECTED_PANIC_TAG}: cell {cell} attempt {attempt}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consults the `io` rules before a memo-store operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoIo`] when an injected IO fault fires.
+    pub fn check_io(&self, op: &'static str) -> Result<(), SimError> {
+        for rule in &self.rules {
+            if let FaultRule::Io { num, den } = *rule {
+                let fire = self
+                    .io_rng
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .chance(num, den);
+                if fire {
+                    return Err(SimError::MemoIo { op, detail: "injected IO fault".into() });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether a `catch_unwind` payload came from an injected panic.
+#[must_use]
+pub fn is_injected_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    crate::error::panic_message(payload).contains(INJECTED_PANIC_TAG)
+}
+
+fn parse_rule(rule: &str) -> Result<FaultRule, String> {
+    let (kind, args) =
+        rule.split_once(':').ok_or_else(|| format!("rule `{rule}` is missing `kind:`"))?;
+    let mut cell = None;
+    let mut count = None;
+    let mut ms = None;
+    let mut rate = None;
+    for pair in args.split(',') {
+        let (key, value) =
+            pair.split_once('=').ok_or_else(|| format!("`{pair}` is not `key=value`"))?;
+        match key.trim() {
+            "cell" => cell = Some(parse_num(value, "cell")?),
+            "count" => count = Some(u32::try_from(parse_num(value, "count")?).unwrap_or(u32::MAX)),
+            "ms" => ms = Some(parse_num(value, "ms")? as u64),
+            "rate" => {
+                let (n, d) = value
+                    .split_once('/')
+                    .ok_or_else(|| format!("rate `{value}` is not `num/den`"))?;
+                let num = parse_num(n, "rate numerator")? as u64;
+                let den = parse_num(d, "rate denominator")? as u64;
+                if den == 0 || num > den {
+                    return Err(format!("rate `{value}` must satisfy 0 <= num <= den, den > 0"));
+                }
+                rate = Some((num, den));
+            }
+            other => return Err(format!("unknown key `{other}` in rule `{rule}`")),
+        }
+    }
+    let cell_of =
+        |rule_kind: &str| cell.ok_or_else(|| format!("`{rule_kind}` rule requires `cell=N`"));
+    match kind.trim() {
+        "panic" => Ok(FaultRule::Panic { cell: cell_of("panic")?, count: count.unwrap_or(1) }),
+        "slow" => Ok(FaultRule::Slow {
+            cell: cell_of("slow")?,
+            ms: ms.ok_or_else(|| "`slow` rule requires `ms=N`".to_string())?,
+            count: count.unwrap_or(1),
+        }),
+        "io" => {
+            let (num, den) = rate.ok_or_else(|| "`io` rule requires `rate=N/M`".to_string())?;
+            Ok(FaultRule::Io { num, den })
+        }
+        other => Err(format!("unknown fault kind `{other}` (expected panic/io/slow)")),
+    }
+}
+
+fn parse_num(value: &str, what: &str) -> Result<usize, String> {
+    value.trim().parse().map_err(|e| format!("bad {what} `{value}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let inj = FaultInjector::parse("panic:cell=3;io:rate=1/7;slow:cell=5,ms=200")
+            .expect("spec parses");
+        assert_eq!(
+            inj.rules(),
+            &[
+                FaultRule::Panic { cell: 3, count: 1 },
+                FaultRule::Io { num: 1, den: 7 },
+                FaultRule::Slow { cell: 5, ms: 200, count: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_specs_are_no_rules() {
+        assert!(FaultInjector::parse("").expect("empty ok").rules().is_empty());
+        assert!(FaultInjector::parse(" ; ; ").expect("blanks ok").rules().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_a_reason() {
+        for bad in [
+            "panic",              // no args
+            "panic:count=2",      // missing cell
+            "slow:cell=1",        // missing ms
+            "io:rate=7",          // not a fraction
+            "io:rate=8/7",        // num > den
+            "io:rate=0/0",        // zero denominator
+            "warp:cell=1",        // unknown kind
+            "panic:cell=x",       // non-numeric
+            "panic:cell=1,foo=2", // unknown key
+        ] {
+            assert!(FaultInjector::parse(bad).is_err(), "spec `{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn panic_rule_fires_on_matching_attempts_only() {
+        let inj = FaultInjector::parse("panic:cell=2,count=2").expect("parse");
+        inj.on_job_start(1, 0); // wrong cell: no panic
+        inj.on_job_start(2, 2); // attempt past count: no panic
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.on_job_start(2, 0);
+        }));
+        let payload = caught.expect_err("attempt 0 must panic");
+        assert!(is_injected_panic(payload.as_ref()));
+    }
+
+    #[test]
+    fn slow_rule_sleeps_on_matching_attempts() {
+        let inj = FaultInjector::parse("slow:cell=0,ms=30").expect("parse");
+        let started = std::time::Instant::now();
+        inj.on_job_start(0, 0);
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        let started = std::time::Instant::now();
+        inj.on_job_start(0, 1); // past count: no sleep
+        assert!(started.elapsed() < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn io_rule_fires_at_roughly_the_requested_rate() {
+        let inj = FaultInjector::parse("io:rate=1/4").expect("parse");
+        let failures = (0..10_000).filter(|_| inj.check_io("load_result").is_err()).count();
+        assert!((2_000..3_000).contains(&failures), "failures={failures}");
+        // Every failure is classified as transient memo IO.
+        let inj = FaultInjector::parse("io:rate=1/1").expect("parse");
+        let err = inj.check_io("store_result").expect_err("1/1 always fires");
+        assert!(err.is_transient());
+        assert_eq!(err.class(), "memo_io");
+    }
+
+    #[test]
+    fn io_stream_is_reproducible() {
+        let a = FaultInjector::parse("io:rate=1/3").expect("parse");
+        let b = FaultInjector::parse("io:rate=1/3").expect("parse");
+        let seq_a: Vec<bool> = (0..256).map(|_| a.check_io("x").is_err()).collect();
+        let seq_b: Vec<bool> = (0..256).map(|_| b.check_io("x").is_err()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn real_panics_are_not_mistaken_for_injections() {
+        let caught = std::panic::catch_unwind(|| panic!("index out of bounds"));
+        assert!(!is_injected_panic(caught.expect_err("panics").as_ref()));
+    }
+}

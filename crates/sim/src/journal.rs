@@ -1,0 +1,236 @@
+//! Append-only campaign journals for crash-safe sweep resume.
+//!
+//! The memo store persists individual cell *results*; the journal
+//! persists campaign *progress*: one line per finished grid cell, `ok`
+//! or `failed`, appended and flushed as cells complete. Together they
+//! make an interrupted campaign cheap to resume — on restart the engine
+//! reconciles the journal against the memo store (the store is the
+//! source of truth for result bytes; the journal only records which
+//! cells were attempted and how they ended) and re-runs only cells that
+//! are missing or previously failed.
+//!
+//! The journal lives next to the cells it describes:
+//! `<cache-root>/<campaign-fingerprint>.journal`, where the campaign
+//! fingerprint folds every cell fingerprint of the sweep in grid order —
+//! two different grids never share a journal, and re-running the same
+//! grid (even from a different binary) finds its own history.
+//!
+//! Format: plain text, one entry per line:
+//!
+//! ```text
+//! ok 17 3f9c…                 # cell 17 completed; result fingerprint
+//! failed 4 timeout            # cell 4 ultimately failed; error class
+//! ```
+//!
+//! Parsing is defensive: a process killed mid-append leaves at most one
+//! partial final line, which (like any other malformed line) is ignored.
+
+use llbp_trace::fingerprint::{Fingerprint, StableHasher};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// How a journaled cell ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The cell completed; its result was published under `fingerprint`.
+    Ok {
+        /// The cell's result fingerprint at completion time.
+        fingerprint: Fingerprint,
+    },
+    /// The cell ultimately failed with the given error class.
+    Failed {
+        /// Stable error class (`SimError::class`).
+        class: String,
+    },
+}
+
+/// Fingerprint identifying one campaign: the sweep's cell fingerprints
+/// folded in grid order.
+#[must_use]
+pub fn campaign_fingerprint(cells: &[Fingerprint]) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_str("llbp-campaign");
+    h.write_u64(cells.len() as u64);
+    for fp in cells {
+        h.write(&fp.0.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// An open, append-only campaign journal.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl CampaignJournal {
+    /// Opens the journal for a campaign under `root`.
+    ///
+    /// With `resume` set, existing entries are kept (and returned via
+    /// [`CampaignJournal::load`]); otherwise the journal is truncated —
+    /// a fresh campaign starts a fresh history.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when the file cannot be opened.
+    pub fn open(root: &Path, campaign: Fingerprint, resume: bool) -> std::io::Result<Self> {
+        std::fs::create_dir_all(root)?;
+        let path = root.join(format!("{campaign}.journal"));
+        let file =
+            OpenOptions::new().create(true).append(true).truncate(false).open(&path).and_then(
+                |f| {
+                    if resume {
+                        Ok(f)
+                    } else {
+                        f.set_len(0)?;
+                        Ok(f)
+                    }
+                },
+            )?;
+        Ok(Self { path, file: Mutex::new(file) })
+    }
+
+    /// The journal's path on disk.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Parses the journal into per-cell outcomes. Later lines win (a
+    /// resumed run that re-ran a previously failed cell appends a fresh
+    /// `ok` line); malformed or partial lines are ignored.
+    #[must_use]
+    pub fn load(&self) -> HashMap<usize, CellOutcome> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return HashMap::new();
+        };
+        let mut outcomes = HashMap::new();
+        for line in text.lines() {
+            let mut parts = line.split_ascii_whitespace();
+            let (Some(tag), Some(cell), Some(detail), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Ok(cell) = cell.parse::<usize>() else {
+                continue;
+            };
+            match tag {
+                "ok" => {
+                    if let Ok(raw) = u128::from_str_radix(detail, 16) {
+                        outcomes.insert(cell, CellOutcome::Ok { fingerprint: Fingerprint(raw) });
+                    }
+                }
+                "failed" => {
+                    outcomes.insert(cell, CellOutcome::Failed { class: detail.to_string() });
+                }
+                _ => {}
+            }
+        }
+        outcomes
+    }
+
+    /// Appends a completion entry for `cell` (best-effort: journal IO
+    /// failures never fail the cell they describe).
+    pub fn record_ok(&self, cell: usize, fingerprint: Fingerprint) {
+        self.append(&format!("ok {cell} {fingerprint}\n"));
+    }
+
+    /// Appends a failure entry for `cell` (best-effort).
+    pub fn record_failed(&self, cell: usize, class: &str) {
+        self.append(&format!("failed {cell} {class}\n"));
+    }
+
+    fn append(&self, line: &str) {
+        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "llbp-journal-unit-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn roundtrips_ok_and_failed_entries() {
+        let root = scratch_root("roundtrip");
+        let camp = campaign_fingerprint(&[Fingerprint(1), Fingerprint(2)]);
+        let journal = CampaignJournal::open(&root, camp, false).expect("open");
+        journal.record_ok(0, Fingerprint(0xabcd));
+        journal.record_failed(3, "timeout");
+        let outcomes = journal.load();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[&0], CellOutcome::Ok { fingerprint: Fingerprint(0xabcd) });
+        assert_eq!(outcomes[&3], CellOutcome::Failed { class: "timeout".into() });
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn later_entries_supersede_earlier_ones() {
+        let root = scratch_root("supersede");
+        let camp = campaign_fingerprint(&[Fingerprint(7)]);
+        let journal = CampaignJournal::open(&root, camp, false).expect("open");
+        journal.record_failed(2, "panic");
+        journal.record_ok(2, Fingerprint(0x99));
+        assert_eq!(journal.load()[&2], CellOutcome::Ok { fingerprint: Fingerprint(0x99) });
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn resume_keeps_history_and_fresh_start_truncates() {
+        let root = scratch_root("resume");
+        let camp = campaign_fingerprint(&[Fingerprint(9)]);
+        {
+            let journal = CampaignJournal::open(&root, camp, false).expect("open");
+            journal.record_ok(1, Fingerprint(0x11));
+        }
+        let resumed = CampaignJournal::open(&root, camp, true).expect("reopen");
+        assert_eq!(resumed.load().len(), 1, "resume keeps prior entries");
+        drop(resumed);
+        let fresh = CampaignJournal::open(&root, camp, false).expect("reopen fresh");
+        assert!(fresh.load().is_empty(), "fresh campaign truncates");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn partial_and_garbage_lines_are_ignored() {
+        let root = scratch_root("garbage");
+        let camp = campaign_fingerprint(&[Fingerprint(3)]);
+        let journal = CampaignJournal::open(&root, camp, false).expect("open");
+        journal.record_ok(0, Fingerprint(0x42));
+        // Simulate a kill mid-append plus assorted corruption.
+        journal.append("ok 1 ");
+        drop(journal);
+        let reopened = CampaignJournal::open(&root, camp, true).expect("reopen");
+        reopened.append("\nnot-a-tag 2 x\nok nine zz\nfailed 5\n");
+        let outcomes = reopened.load();
+        assert_eq!(outcomes.len(), 1, "only the complete entry survives: {outcomes:?}");
+        assert!(outcomes.contains_key(&0));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn campaign_fingerprints_key_on_cells_and_order() {
+        let a = campaign_fingerprint(&[Fingerprint(1), Fingerprint(2)]);
+        let b = campaign_fingerprint(&[Fingerprint(2), Fingerprint(1)]);
+        let c = campaign_fingerprint(&[Fingerprint(1)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, campaign_fingerprint(&[Fingerprint(1), Fingerprint(2)]));
+    }
+}

@@ -20,6 +20,9 @@ pub mod config;
 pub mod driver;
 pub mod energy;
 pub mod engine;
+pub mod error;
+pub mod faultinject;
+pub mod journal;
 pub mod l1i;
 pub mod memo;
 pub mod patterns;
@@ -30,7 +33,10 @@ pub use cache::TraceCache;
 pub use config::{PredictorKind, SimConfig};
 pub use driver::{LlbpCellStats, SimResult, Simulator};
 pub use energy::EnergyModel;
-pub use engine::{SweepEngine, SweepReport, SweepSpec};
+pub use engine::{JobError, SweepEngine, SweepReport, SweepSpec};
+pub use error::{CancelToken, SimError};
+pub use faultinject::{FaultInjector, FAULT_SPEC_ENV};
+pub use journal::{campaign_fingerprint, CampaignJournal, CellOutcome};
 pub use l1i::L1iCache;
 pub use memo::{CachedCell, MemoStore, MEMO_FORMAT_VERSION};
 pub use timing::TimingModel;

@@ -30,6 +30,8 @@
 
 use crate::config::{PredictorKind, SimConfig};
 use crate::driver::{intern_provider_label, LlbpCellStats, SimResult};
+use crate::error::SimError;
+use crate::faultinject::FaultInjector;
 use bputil::hash::FastHashMap;
 use llbp_core::LlbpStats;
 use llbp_tage::FrontEndStats;
@@ -77,6 +79,7 @@ pub struct MemoStore {
     trace_stores: AtomicU64,
     result_loads: AtomicU64,
     result_stores: AtomicU64,
+    faults: Option<std::sync::Arc<FaultInjector>>,
 }
 
 impl MemoStore {
@@ -109,7 +112,23 @@ impl MemoStore {
             trace_stores: AtomicU64::new(0),
             result_loads: AtomicU64::new(0),
             result_stores: AtomicU64::new(0),
+            faults: None,
         })
+    }
+
+    /// Attaches a [`FaultInjector`] whose `io` rules fire on every
+    /// load/store operation (the fault-injection harness; production
+    /// stores have none attached).
+    pub fn attach_faults(&mut self, faults: std::sync::Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
+    /// Consults the attached injector, if any, before an IO operation.
+    fn check_faults(&self, op: &'static str) -> Result<(), SimError> {
+        match &self.faults {
+            Some(faults) => faults.check_io(op),
+            None => Ok(()),
+        }
     }
 
     /// Opens the default store: `$LLBP_CACHE_DIR` if set, else
@@ -207,14 +226,31 @@ impl MemoStore {
         self.root.join("results").join(format!("{fp}.llbr"))
     }
 
-    /// Loads the trace addressed by `fp`, or `None` on a miss or any form
-    /// of corruption (bad magic, truncation, checksum mismatch).
-    #[must_use]
-    pub fn load_trace(&self, fp: Fingerprint) -> Option<Trace> {
-        let file = fs::File::open(self.trace_path(fp)).ok()?;
-        let trace = read_trace(BufReader::new(file)).ok()?;
+    /// Loads the trace addressed by `fp`. `Ok(None)` is a miss — the
+    /// file does not exist, or exists but is corrupt (bad magic,
+    /// truncation, checksum mismatch) and must be regenerated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoIo`] on a *transient* failure: the file
+    /// exists but could not be read (or an injected IO fault fired).
+    /// Callers may retry or degrade to regeneration.
+    pub fn load_trace(&self, fp: Fingerprint) -> Result<Option<Trace>, SimError> {
+        self.check_faults("load_trace")?;
+        let file = match fs::File::open(self.trace_path(fp)) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(SimError::MemoIo { op: "load_trace", detail: e.to_string() });
+            }
+        };
+        // A parse failure is a corrupt entry, not an IO fault: the cell
+        // degrades to a miss and the regenerated trace overwrites it.
+        let Ok(trace) = read_trace(BufReader::new(file)) else {
+            return Ok(None);
+        };
         self.trace_loads.fetch_add(1, Ordering::Relaxed);
-        Some(trace)
+        Ok(Some(trace))
     }
 
     /// Persists `trace` under `fp` (best-effort; callers typically ignore
@@ -225,6 +261,7 @@ impl MemoStore {
     ///
     /// Returns the underlying IO error when the write or rename fails.
     pub fn store_trace(&self, fp: Fingerprint, trace: &Trace) -> std::io::Result<()> {
+        self.check_faults("store_trace").map_err(std::io::Error::other)?;
         let mut buf = Vec::with_capacity(trace.len() * 22 + 64);
         write_trace(&mut buf, trace).map_err(|e| match e {
             llbp_trace::TraceIoError::Io(io) => io,
@@ -264,14 +301,29 @@ impl MemoStore {
         Some(Duration::from_nanos(nanos))
     }
 
-    /// Loads the result cell addressed by `fp`, or `None` on a miss or
-    /// any corruption.
-    #[must_use]
-    pub fn load_result(&self, fp: Fingerprint) -> Option<CachedCell> {
-        let bytes = fs::read(self.result_path(fp)).ok()?;
-        let cell = decode_cell(&bytes)?;
+    /// Loads the result cell addressed by `fp`. `Ok(None)` is a miss —
+    /// no cell on disk, or a cell that fails validation (corruption
+    /// degrades to re-simulation, never to a wrong result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoIo`] on a *transient* failure: the file
+    /// exists but could not be read (or an injected IO fault fired).
+    /// The sweep engine retries these with backoff.
+    pub fn load_result(&self, fp: Fingerprint) -> Result<Option<CachedCell>, SimError> {
+        self.check_faults("load_result")?;
+        let bytes = match fs::read(self.result_path(fp)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(SimError::MemoIo { op: "load_result", detail: e.to_string() });
+            }
+        };
+        let Some(cell) = decode_cell(&bytes) else {
+            return Ok(None);
+        };
         self.result_loads.fetch_add(1, Ordering::Relaxed);
-        Some(cell)
+        Ok(Some(cell))
     }
 
     /// Persists a result cell.
@@ -286,6 +338,7 @@ impl MemoStore {
         wall: Duration,
         trace_len: u64,
     ) -> std::io::Result<()> {
+        self.check_faults("store_result").map_err(std::io::Error::other)?;
         let bytes = encode_cell(result, wall, trace_len);
         self.publish(&bytes, &self.result_path(fp))?;
         self.result_stores.fetch_add(1, Ordering::Relaxed);
@@ -645,7 +698,7 @@ mod tests {
     fn store_roundtrips_results_and_costs() {
         let (store, dir) = scratch_store();
         let fp = Fingerprint(0xfeed);
-        assert!(store.load_result(fp).is_none());
+        assert!(store.load_result(fp).expect("clean store").is_none());
         assert!(!store.has_result(fp));
         assert!(store.recorded_cost(fp).is_none());
 
@@ -653,7 +706,7 @@ mod tests {
         store.store_result(fp, &r, Duration::from_micros(1234), 777).expect("store");
         assert!(store.has_result(fp));
         assert_eq!(store.recorded_cost(fp), Some(Duration::from_micros(1234)));
-        let cell = store.load_result(fp).expect("load");
+        let cell = store.load_result(fp).expect("no io fault").expect("load");
         assert_eq!(cell.result, r);
         assert_eq!(cell.trace_len, 777);
         assert_eq!(store.result_loads(), 1);
@@ -666,10 +719,10 @@ mod tests {
         let (store, dir) = scratch_store();
         let spec = WorkloadSpec::named(Workload::Http).with_branches(800);
         let fp = store.trace_fingerprint(&spec);
-        assert!(store.load_trace(fp).is_none());
+        assert!(store.load_trace(fp).expect("clean store").is_none());
         let trace = spec.generate();
         store.store_trace(fp, &trace).expect("store trace");
-        let back = store.load_trace(fp).expect("load trace");
+        let back = store.load_trace(fp).expect("no io fault").expect("load trace");
         assert_eq!(back.records(), trace.records());
         assert_eq!(back.name(), trace.name());
         let _ = fs::remove_dir_all(dir);
@@ -721,6 +774,23 @@ mod tests {
         );
         let _ = fs::remove_dir_all(dir_a);
         let _ = fs::remove_dir_all(dir_b);
+    }
+
+    #[test]
+    fn injected_io_faults_surface_as_transient_memo_errors() {
+        let (mut store, dir) = scratch_store();
+        store.attach_faults(std::sync::Arc::new(
+            FaultInjector::parse("io:rate=1/1").expect("spec parses"),
+        ));
+        let fp = Fingerprint(0xdead);
+        let err = store.load_result(fp).expect_err("1/1 rate always fires");
+        assert!(err.is_transient());
+        assert_eq!(err.class(), "memo_io");
+        assert!(store.load_trace(fp).is_err());
+        let r = sample_result(false, false);
+        assert!(store.store_result(fp, &r, Duration::ZERO, 1).is_err());
+        assert!(!store.has_result(fp), "a failed store must not publish a cell");
+        let _ = fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Fault-injection parity: a campaign that suffers injected panics, IO
+//! faults or slowness must — after bounded retry and/or resume — publish
+//! a report identical to the fault-free run, at any worker count. These
+//! tests pin the resilience layer's central guarantee: faults cost wall
+//! time, never results.
+
+use llbp_sim::engine::{SweepEngine, SweepSpec};
+use llbp_sim::{FaultInjector, MemoStore, PredictorKind, SimConfig};
+use llbp_trace::{Workload, WorkloadSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("llbp-fault-parity-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn grid() -> SweepSpec {
+    SweepSpec::new(
+        vec![PredictorKind::Tsl64K, PredictorKind::TslScaled(2)],
+        vec![
+            WorkloadSpec::named(Workload::Http).with_branches(3_000),
+            WorkloadSpec::named(Workload::Kafka).with_branches(3_000),
+            WorkloadSpec::named(Workload::Tpcc).with_branches(3_000),
+        ],
+        SimConfig::default(),
+    )
+}
+
+fn injector(spec: &str) -> Arc<FaultInjector> {
+    Arc::new(FaultInjector::parse(spec).expect("test fault spec parses"))
+}
+
+/// Asserts `faulty` carries exactly the results of the fault-free `clean`.
+fn assert_reports_match(clean: &llbp_sim::SweepReport, faulty: &llbp_sim::SweepReport) {
+    assert!(faulty.is_complete(), "unexpected failures: {:?}", faulty.failed);
+    assert_eq!(clean.jobs.len(), faulty.jobs.len());
+    for (c, f) in clean.jobs.iter().zip(&faulty.jobs) {
+        assert_eq!(c.job, f.job);
+        assert_eq!(c.result, f.result);
+    }
+}
+
+#[test]
+fn injected_panics_converge_after_retry() {
+    let spec = grid();
+    let clean = SweepEngine::with_workers(1).run(&spec);
+    for workers in [1, 4] {
+        let faulty = SweepEngine::with_workers(workers)
+            .retries(2)
+            .with_faults(injector("panic:cell=2"))
+            .run(&spec);
+        assert_reports_match(&clean, &faulty);
+    }
+}
+
+#[test]
+fn injected_io_faults_converge_after_retry() {
+    let spec = grid();
+    let clean = SweepEngine::with_workers(1).run(&spec);
+    for workers in [1, 4] {
+        let dir = temp_store_dir(&format!("io-{workers}"));
+        let faults = injector("io:rate=1/7");
+        let mut store = MemoStore::open(&dir).expect("temp store");
+        store.attach_faults(Arc::clone(&faults));
+        // A generous retry budget: each attempt draws fresh IO-fault
+        // chances, so convergence only needs one clean sequence.
+        let faulty = SweepEngine::with_workers(workers)
+            .retries(5)
+            .with_store(Arc::new(store))
+            .with_faults(faults)
+            .run(&spec);
+        assert_reports_match(&clean, &faulty);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn slow_cells_time_out_and_converge_on_retry() {
+    let spec = grid();
+    let clean = SweepEngine::with_workers(1).run(&spec);
+    for workers in [1, 4] {
+        // Attempt 0 of cell 0 sleeps past the watchdog deadline and is
+        // cancelled cooperatively; attempt 1 no longer sleeps and wins.
+        let faulty = SweepEngine::with_workers(workers)
+            .retries(2)
+            .timeout(Some(Duration::from_millis(100)))
+            .with_faults(injector("slow:cell=0,ms=400"))
+            .run(&spec);
+        assert_reports_match(&clean, &faulty);
+    }
+}
+
+#[test]
+fn exhausted_retries_surface_as_structured_failures() {
+    let spec = grid();
+    let report = SweepEngine::with_workers(2)
+        .retries(1)
+        .with_faults(injector("panic:cell=1,count=99"))
+        .run(&spec);
+    assert!(!report.is_complete());
+    assert_eq!(report.failed.len(), 1);
+    let err = &report.failed[0];
+    assert_eq!(err.index, 1);
+    assert_eq!(err.attempts, 2, "retries(1) = one retry after the first attempt");
+    assert_eq!(err.error.class(), "injected");
+    // The failed cell holds an all-zero placeholder with correct labels,
+    // so dense grid indexing and table rendering still work.
+    let placeholder = report.get(err.job.workload, err.job.predictor);
+    assert_eq!(placeholder.label, spec.predictors[err.job.predictor].label());
+    assert_eq!(placeholder.instructions, 0);
+    assert_eq!(placeholder.mispredictions, 0);
+    // And the archived JSON is honest about the gap.
+    let json = report.throughput_json("fault-test");
+    assert!(json.contains("\"failed\":[{\"cell\":1,"));
+    assert!(json.contains("\"class\":\"injected\""));
+}
+
+#[test]
+fn timeout_exhaustion_is_classified_as_timeout() {
+    let spec = grid();
+    let report = SweepEngine::with_workers(1)
+        .retries(0)
+        .timeout(Some(Duration::from_millis(50)))
+        .with_faults(injector("slow:cell=0,ms=300,count=99"))
+        .run(&spec);
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.failed[0].index, 0);
+    assert_eq!(report.failed[0].error.class(), "timeout");
+}
+
+#[test]
+fn resume_completes_an_interrupted_campaign() {
+    let spec = grid();
+    let n = spec.num_jobs() as u64;
+    let clean = SweepEngine::with_workers(1).run(&spec);
+    let dir = temp_store_dir("resume");
+
+    // Campaign 1: cell 2 fails permanently (no retry budget converges).
+    let first = SweepEngine::with_workers(2)
+        .retries(0)
+        .with_store(Arc::new(MemoStore::open(&dir).expect("temp store")))
+        .with_faults(injector("panic:cell=2,count=99"))
+        .run(&spec);
+    assert_eq!(first.failed.len(), 1);
+    assert_eq!(first.memo_misses, n - 1, "every healthy cell was simulated and published");
+
+    // Campaign 2: same grid, faults gone, --resume. Only the gap is
+    // simulated; everything else is trusted from the journal + store.
+    let second = SweepEngine::with_workers(2)
+        .resume(true)
+        .with_store(Arc::new(MemoStore::open(&dir).expect("temp store")))
+        .run(&spec);
+    assert_reports_match(&clean, &second);
+    assert_eq!(second.resumed, n - 1);
+    assert_eq!(second.memo_hits, n - 1);
+    assert_eq!(second.memo_misses, 1, "only the previously failed cell re-simulates");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_runs_truncate_a_stale_journal() {
+    let spec = grid();
+    let n = spec.num_jobs() as u64;
+    let dir = temp_store_dir("truncate");
+
+    let first = SweepEngine::with_workers(1)
+        .with_store(Arc::new(MemoStore::open(&dir).expect("temp store")))
+        .run(&spec);
+    assert!(first.is_complete());
+
+    // Without --resume the journal restarts, so nothing counts as
+    // resumed even though the memo store still serves every cell.
+    let second = SweepEngine::with_workers(1)
+        .with_store(Arc::new(MemoStore::open(&dir).expect("temp store")))
+        .run(&spec);
+    assert_eq!(second.resumed, 0);
+    assert_eq!(second.memo_hits, n);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,6 +54,34 @@ fn unknown_workload_fails_cleanly() {
 }
 
 #[test]
+fn truncated_trace_fails_with_one_line_diagnostic() {
+    let llbt = temp_path("trunc.llbt");
+    let out =
+        tool().args(["gen", "HTTP", "500", llbt.to_str().unwrap()]).output().expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Chop the file mid-record, as a killed writer or full disk would.
+    let bytes = std::fs::read(&llbt).expect("trace bytes");
+    std::fs::write(&llbt, &bytes[..bytes.len() / 2]).expect("truncate");
+
+    for cmd in ["info", "head", "csv"] {
+        let mut args = vec![cmd, llbt.to_str().unwrap()];
+        let csv = temp_path("trunc.csv");
+        if cmd == "csv" {
+            args.push(csv.to_str().unwrap());
+        }
+        let out = tool().args(&args).output().expect("run on truncated file");
+        assert!(!out.status.success(), "{cmd} must fail on a truncated trace");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert_eq!(stderr.lines().count(), 1, "{cmd} stderr: {stderr}");
+        assert!(stderr.starts_with("error: read "), "{cmd} stderr: {stderr}");
+        assert!(!stderr.contains("panicked"), "{cmd} must not panic: {stderr}");
+        let _ = std::fs::remove_file(csv);
+    }
+    let _ = std::fs::remove_file(llbt);
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = tool().args(["info", "/definitely/not/here.llbt"]).output().unwrap();
     assert!(!out.status.success());

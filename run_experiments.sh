@@ -1,7 +1,9 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper into results/.
-# Usage: ./run_experiments.sh [--quick] [--cold] [extra bench args...]
+# Usage: ./run_experiments.sh [--quick] [--cold] [--resume] [extra bench args...]
 # Exits non-zero if any binary failed, after running all of them.
+# Every sweep binary runs --strict, so a figure with any ultimately-failed
+# grid cell counts as a failed binary; rerun with --resume to fill gaps.
 set -u
 cd "$(dirname "$0")"
 BINS="table01_workloads table02_config table03_latency_energy \
@@ -13,7 +15,7 @@ BINS="table01_workloads table02_config table03_latency_energy \
 FAILED=0
 for b in $BINS; do
     echo "=== $b $(date +%H:%M:%S)"
-    cargo run --release -q -p llbp-bench --bin "$b" -- "$@" > "results/$b.md" 2>"results/$b.err" \
+    cargo run --release -q -p llbp-bench --bin "$b" -- --strict "$@" > "results/$b.md" 2>"results/$b.err" \
         || { echo "FAILED: $b"; FAILED=$((FAILED + 1)); }
 done
 if [ "$FAILED" -ne 0 ]; then

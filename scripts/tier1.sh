@@ -31,4 +31,22 @@ grep -Eq '"memo_hits":[1-9]' "$SMOKE_DIR/second.err" || {
     echo "cache smoke: warm run reported no memo hits:"; cat "$SMOKE_DIR/second.err"; exit 1
 }
 
+echo "== fault-injection smoke =="
+# An injected panic must be retried away: the run exits 0 and prints the
+# byte-identical figure. Separate cache dirs keep both runs cold.
+FAULT_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR"' EXIT
+LLBP_CACHE_DIR="$FAULT_DIR/clean" ./target/release/fig02_mpki_limits --quick --strict \
+    > "$FAULT_DIR/clean.out" 2> "$FAULT_DIR/clean.err"
+LLBP_CACHE_DIR="$FAULT_DIR/faulty" LLBP_FAULT_SPEC="panic:cell=0" \
+    ./target/release/fig02_mpki_limits --quick --strict \
+    > "$FAULT_DIR/faulty.out" 2> "$FAULT_DIR/faulty.err" || {
+    echo "fault smoke: injected panic was not retried away:"; cat "$FAULT_DIR/faulty.err"; exit 1
+}
+cmp -s "$FAULT_DIR/clean.out" "$FAULT_DIR/faulty.out" || {
+    echo "fault smoke: fault-injected run changed the figure output:"
+    diff "$FAULT_DIR/clean.out" "$FAULT_DIR/faulty.out" || true
+    exit 1
+}
+
 echo "tier1 OK"

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_parity-4a1dea3dbd8a8349.d: crates/sim/tests/fault_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_parity-4a1dea3dbd8a8349.rmeta: crates/sim/tests/fault_parity.rs Cargo.toml
+
+crates/sim/tests/fault_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

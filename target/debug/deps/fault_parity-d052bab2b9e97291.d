@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_parity-d052bab2b9e97291.d: crates/sim/tests/fault_parity.rs
+
+/root/repo/target/debug/deps/fault_parity-d052bab2b9e97291: crates/sim/tests/fault_parity.rs
+
+crates/sim/tests/fault_parity.rs:

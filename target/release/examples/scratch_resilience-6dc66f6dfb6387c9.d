@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_resilience-6dc66f6dfb6387c9.d: examples/scratch_resilience.rs
+
+/root/repo/target/release/examples/scratch_resilience-6dc66f6dfb6387c9: examples/scratch_resilience.rs
+
+examples/scratch_resilience.rs:
