@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_parity-ef05ef8e03f1ed8e.d: crates/sim/tests/fault_parity.rs
+
+/root/repo/target/debug/deps/libfault_parity-ef05ef8e03f1ed8e.rmeta: crates/sim/tests/fault_parity.rs
+
+crates/sim/tests/fault_parity.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/llbp_sim-aaf40ceccc86f6c1.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/energy.rs crates/sim/src/engine.rs crates/sim/src/l1i.rs crates/sim/src/patterns.rs crates/sim/src/report.rs crates/sim/src/timing.rs
+/root/repo/target/debug/deps/llbp_sim-aaf40ceccc86f6c1.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/energy.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/faultinject.rs crates/sim/src/journal.rs crates/sim/src/l1i.rs crates/sim/src/memo.rs crates/sim/src/patterns.rs crates/sim/src/report.rs crates/sim/src/timing.rs
 
-/root/repo/target/debug/deps/libllbp_sim-aaf40ceccc86f6c1.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/energy.rs crates/sim/src/engine.rs crates/sim/src/l1i.rs crates/sim/src/patterns.rs crates/sim/src/report.rs crates/sim/src/timing.rs
+/root/repo/target/debug/deps/libllbp_sim-aaf40ceccc86f6c1.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/energy.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/faultinject.rs crates/sim/src/journal.rs crates/sim/src/l1i.rs crates/sim/src/memo.rs crates/sim/src/patterns.rs crates/sim/src/report.rs crates/sim/src/timing.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/cache.rs:
@@ -8,7 +8,11 @@ crates/sim/src/config.rs:
 crates/sim/src/driver.rs:
 crates/sim/src/energy.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/faultinject.rs:
+crates/sim/src/journal.rs:
 crates/sim/src/l1i.rs:
+crates/sim/src/memo.rs:
 crates/sim/src/patterns.rs:
 crates/sim/src/report.rs:
 crates/sim/src/timing.rs:

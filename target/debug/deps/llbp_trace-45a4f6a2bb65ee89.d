@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/llbp_trace-45a4f6a2bb65ee89.d: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/debug/deps/llbp_trace-45a4f6a2bb65ee89.d: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
-/root/repo/target/debug/deps/libllbp_trace-45a4f6a2bb65ee89.rmeta: crates/trace/src/lib.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
+/root/repo/target/debug/deps/libllbp_trace-45a4f6a2bb65ee89.rmeta: crates/trace/src/lib.rs crates/trace/src/fingerprint.rs crates/trace/src/io.rs crates/trace/src/record.rs crates/trace/src/stats.rs crates/trace/src/synth/mod.rs crates/trace/src/synth/behavior.rs crates/trace/src/synth/catalog.rs crates/trace/src/synth/program.rs
 
 crates/trace/src/lib.rs:
+crates/trace/src/fingerprint.rs:
 crates/trace/src/io.rs:
 crates/trace/src/record.rs:
 crates/trace/src/stats.rs:

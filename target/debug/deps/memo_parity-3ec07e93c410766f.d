@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memo_parity-3ec07e93c410766f.d: crates/sim/tests/memo_parity.rs
+
+/root/repo/target/debug/deps/libmemo_parity-3ec07e93c410766f.rmeta: crates/sim/tests/memo_parity.rs
+
+crates/sim/tests/memo_parity.rs:
