@@ -55,7 +55,7 @@ fn main() {
     let mut predictors = vec![PredictorKind::Tsl64K];
     predictors.extend(variants.iter().map(|p| PredictorKind::Llbp(p.clone())));
     let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     println!("# Ablation — LLBP design choices (mean MPKI reduction vs 64K TSL)");
     println!(

@@ -26,7 +26,7 @@ fn main() {
         workload_specs(&opts),
         SimConfig::default(),
     );
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     let rows: Vec<_> = opts
         .workloads

@@ -21,7 +21,7 @@ fn main() {
         workload_specs(&opts),
         SimConfig::default(),
     );
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     println!("# Extension — pipeline-reset sources (per kilo-branch)");
     println!("(every reset squashes LLBP's in-flight prefetches, §VI)\n");

@@ -28,7 +28,7 @@ fn main() {
         predictors.push(PredictorKind::Llbp(params));
     }
     let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     println!("# Extension — virtualised LLBP: MPKI reduction vs pattern-store latency");
     println!(

@@ -21,7 +21,7 @@ fn main() {
 
     let spec =
         SweepSpec::new(vec![PredictorKind::Tsl64K], workload_specs(&opts), SimConfig::default());
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     let mut table = Table::new(["workload", "wasted cycles"]);
     let mut fractions = Vec::new();

@@ -42,7 +42,7 @@ fn main() {
     ];
     let spec =
         SweepSpec::new(configs.iter().map(|(_, kind)| kind.clone()).collect(), vec![wspec], cfg);
-    let report = engine(&opts).run_with_cache(&spec, &cache);
+    let report = llbp_bench::run_sweep_with_cache(&engine(&opts), &spec, &cache);
 
     println!("# Figure 3 — working set of {workload} ({total_statics} static branches)");
     println!("(paper: top 0.8% of branches ≈ 40% of mispredictions; doublings add −4…−7% each)\n");

@@ -26,7 +26,7 @@ fn main() {
         SimConfig::default(),
     );
     let cache = trace_cache(&opts);
-    let report = engine(&opts).run_with_cache(&spec, &cache);
+    let report = llbp_bench::run_sweep_with_cache(&engine(&opts), &spec, &cache);
 
     let n = opts.workloads.len().max(1) as f64;
     let mut avg_read = [0.0f64; 3];

@@ -26,7 +26,7 @@ fn main() {
         workload_specs(&opts),
         SimConfig::default(),
     );
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     println!("# Figure 12 — relative dynamic energy (baseline 64K TSL = 1.0)");
     println!(

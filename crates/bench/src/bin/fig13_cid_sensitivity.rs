@@ -35,7 +35,7 @@ fn main() {
         }
     }
     let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     println!("# Figure 13 — CID history type × prefetch distance D (mean MPKI reduction)");
     println!(

@@ -30,7 +30,7 @@ fn main() {
         }
     }
     let spec = SweepSpec::new(predictors, workload_specs(&opts), SimConfig::default());
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     println!("# Figure 14 — contexts × pattern-set size (mean MPKI reduction & capacity)");
     println!("(paper: 16K×8 ≈ −11%; ×16 +2.6 more; ×32 +1.4; ×64 ≈ +0; ≈512KiB local optimum)\n");

@@ -20,7 +20,7 @@ fn main() {
         workload_specs(&opts),
         SimConfig::default(),
     );
-    let report = engine(&opts).run(&spec);
+    let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 
     let mut total = LlbpStats::default();
     let mut conds = 0u64;

@@ -10,6 +10,9 @@
 //!   refreshing the stored entries);
 //! * `--resume` — skip grid cells the campaign journal records as
 //!   completed (picking an interrupted campaign back up);
+//! * `--verify-resume` — as `--resume`, but re-hash each journaled-ok
+//!   memo cell against its recorded digest first, demoting silently
+//!   corrupted cells back to misses;
 //! * `--strict` — exit nonzero if any grid cell ultimately failed.
 //!
 //! Results print as markdown tables so they can be pasted straight into
@@ -41,6 +44,10 @@ pub struct Opts {
     /// Whether `--resume` was requested (trust the campaign journal and
     /// skip cells it records as completed).
     pub resume: bool,
+    /// Whether `--verify-resume` was requested (resume, but re-hash each
+    /// journaled-ok memo cell against its recorded digest first, re-running
+    /// any that fail verification). Implies `resume`.
+    pub verify_resume: bool,
     /// Whether `--strict` was requested (exit nonzero if any grid cell
     /// ultimately failed).
     pub strict: bool,
@@ -70,6 +77,7 @@ impl Opts {
             quick: false,
             cold: false,
             resume: false,
+            verify_resume: false,
             strict: false,
         };
         let mut iter = args.into_iter();
@@ -81,6 +89,10 @@ impl Opts {
                 }
                 "--cold" => opts.cold = true,
                 "--resume" => opts.resume = true,
+                "--verify-resume" => {
+                    opts.resume = true;
+                    opts.verify_resume = true;
+                }
                 "--strict" => opts.strict = true,
                 "--branches" => {
                     let v = iter.next().unwrap_or_else(|| usage("missing value for --branches"));
@@ -113,7 +125,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--quick] [--cold] [--resume] [--strict] [--branches N] [--workloads A,B,C]"
+        "usage: <bin> [--quick] [--cold] [--resume] [--verify-resume] [--strict] [--branches N] [--workloads A,B,C]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -158,7 +170,34 @@ pub fn engine(opts: &Opts) -> SweepEngine {
     if let Some(faults) = fault_injector() {
         engine = engine.with_faults(faults);
     }
-    engine.cold(opts.cold).resume(opts.resume)
+    engine.cold(opts.cold).resume(opts.resume).verify_resume(opts.verify_resume)
+}
+
+/// Runs the sweep through the fallible engine entry point, mapping
+/// campaign-level contention (another live process holds this grid's
+/// journal lock) to a clean diagnostic and exit status 3 — distinct from
+/// both argument errors (2) and `--strict` incomplete-grid failures (1),
+/// so campaign scripts can retry contended runs specifically.
+#[must_use]
+pub fn run_sweep(engine: &SweepEngine, spec: &llbp_sim::SweepSpec) -> SweepReport {
+    engine.try_run(spec).unwrap_or_else(|e| contention_exit(&e))
+}
+
+/// [`run_sweep`] against a caller-provided trace cache (for binaries that
+/// reuse the sweep's traces afterwards).
+#[must_use]
+pub fn run_sweep_with_cache(
+    engine: &SweepEngine,
+    spec: &llbp_sim::SweepSpec,
+    cache: &TraceCache,
+) -> SweepReport {
+    engine.try_run_with_cache(spec, cache).unwrap_or_else(|e| contention_exit(&e))
+}
+
+fn contention_exit(e: &llbp_sim::SimError) -> ! {
+    eprintln!("error: {e}");
+    eprintln!("hint: another campaign holds this grid's journal lock; retry when it finishes");
+    std::process::exit(3);
 }
 
 /// Standard epilogue for every sweep binary: archives the throughput
@@ -251,6 +290,14 @@ mod tests {
         assert!(o.quick);
         assert_eq!(o.branches, QUICK_BRANCHES);
         assert_eq!(o.workloads, vec![Workload::Tomcat, Workload::Http]);
+    }
+
+    #[test]
+    fn verify_resume_implies_resume() {
+        let o = Opts::parse(["--verify-resume"].iter().map(ToString::to_string));
+        assert!(o.resume && o.verify_resume);
+        let o = Opts::parse(["--resume"].iter().map(ToString::to_string));
+        assert!(o.resume && !o.verify_resume);
     }
 
     #[test]

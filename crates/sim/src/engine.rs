@@ -63,6 +63,7 @@ use crate::journal::{campaign_fingerprint, CampaignJournal, CellOutcome};
 use crate::memo::MemoStore;
 use bputil::hash::FastHashMap;
 use llbp_trace::{Fingerprint, WorkloadSpec};
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -304,6 +305,10 @@ pub struct SweepReport {
     /// Cells skipped because a `--resume` run found them already
     /// completed in the campaign journal and memo store.
     pub resumed: u64,
+    /// Journaled-complete cells a `--verify-resume` pass demoted to
+    /// misses (missing, corrupt, or digest-mismatched memo cells); each
+    /// was journaled `stale` and re-run from scratch.
+    pub stale: u64,
 }
 
 impl SweepReport {
@@ -362,7 +367,7 @@ impl SweepReport {
                 "\"wall_s\":{:.3},\"branches_per_sec\":{:.0},",
                 "\"cache_hits\":{},\"cache_misses\":{},",
                 "\"trace_disk_hits\":{},\"memo_hits\":{},\"memo_misses\":{},",
-                "\"resumed\":{},\"trace_mib\":{:.1}"
+                "\"resumed\":{},\"stale\":{},\"trace_mib\":{:.1}"
             ),
             sanitize(label),
             self.jobs.len(),
@@ -376,6 +381,7 @@ impl SweepReport {
             self.memo_hits,
             self.memo_misses,
             self.resumed,
+            self.stale,
             self.trace_bytes as f64 / (1024.0 * 1024.0),
         );
         if !self.failed.is_empty() {
@@ -417,6 +423,7 @@ pub struct SweepEngine {
     job_timeout: Option<Duration>,
     faults: Option<Arc<FaultInjector>>,
     resume: bool,
+    verify_resume: bool,
 }
 
 impl Default for SweepEngine {
@@ -446,6 +453,7 @@ impl SweepEngine {
             job_timeout: timeout_from_env(),
             faults: None,
             resume: false,
+            verify_resume: false,
         }
     }
 
@@ -507,6 +515,20 @@ impl SweepEngine {
         self
     }
 
+    /// With `verify_resume` set (implies nothing unless `resume` is also
+    /// set), resumed cells are not trusted on the journal's word alone:
+    /// each `ok`-journaled cell is re-read and checksummed, and its
+    /// trailer digest compared against the digest the journal recorded at
+    /// completion. Cells that fail — corrupted, replaced, or evicted
+    /// since the journal was written — are journaled `stale` and re-run
+    /// from scratch (bypassing even a still-decodable memo cell, which by
+    /// definition is not the one the campaign completed with).
+    #[must_use]
+    pub fn verify_resume(mut self, verify: bool) -> Self {
+        self.verify_resume = verify;
+        self
+    }
+
     /// The worker count this engine schedules with.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -515,13 +537,18 @@ impl SweepEngine {
 
     /// Runs the full grid and returns the report. Job panics are caught
     /// and surface as [`SweepReport::failed`] entries, not unwinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the campaign cannot *start* — another live campaign
+    /// holds this grid's journal lock ([`SimError::CacheContention`]).
+    /// Use [`SweepEngine::try_run`] to handle that case as a value.
     #[must_use]
     pub fn run(&self, spec: &SweepSpec) -> SweepReport {
-        let cache = match &self.store {
-            Some(store) => TraceCache::with_store(Arc::clone(store), self.cold),
-            None => TraceCache::new(),
-        };
-        self.run_with_cache(spec, &cache)
+        match self.try_run(spec) {
+            Ok(report) => report,
+            Err(e) => panic!("sweep campaign failed to start: {e}"),
+        }
     }
 
     /// Runs the grid against a caller-provided trace cache, so harness
@@ -529,8 +556,47 @@ impl SweepEngine {
     /// analysis) shares one cache with the sweep instead of regenerating.
     /// Job panics are caught and surface as [`SweepReport::failed`]
     /// entries, not unwinds.
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepEngine::run`]; use [`SweepEngine::try_run_with_cache`]
+    /// to handle campaign-level contention as a value.
     #[must_use]
     pub fn run_with_cache(&self, spec: &SweepSpec, cache: &TraceCache) -> SweepReport {
+        match self.try_run_with_cache(spec, cache) {
+            Ok(report) => report,
+            Err(e) => panic!("sweep campaign failed to start: {e}"),
+        }
+    }
+
+    /// Fallible [`SweepEngine::run`]: campaign-level failures (journal
+    /// lock contention) surface as an error instead of a panic. Per-cell
+    /// failures still surface as [`SweepReport::failed`] entries.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CacheContention`] when another live campaign holds the
+    /// journal lock for this grid on this cache root.
+    pub fn try_run(&self, spec: &SweepSpec) -> Result<SweepReport, SimError> {
+        let cache = match &self.store {
+            Some(store) => TraceCache::with_store(Arc::clone(store), self.cold),
+            None => TraceCache::new(),
+        };
+        self.try_run_with_cache(spec, &cache)
+    }
+
+    /// Fallible [`SweepEngine::run_with_cache`] (see
+    /// [`SweepEngine::try_run`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CacheContention`] when another live campaign holds the
+    /// journal lock for this grid on this cache root.
+    pub fn try_run_with_cache(
+        &self,
+        spec: &SweepSpec,
+        cache: &TraceCache,
+    ) -> Result<SweepReport, SimError> {
         let started = Instant::now();
         let n = spec.num_jobs();
         let fingerprints: Vec<_> = self.store.as_ref().map_or_else(Vec::new, |store| {
@@ -545,23 +611,42 @@ impl SweepEngine {
                 })
                 .collect()
         });
-        let journal = self.open_journal(&fingerprints);
+        let journal = self.open_journal(&fingerprints)?;
         // On resume, cells the journal marks completed (and whose result
         // is still memoized under the recorded fingerprint) are trusted;
-        // anything else — failed, unrecorded, or evicted — re-runs.
+        // anything else — failed, stale, unrecorded, or evicted — re-runs.
+        // With verify-resume, "trusted" additionally requires the memo
+        // cell to decode and match its journaled digest right now.
+        let mut stale_count = 0u64;
+        let mut force_fresh: HashSet<usize> = HashSet::new();
         let done_before: FastHashMap<usize, Fingerprint> = match (&journal, self.resume) {
-            (Some(journal), true) => journal
-                .load()
-                .into_iter()
-                .filter_map(|(cell, outcome)| match outcome {
-                    CellOutcome::Ok { fingerprint }
-                        if cell < n && fingerprints[cell] == fingerprint =>
-                    {
-                        Some((cell, fingerprint))
+            (Some(journal), true) => {
+                let mut done = FastHashMap::default();
+                for (cell, outcome) in journal.load() {
+                    let CellOutcome::Ok { fingerprint, digest } = outcome else { continue };
+                    if cell >= n || fingerprints[cell] != fingerprint {
+                        continue;
                     }
-                    _ => None,
-                })
-                .collect(),
+                    if self.verify_resume {
+                        let injected = self.faults.as_ref().is_some_and(|f| f.check_stale(cell));
+                        let verified = !injected
+                            && self.store.as_ref().is_some_and(|store| {
+                                // A transient read error counts as
+                                // unverified: re-running the cell is
+                                // always safe, trusting it is not.
+                                store.verify_result(fingerprint, digest).unwrap_or(false)
+                            });
+                        if !verified {
+                            journal.record_stale(cell, fingerprint);
+                            stale_count += 1;
+                            force_fresh.insert(cell);
+                            continue;
+                        }
+                    }
+                    done.insert(cell, fingerprint);
+                }
+                done
+            }
             _ => FastHashMap::default(),
         };
         let order = self.schedule(n, &fingerprints);
@@ -576,11 +661,12 @@ impl SweepEngine {
                 cache,
                 fingerprints.get(index).copied(),
                 done_before.contains_key(&index),
+                force_fresh.contains(&index),
                 (&memo_hits, &memo_misses, &resumed),
             );
             if let Some(journal) = &journal {
                 match &outcome {
-                    Ok(_) => journal.record_ok(index, fingerprints[index]),
+                    Ok((_, digest)) => journal.record_ok(index, fingerprints[index], *digest),
                     Err(err) => journal.record_failed(index, err.error.class()),
                 }
             }
@@ -592,7 +678,7 @@ impl SweepEngine {
         let mut failed = Vec::new();
         for (index, outcome) in claimed {
             match outcome {
-                Ok(record) => jobs.push(record),
+                Ok((record, _digest)) => jobs.push(record),
                 Err(err) => {
                     // A placeholder keeps dense grid indexing valid;
                     // `failed` is the authoritative record of the gap.
@@ -601,7 +687,7 @@ impl SweepEngine {
                 }
             }
         }
-        SweepReport {
+        Ok(SweepReport {
             jobs,
             num_predictors: spec.predictors.len(),
             workers: self.workers.clamp(1, n.max(1)),
@@ -614,19 +700,38 @@ impl SweepEngine {
             trace_bytes: cache.memory_footprint(),
             failed,
             resumed: resumed.into_inner(),
-        }
+            stale: stale_count,
+        })
     }
 
-    /// Opens the campaign journal when a persistent store is attached.
-    /// The campaign identity is a fold of the grid's cell fingerprints,
-    /// so two different sweeps never share a journal. Best-effort: an
-    /// unopenable journal degrades to running without one.
-    fn open_journal(&self, fingerprints: &[Fingerprint]) -> Option<CampaignJournal> {
-        let store = self.store.as_ref()?;
+    /// Opens the campaign journal when a persistent store is attached,
+    /// acquiring the campaign's exclusive cross-process lock. The
+    /// campaign identity is a fold of the grid's cell fingerprints, so
+    /// two different sweeps never share a journal (or contend on one
+    /// another's lock).
+    ///
+    /// Contention is a hard error — running anyway would interleave two
+    /// writers in one journal. Any *other* open failure degrades to
+    /// running without a journal: the journal is an optimization, not a
+    /// correctness requirement.
+    fn open_journal(
+        &self,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Option<CampaignJournal>, SimError> {
+        let Some(store) = self.store.as_ref() else {
+            return Ok(None);
+        };
         if fingerprints.is_empty() {
-            return None;
+            return Ok(None);
         }
-        CampaignJournal::open(store.root(), campaign_fingerprint(fingerprints), self.resume).ok()
+        if let Some(faults) = &self.faults {
+            faults.check_lock()?;
+        }
+        match CampaignJournal::open(store.root(), campaign_fingerprint(fingerprints), self.resume) {
+            Ok(journal) => Ok(Some(journal)),
+            Err(e @ SimError::CacheContention { .. }) => Err(e),
+            Err(_) => Ok(None),
+        }
     }
 
     /// Runs one grid cell to completion: retry loop around
@@ -634,6 +739,7 @@ impl SweepEngine {
     /// transient failures, mapping the final error into a [`JobError`]
     /// (boxed: the error path is cold and the `Ok` path shouldn't pay
     /// its footprint).
+    #[allow(clippy::too_many_arguments)]
     fn run_cell(
         &self,
         spec: &SweepSpec,
@@ -641,8 +747,9 @@ impl SweepEngine {
         cache: &TraceCache,
         fingerprint: Option<Fingerprint>,
         resumable: bool,
+        force_fresh: bool,
         counters: (&AtomicU64, &AtomicU64, &AtomicU64),
-    ) -> Result<JobRecord, Box<JobError>> {
+    ) -> Result<(JobRecord, Option<Fingerprint>), Box<JobError>> {
         let job = spec.job(index);
         let mut attempt = 0u32;
         loop {
@@ -653,6 +760,7 @@ impl SweepEngine {
                 cache,
                 fingerprint,
                 resumable,
+                force_fresh,
                 counters,
                 attempt,
             );
@@ -679,6 +787,8 @@ impl SweepEngine {
     /// One attempt at one grid cell, fully isolated: injected faults,
     /// trace generation and the simulation itself each run under
     /// `catch_unwind`, and every failure maps to a typed [`SimError`].
+    /// On success, also returns the memoized cell's content digest (when
+    /// a store is attached and the write-back landed) for the journal.
     #[allow(clippy::too_many_arguments)]
     fn attempt_cell(
         &self,
@@ -688,9 +798,10 @@ impl SweepEngine {
         cache: &TraceCache,
         fingerprint: Option<Fingerprint>,
         resumable: bool,
+        force_fresh: bool,
         (memo_hits, memo_misses, resumed): (&AtomicU64, &AtomicU64, &AtomicU64),
         attempt: u32,
-    ) -> Result<JobRecord, SimError> {
+    ) -> Result<(JobRecord, Option<Fingerprint>), SimError> {
         // The watchdog deadline starts before fault injection so that an
         // injected-slow attempt is charged for its sleep: the simulation
         // loop's first poll then observes the expired deadline.
@@ -704,7 +815,10 @@ impl SweepEngine {
             )?;
         }
         if let (Some(store), Some(fp)) = (&self.store, fingerprint) {
-            if !self.cold || resumable {
+            // A cell demoted by verify-resume must not be served from the
+            // memo probe: the on-disk bytes are exactly what failed
+            // verification (`force_fresh` bypasses straight to re-run).
+            if (!self.cold && !force_fresh) || resumable {
                 let probe_started = Instant::now();
                 if let Some(cell) = store.load_result(fp)? {
                     memo_hits.fetch_add(1, Ordering::Relaxed);
@@ -713,18 +827,19 @@ impl SweepEngine {
                     }
                     let stats =
                         JobStats { wall: probe_started.elapsed(), branches: cell.trace_len };
-                    return Ok(JobRecord { job, result: cell.result, stats });
+                    return Ok((JobRecord { job, result: cell.result, stats }, Some(cell.digest)));
                 }
             }
         }
         let wspec = &spec.workloads[job.workload];
-        let trace =
-            catch_unwind(AssertUnwindSafe(|| cache.get_or_generate(wspec))).map_err(|payload| {
-                SimError::TraceGen {
-                    workload: wspec.name().to_string(),
-                    detail: panic_message(payload.as_ref()),
-                }
-            })?;
+        let gen_delay = self.faults.as_ref().and_then(|f| f.generation_delay(index, attempt));
+        let trace = catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_generate_cancellable(wspec, &token, gen_delay)
+        }))
+        .map_err(|payload| SimError::TraceGen {
+            workload: wspec.name().to_string(),
+            detail: panic_message(payload.as_ref()),
+        })??;
         let kind = spec.predictors[job.predictor].clone();
         let label = kind.label();
         let sim_started = Instant::now();
@@ -738,15 +853,22 @@ impl SweepEngine {
         // Counted on successful simulation (not per probe attempt), so
         // the counter still reads "cells simulated" under retries.
         memo_misses.fetch_add(1, Ordering::Relaxed);
-        if let (Some(store), Some(fp)) = (&self.store, fingerprint) {
-            self.write_back(store, fp, &result, wall, trace.len() as u64);
-        }
-        Ok(JobRecord { job, result, stats: JobStats { wall, branches: trace.len() as u64 } })
+        let digest = if let (Some(store), Some(fp)) = (&self.store, fingerprint) {
+            self.write_back(store, fp, &result, wall, trace.len() as u64)
+        } else {
+            None
+        };
+        Ok((
+            JobRecord { job, result, stats: JobStats { wall, branches: trace.len() as u64 } },
+            digest,
+        ))
     }
 
-    /// Persists a freshly simulated cell with its own bounded retry.
+    /// Persists a freshly simulated cell with its own bounded retry,
+    /// returning the published cell's content digest on success.
     /// Ultimately best-effort: the in-memory result stands even if the
-    /// store never accepts the write.
+    /// store never accepts the write (the journal then records the cell
+    /// without a digest, and verify-resume will re-run it).
     fn write_back(
         &self,
         store: &MemoStore,
@@ -754,14 +876,17 @@ impl SweepEngine {
         result: &SimResult,
         wall: Duration,
         trace_len: u64,
-    ) {
+    ) -> Option<Fingerprint> {
         let mut attempt = 0u32;
-        while store.store_result(fp, result, wall, trace_len).is_err() {
-            if attempt >= self.max_retries {
-                return;
+        loop {
+            match store.store_result(fp, result, wall, trace_len) {
+                Ok(digest) => return Some(digest),
+                Err(_) if attempt < self.max_retries => {
+                    std::thread::sleep(backoff_delay(attempt));
+                    attempt += 1;
+                }
+                Err(_) => return None,
             }
-            std::thread::sleep(backoff_delay(attempt));
-            attempt += 1;
         }
     }
 

@@ -64,6 +64,17 @@ pub enum SimError {
         /// Description of the injected fault.
         detail: String,
     },
+    /// Another live campaign holds the journal lock for the same grid on
+    /// the same cache root. The campaign fails fast *before* running any
+    /// cell — two writers interleaving one journal is exactly the
+    /// corruption the lock exists to prevent — so this error is
+    /// campaign-level, never retried per cell.
+    CacheContention {
+        /// The contended lock file.
+        path: String,
+        /// PID recorded in the lock file, when it was readable.
+        holder: Option<u32>,
+    },
 }
 
 impl SimError {
@@ -85,6 +96,7 @@ impl SimError {
             SimError::MemoIo { .. } => "memo_io",
             SimError::Timeout { .. } => "timeout",
             SimError::Injected { .. } => "injected",
+            SimError::CacheContention { .. } => "contention",
         }
     }
 }
@@ -104,6 +116,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::Timeout { limit: None } => write!(f, "job was cancelled"),
             SimError::Injected { detail } => write!(f, "injected fault: {detail}"),
+            SimError::CacheContention { path, holder: Some(pid) } => {
+                write!(f, "campaign journal {path} is locked by live process {pid}")
+            }
+            SimError::CacheContention { path, holder: None } => {
+                write!(f, "campaign journal {path} is locked by another campaign")
+            }
         }
     }
 }
@@ -229,6 +247,10 @@ mod tests {
         assert!(!SimError::TraceGen { workload: "HTTP".into(), detail: "x".into() }.is_transient());
         assert!(!SimError::PredictorPanic { label: "64K TSL".into(), detail: "x".into() }
             .is_transient());
+        assert!(
+            !SimError::CacheContention { path: "j".into(), holder: Some(1) }.is_transient(),
+            "contention fails the campaign fast, never the per-cell retry loop"
+        );
     }
 
     #[test]
@@ -238,6 +260,10 @@ mod tests {
         assert_eq!(
             SimError::PredictorPanic { label: String::new(), detail: String::new() }.class(),
             "panic"
+        );
+        assert_eq!(
+            SimError::CacheContention { path: String::new(), holder: None }.class(),
+            "contention"
         );
     }
 

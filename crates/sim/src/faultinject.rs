@@ -14,10 +14,14 @@
 //! Rules are `;`-separated, each `kind:key=value,key=value`:
 //!
 //! ```text
-//! panic:cell=3            panic on cell 3's first attempt
-//! panic:cell=3,count=2    …on its first two attempts
-//! io:rate=1/7             fail 1 in 7 memo-store IO operations
-//! slow:cell=5,ms=200      sleep 200ms at the start of cell 5's first attempt
+//! panic:cell=3              panic on cell 3's first attempt
+//! panic:cell=3,count=2      …on its first two attempts
+//! io:rate=1/7               fail 1 in 7 memo-store IO operations
+//! slow:cell=5,ms=200        sleep 200ms at the start of cell 5's first attempt
+//! slow:cell=5,ms=200,at=gen …inside cell 5's trace generation instead, so the
+//!                           watchdog must interrupt the generator itself
+//! lock:count=1              report journal contention on the first campaign open
+//! stale:cell=2              demote cell 2's first verify-resume check to stale
 //! ```
 //!
 //! The `LLBP_FAULT_SPEC` environment variable carries the spec into the
@@ -32,6 +36,7 @@
 
 use crate::error::SimError;
 use bputil::rng::SplitMix64;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -44,6 +49,18 @@ pub const INJECTED_PANIC_TAG: &str = "llbp injected panic";
 
 /// Fixed seed of the IO-fault random stream (reproducible by design).
 const IO_FAULT_SEED: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// Where a `slow` rule injects its sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowPhase {
+    /// At the start of the cell's attempt, before the memo probe (the
+    /// default): exercises the simulation loop's watchdog polling.
+    Start,
+    /// Inside trace *generation* (`at=gen`): exercises the generator's
+    /// own poll points, which is the only way the watchdog can interrupt
+    /// a cell stuck producing its trace.
+    Gen,
+}
 
 /// One parsed fault rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +80,7 @@ pub enum FaultRule {
         /// Denominator of the failure rate.
         den: u64,
     },
-    /// Sleep at the start of the given cell's first `count` attempts.
+    /// Sleep during the given cell's first `count` attempts.
     Slow {
         /// Grid cell index.
         cell: usize,
@@ -71,14 +88,36 @@ pub enum FaultRule {
         ms: u64,
         /// Number of attempts that sleep.
         count: u32,
+        /// Where the sleep happens (attempt start vs. trace generation).
+        phase: SlowPhase,
+    },
+    /// Report journal contention ([`SimError::CacheContention`]) on the
+    /// campaign's first `count` journal opens, as if another live
+    /// campaign held the lock.
+    Lock {
+        /// Number of opens that fail before the lock "frees up".
+        count: u32,
+    },
+    /// Demote the given cell's first `count` verify-resume checks to
+    /// stale, as if the memoized cell no longer matched its journaled
+    /// digest.
+    Stale {
+        /// Grid cell index.
+        cell: usize,
+        /// Number of checks that report stale.
+        count: u32,
     },
 }
 
 /// A shared, thread-safe injector consulted by the sweep engine (cell
-/// attempts) and the memo store (IO operations).
+/// attempts, journal opens, verify-resume checks) and the memo store (IO
+/// operations).
 #[derive(Debug, Default)]
 pub struct FaultInjector {
     rules: Vec<FaultRule>,
+    /// Per-rule firing counters for the one-shot kinds (`lock`, `stale`),
+    /// indexed parallel to `rules`.
+    fired: Vec<AtomicU32>,
     io_rng: Mutex<SplitMix64>,
 }
 
@@ -86,7 +125,8 @@ impl FaultInjector {
     /// Builds an injector from parsed rules.
     #[must_use]
     pub fn new(rules: Vec<FaultRule>) -> Self {
-        Self { rules, io_rng: Mutex::new(SplitMix64::new(IO_FAULT_SEED)) }
+        let fired = rules.iter().map(|_| AtomicU32::new(0)).collect();
+        Self { rules, fired, io_rng: Mutex::new(SplitMix64::new(IO_FAULT_SEED)) }
     }
 
     /// Parses a spec string (see the module docs for the grammar).
@@ -134,7 +174,9 @@ impl FaultInjector {
     pub fn on_job_start(&self, cell: usize, attempt: u32) {
         for rule in &self.rules {
             match *rule {
-                FaultRule::Slow { cell: c, ms, count } if c == cell && attempt < count => {
+                FaultRule::Slow { cell: c, ms, count, phase: SlowPhase::Start }
+                    if c == cell && attempt < count =>
+                {
                     std::thread::sleep(Duration::from_millis(ms));
                 }
                 FaultRule::Panic { cell: c, count } if c == cell && attempt < count => {
@@ -143,6 +185,60 @@ impl FaultInjector {
                 _ => {}
             }
         }
+    }
+
+    /// The injected delay, if any, for one attempt's *trace generation*
+    /// (`slow` rules with `at=gen`). The engine threads it into the
+    /// generator's first poll point, so the sleep happens where a real
+    /// stuck generator would stall.
+    #[must_use]
+    pub fn generation_delay(&self, cell: usize, attempt: u32) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        let mut any = false;
+        for rule in &self.rules {
+            if let FaultRule::Slow { cell: c, ms, count, phase: SlowPhase::Gen } = *rule {
+                if c == cell && attempt < count {
+                    total += Duration::from_millis(ms);
+                    any = true;
+                }
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Consults the `lock` rules before a campaign journal open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CacheContention`] for the first `count`
+    /// opens of each matching rule.
+    pub fn check_lock(&self) -> Result<(), SimError> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let FaultRule::Lock { count } = *rule {
+                if self.fired[i].fetch_add(1, Ordering::Relaxed) < count {
+                    return Err(SimError::CacheContention {
+                        path: "<injected>".into(),
+                        holder: None,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a `stale` rule demotes this cell's verify-resume check
+    /// (each matching rule fires for its first `count` checks).
+    #[must_use]
+    pub fn check_stale(&self, cell: usize) -> bool {
+        let mut stale = false;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let FaultRule::Stale { cell: c, count } = *rule {
+                if c == cell && self.fired[i].fetch_add(1, Ordering::Relaxed) < count {
+                    stale = true;
+                }
+            }
+        }
+        stale
     }
 
     /// Consults the `io` rules before a memo-store operation.
@@ -174,19 +270,28 @@ pub fn is_injected_panic(payload: &(dyn std::any::Any + Send)) -> bool {
 }
 
 fn parse_rule(rule: &str) -> Result<FaultRule, String> {
-    let (kind, args) =
-        rule.split_once(':').ok_or_else(|| format!("rule `{rule}` is missing `kind:`"))?;
+    // `lock` needs no arguments, so a bare kind (no `:`) is accepted and
+    // validated per kind like any other rule.
+    let (kind, args) = rule.split_once(':').unwrap_or((rule, ""));
     let mut cell = None;
     let mut count = None;
     let mut ms = None;
     let mut rate = None;
-    for pair in args.split(',') {
+    let mut phase = SlowPhase::Start;
+    for pair in args.split(',').filter(|p| !p.trim().is_empty()) {
         let (key, value) =
             pair.split_once('=').ok_or_else(|| format!("`{pair}` is not `key=value`"))?;
         match key.trim() {
             "cell" => cell = Some(parse_num(value, "cell")?),
             "count" => count = Some(u32::try_from(parse_num(value, "count")?).unwrap_or(u32::MAX)),
             "ms" => ms = Some(parse_num(value, "ms")? as u64),
+            "at" => {
+                phase = match value.trim() {
+                    "start" => SlowPhase::Start,
+                    "gen" => SlowPhase::Gen,
+                    other => return Err(format!("bad at `{other}` (expected start/gen)")),
+                };
+            }
             "rate" => {
                 let (n, d) = value
                     .split_once('/')
@@ -209,12 +314,15 @@ fn parse_rule(rule: &str) -> Result<FaultRule, String> {
             cell: cell_of("slow")?,
             ms: ms.ok_or_else(|| "`slow` rule requires `ms=N`".to_string())?,
             count: count.unwrap_or(1),
+            phase,
         }),
         "io" => {
             let (num, den) = rate.ok_or_else(|| "`io` rule requires `rate=N/M`".to_string())?;
             Ok(FaultRule::Io { num, den })
         }
-        other => Err(format!("unknown fault kind `{other}` (expected panic/io/slow)")),
+        "lock" => Ok(FaultRule::Lock { count: count.unwrap_or(1) }),
+        "stale" => Ok(FaultRule::Stale { cell: cell_of("stale")?, count: count.unwrap_or(1) }),
+        other => Err(format!("unknown fault kind `{other}` (expected panic/io/slow/lock/stale)")),
     }
 }
 
@@ -235,9 +343,55 @@ mod tests {
             &[
                 FaultRule::Panic { cell: 3, count: 1 },
                 FaultRule::Io { num: 1, den: 7 },
-                FaultRule::Slow { cell: 5, ms: 200, count: 1 },
+                FaultRule::Slow { cell: 5, ms: 200, count: 1, phase: SlowPhase::Start },
             ]
         );
+    }
+
+    #[test]
+    fn parses_the_new_kinds() {
+        let inj = FaultInjector::parse("slow:cell=1,ms=50,at=gen;lock;lock:count=3;stale:cell=2")
+            .expect("spec parses");
+        assert_eq!(
+            inj.rules(),
+            &[
+                FaultRule::Slow { cell: 1, ms: 50, count: 1, phase: SlowPhase::Gen },
+                FaultRule::Lock { count: 1 },
+                FaultRule::Lock { count: 3 },
+                FaultRule::Stale { cell: 2, count: 1 },
+            ]
+        );
+        assert!(FaultInjector::parse("slow:cell=1,ms=5,at=warp").is_err());
+        assert!(FaultInjector::parse("stale:count=2").is_err(), "stale requires a cell");
+    }
+
+    #[test]
+    fn lock_rule_fires_count_times_then_clears() {
+        let inj = FaultInjector::parse("lock:count=2").expect("parse");
+        let err = inj.check_lock().expect_err("first open contends");
+        assert_eq!(err.class(), "contention");
+        assert!(!err.is_transient());
+        assert!(inj.check_lock().is_err(), "second open contends");
+        assert!(inj.check_lock().is_ok(), "third open goes through");
+    }
+
+    #[test]
+    fn stale_rule_demotes_matching_cells_count_times() {
+        let inj = FaultInjector::parse("stale:cell=4").expect("parse");
+        assert!(!inj.check_stale(0), "other cells unaffected");
+        assert!(inj.check_stale(4), "first check demotes");
+        assert!(!inj.check_stale(4), "count exhausted");
+    }
+
+    #[test]
+    fn gen_slow_rules_report_delays_instead_of_sleeping_inline() {
+        let inj = FaultInjector::parse("slow:cell=3,ms=40,at=gen").expect("parse");
+        let started = std::time::Instant::now();
+        inj.on_job_start(3, 0); // gen-phase rules do not sleep at attempt start
+        assert!(started.elapsed() < Duration::from_millis(40));
+        assert_eq!(inj.generation_delay(3, 0), Some(Duration::from_millis(40)));
+        assert_eq!(inj.generation_delay(3, 1), None, "count exhausted");
+        assert_eq!(inj.generation_delay(0, 0), None, "other cells unaffected");
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod error;
 pub mod faultinject;
 pub mod journal;
 pub mod l1i;
+pub mod lock;
 pub mod memo;
 pub mod patterns;
 pub mod report;
@@ -38,5 +39,6 @@ pub use error::{CancelToken, SimError};
 pub use faultinject::{FaultInjector, FAULT_SPEC_ENV};
 pub use journal::{campaign_fingerprint, CampaignJournal, CellOutcome};
 pub use l1i::L1iCache;
+pub use lock::{LockFile, LOCK_WAIT_ENV};
 pub use memo::{CachedCell, MemoStore, MEMO_FORMAT_VERSION};
 pub use timing::TimingModel;

@@ -1,0 +1,240 @@
+//! Std-only advisory file locks for cross-process campaign exclusion.
+//!
+//! Two campaigns running the same grid against one `LLBP_CACHE_DIR` used
+//! to interleave (and mutually truncate) their shared journal. The fix is
+//! an exclusive lock file next to the journal: whoever atomically creates
+//! `<journal>.lock` (`O_CREAT|O_EXCL` via [`std::fs::OpenOptions::create_new`])
+//! owns the campaign; everyone else waits briefly and then fails fast
+//! with [`SimError::CacheContention`]. No `flock`/`fcntl` is used — the
+//! protocol must work with nothing but `std` and survive NFS-style
+//! filesystems where byte-range locks are unreliable.
+//!
+//! The lock file records the holder's PID so a lock orphaned by a crash
+//! (the one case atomic-create cannot recover from on its own) is
+//! detectable: an acquirer that finds a lock held by a *dead* process
+//! removes it and retries. Liveness is probed through `/proc/<pid>`;
+//! where `/proc` does not exist the holder is conservatively assumed
+//! alive, so takeover never steals from a live campaign — it can only
+//! leave a stale lock for a human to delete (`rm <journal>.lock` is
+//! always safe when no campaign is running).
+//!
+//! The takeover has a benign TOCTOU: two acquirers can both observe the
+//! dead holder and both unlink, after which exactly one wins the
+//! subsequent atomic create. The loser just observes the winner's fresh
+//! lock on its next iteration. What the protocol cannot fully exclude is
+//! an unlink racing a *third* process's just-created lock; with
+//! cooperating processes this window is a few instructions wide and is
+//! accepted in exchange for remaining std-only.
+
+use crate::error::SimError;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding how long an acquirer waits for a held
+/// lock before failing with `CacheContention` (milliseconds).
+pub const LOCK_WAIT_ENV: &str = "LLBP_LOCK_WAIT_MS";
+
+/// Default wait budget before a held lock turns into contention. Long
+/// enough that back-to-back campaigns on a fast grid serialize instead of
+/// failing; short enough that a genuinely concurrent duplicate campaign
+/// fails fast rather than stalling for the whole sweep.
+pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_millis(200);
+
+/// Poll interval while waiting for a held lock.
+const RETRY_INTERVAL: Duration = Duration::from_millis(10);
+
+/// The configured wait budget: [`LOCK_WAIT_ENV`] if parsable, else
+/// [`DEFAULT_LOCK_WAIT`].
+#[must_use]
+pub fn lock_wait_from_env() -> Duration {
+    std::env::var(LOCK_WAIT_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(DEFAULT_LOCK_WAIT, Duration::from_millis)
+}
+
+/// Whether `pid` refers to a live process, as far as this platform lets
+/// us tell. Errs toward "alive": a false positive merely reports
+/// contention, a false negative would steal a live campaign's lock.
+#[must_use]
+pub fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if proc_root.is_dir() {
+        proc_root.join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// An exclusive advisory lock, released (unlinked) on drop.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    /// Acquires the lock at `path`, waiting up to `wait` for a live
+    /// holder to release it and taking over from dead holders.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CacheContention`] when a live holder outlasts the wait
+    /// budget; [`SimError::MemoIo`] when the lock file itself cannot be
+    /// created for any other reason (unwritable root, etc.).
+    pub fn acquire(path: PathBuf, wait: Duration) -> Result<Self, SimError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(file) => {
+                    Self::stamp(file);
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    let holder = Self::read_holder(&path);
+                    if let Some(pid) = holder {
+                        if !pid_alive(pid) {
+                            // Dead holder: take over. Racing takeovers are
+                            // fine — both unlink, one wins the create.
+                            let _ = std::fs::remove_file(&path);
+                            continue;
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(SimError::CacheContention {
+                            path: path.display().to_string(),
+                            holder,
+                        });
+                    }
+                    std::thread::sleep(RETRY_INTERVAL);
+                }
+                Err(e) => {
+                    return Err(SimError::MemoIo { op: "acquire_lock", detail: e.to_string() });
+                }
+            }
+        }
+    }
+
+    /// Writes the holder PID into a freshly created lock file
+    /// (best-effort: an unstampable lock still excludes via existence,
+    /// it just cannot be taken over until deleted by hand).
+    fn stamp(mut file: File) {
+        let _ = file.write_all(format!("{}\n", std::process::id()).as_bytes());
+        let _ = file.sync_all();
+    }
+
+    /// The PID recorded in an existing lock file, if readable and parsed.
+    /// `None` covers both an unreadable file and a racer that created the
+    /// lock but has not stamped it yet — treated as a live holder.
+    fn read_holder(path: &Path) -> Option<u32> {
+        std::fs::read_to_string(path).ok()?.trim().parse().ok()
+    }
+
+    /// The lock file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch_lock(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "llbp-lock-unit-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join("campaign.lock")
+    }
+
+    /// A PID that is certainly not running (only meaningful where /proc
+    /// exists; tests depending on this skip elsewhere).
+    fn dead_pid() -> Option<u32> {
+        if !Path::new("/proc").is_dir() {
+            return None;
+        }
+        (400_000..500_000).find(|p| !Path::new("/proc").join(p.to_string()).exists())
+    }
+
+    #[test]
+    fn acquire_creates_and_drop_releases() {
+        let path = scratch_lock("basic");
+        {
+            let lock = LockFile::acquire(path.clone(), Duration::ZERO).expect("uncontended");
+            assert!(lock.path().exists());
+            let holder = std::fs::read_to_string(&path).expect("stamped");
+            assert_eq!(holder.trim().parse::<u32>().expect("pid"), std::process::id());
+        }
+        assert!(!path.exists(), "drop must unlink the lock");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn live_holder_means_contention() {
+        let path = scratch_lock("contended");
+        let _held = LockFile::acquire(path.clone(), Duration::ZERO).expect("first");
+        let err = LockFile::acquire(path.clone(), Duration::from_millis(30))
+            .expect_err("second acquirer must fail");
+        match err {
+            SimError::CacheContention { holder, .. } => {
+                assert_eq!(holder, Some(std::process::id()), "holder pid is reported");
+            }
+            other => panic!("expected contention, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn dead_holder_is_taken_over() {
+        let path = scratch_lock("stale");
+        let Some(dead) = dead_pid() else {
+            return; // no /proc: liveness is unknowable, takeover disabled
+        };
+        std::fs::write(&path, format!("{dead}\n")).expect("plant stale lock");
+        let lock = LockFile::acquire(path.clone(), Duration::ZERO).expect("takeover");
+        let holder = std::fs::read_to_string(&path).expect("restamped");
+        assert_eq!(holder.trim().parse::<u32>().expect("pid"), std::process::id());
+        drop(lock);
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn unreadable_holder_is_treated_as_live() {
+        let path = scratch_lock("garbage");
+        std::fs::write(&path, "not-a-pid\n").expect("plant garbage lock");
+        let err = LockFile::acquire(path.clone(), Duration::from_millis(30))
+            .expect_err("garbage holder must not be stolen");
+        assert!(matches!(err, SimError::CacheContention { holder: None, .. }));
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn waiting_acquirer_wins_after_release() {
+        let path = scratch_lock("handoff");
+        let held = LockFile::acquire(path.clone(), Duration::ZERO).expect("first");
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| LockFile::acquire(path.clone(), Duration::from_secs(10)));
+            std::thread::sleep(Duration::from_millis(30));
+            drop(held);
+            let lock = waiter.join().expect("no panic").expect("acquired after release");
+            assert!(lock.path().exists());
+        });
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+}

@@ -68,6 +68,11 @@ pub struct CachedCell {
     pub wall: Duration,
     /// Branch records in the simulated trace.
     pub trace_len: u64,
+    /// The payload checksum stored in the cell's trailer. Journals record
+    /// it alongside `ok` entries so `--verify-resume` can prove a
+    /// memoized cell is byte-for-byte the one the campaign completed
+    /// with, not merely *a* valid cell under the same address.
+    pub digest: Fingerprint,
 }
 
 /// The persistent content-addressed store.
@@ -326,7 +331,9 @@ impl MemoStore {
         Ok(Some(cell))
     }
 
-    /// Persists a result cell.
+    /// Persists a result cell, returning the payload digest written into
+    /// the cell's trailer (journaled with the cell's `ok` entry so a
+    /// later `--verify-resume` can re-check it).
     ///
     /// # Errors
     ///
@@ -337,12 +344,43 @@ impl MemoStore {
         result: &SimResult,
         wall: Duration,
         trace_len: u64,
-    ) -> std::io::Result<()> {
+    ) -> std::io::Result<Fingerprint> {
         self.check_faults("store_result").map_err(std::io::Error::other)?;
-        let bytes = encode_cell(result, wall, trace_len);
+        let (bytes, digest) = encode_cell(result, wall, trace_len);
         self.publish(&bytes, &self.result_path(fp))?;
         self.result_stores.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(digest)
+    }
+
+    /// Re-validates the cell addressed by `fp` for a verified resume:
+    /// decodes it (checksum included) and, when a journaled `expected`
+    /// digest is available, compares the cell's trailer digest against
+    /// it. `Ok(false)` means the cell is missing, corrupt, or not the
+    /// cell the journal's `ok` entry described — the caller demotes it to
+    /// a miss and re-runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoIo`] on a *transient* read failure (the
+    /// file exists but could not be read, or an injected IO fault fired),
+    /// exactly as [`MemoStore::load_result`].
+    pub fn verify_result(
+        &self,
+        fp: Fingerprint,
+        expected: Option<Fingerprint>,
+    ) -> Result<bool, SimError> {
+        self.check_faults("verify_result")?;
+        let bytes = match fs::read(self.result_path(fp)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => {
+                return Err(SimError::MemoIo { op: "verify_result", detail: e.to_string() });
+            }
+        };
+        let Some(cell) = decode_cell(&bytes) else {
+            return Ok(false);
+        };
+        Ok(expected.is_none_or(|want| cell.digest == want))
     }
 
     /// Writes `bytes` to a unique temp file and renames it into place, so
@@ -432,7 +470,9 @@ fn put_branch_map(buf: &mut Vec<u8>, map: Option<&FastHashMap<u64, u64>>) {
     }
 }
 
-fn encode_cell(result: &SimResult, wall: Duration, trace_len: u64) -> Vec<u8> {
+/// Serializes a cell, returning the bytes and the payload digest written
+/// into the trailer.
+fn encode_cell(result: &SimResult, wall: Duration, trace_len: u64) -> (Vec<u8>, Fingerprint) {
     let mut payload = Vec::with_capacity(256);
     put_u64(&mut payload, u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX));
     put_u64(&mut payload, trace_len);
@@ -468,7 +508,7 @@ fn encode_cell(result: &SimResult, wall: Duration, trace_len: u64) -> Vec<u8> {
     out.extend_from_slice(&MEMO_FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&payload);
     out.extend_from_slice(&digest.0.to_le_bytes());
-    out
+    (out, digest)
 }
 
 /// A bounds-checked little-endian reader over a cell payload.
@@ -571,6 +611,7 @@ fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
     if hasher.finish().0 != stored {
         return None;
     }
+    let digest = Fingerprint(stored);
 
     let mut c = Cursor { bytes: payload, pos: 0 };
     let wall = Duration::from_nanos(c.u64()?);
@@ -614,6 +655,7 @@ fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
         },
         wall,
         trace_len,
+        digest,
     })
 }
 
@@ -667,17 +709,18 @@ mod tests {
     fn result_cell_roundtrips_exactly() {
         for (maps, llbp) in [(false, false), (true, false), (false, true), (true, true)] {
             let r = sample_result(maps, llbp);
-            let bytes = encode_cell(&r, Duration::from_millis(250), 5_000);
+            let (bytes, digest) = encode_cell(&r, Duration::from_millis(250), 5_000);
             let cell = decode_cell(&bytes).expect("roundtrip");
             assert_eq!(cell.result, r);
             assert_eq!(cell.wall, Duration::from_millis(250));
             assert_eq!(cell.trace_len, 5_000);
+            assert_eq!(cell.digest, digest, "decoded digest matches the one encode reported");
         }
     }
 
     #[test]
     fn corrupt_cells_are_rejected() {
-        let bytes = encode_cell(&sample_result(true, true), Duration::from_secs(1), 100);
+        let (bytes, _) = encode_cell(&sample_result(true, true), Duration::from_secs(1), 100);
         // Truncation anywhere → None.
         for cut in [1, 8, 20, bytes.len() - 1] {
             assert!(decode_cell(&bytes[..cut]).is_none(), "cut={cut}");
@@ -794,11 +837,37 @@ mod tests {
     }
 
     #[test]
+    fn verify_result_accepts_good_cells_and_rejects_tampering() {
+        let (store, dir) = scratch_store();
+        let fp = Fingerprint(0xcafe);
+        assert!(!store.verify_result(fp, None).expect("missing is not an error"));
+
+        let r = sample_result(true, true);
+        let digest = store.store_result(fp, &r, Duration::from_millis(5), 42).expect("store");
+        assert!(store.verify_result(fp, None).expect("readable"), "checksum-only pass");
+        assert!(store.verify_result(fp, Some(digest)).expect("readable"), "digest pass");
+        assert!(
+            !store.verify_result(fp, Some(Fingerprint(digest.0 ^ 1))).expect("readable"),
+            "a valid cell that is not the journaled one must fail digest verification"
+        );
+
+        // Flip one payload byte in place: the checksum no longer matches,
+        // so even a digest-less verification demotes the cell.
+        let path = store.result_path(fp);
+        let mut bytes = fs::read(&path).expect("cell bytes");
+        bytes[10] ^= 0x04;
+        fs::write(&path, &bytes).expect("rewrite");
+        assert!(!store.verify_result(fp, None).expect("readable"));
+        assert!(!store.verify_result(fp, Some(digest)).expect("readable"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn unknown_provider_label_invalidates_cell() {
         // Simulate a cell written by a future simulator with a new
         // provider kind: today's reader must treat it as a miss.
         let r = sample_result(false, false);
-        let mut bytes = encode_cell(&r, Duration::ZERO, 1);
+        let (mut bytes, _) = encode_cell(&r, Duration::ZERO, 1);
         // Corrupting the interned label text breaks the checksum first,
         // which is already a rejection; rebuild a cell whose payload is
         // valid but carries an unknown label.

@@ -1,0 +1,250 @@
+//! Cross-process campaign safety: the journal lock must serialize
+//! concurrent campaigns on one cache root (or fail one of them fast with
+//! a clean contention error), a crashed holder's lock must be taken over,
+//! and `--verify-resume` must demote silently corrupted memo cells back
+//! to misses instead of trusting the journal.
+
+use llbp_sim::engine::{SweepEngine, SweepSpec};
+use llbp_sim::{
+    campaign_fingerprint, CampaignJournal, MemoStore, PredictorKind, SimConfig, SimError,
+};
+use llbp_trace::{Fingerprint, Workload, WorkloadSpec};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llbp-campaign-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deliberately tiny grid so 50 back-to-back campaigns stay cheap.
+fn tiny_grid() -> SweepSpec {
+    SweepSpec::new(
+        vec![PredictorKind::Tsl64K],
+        vec![WorkloadSpec::named(Workload::Http).with_branches(2_000)],
+        SimConfig::default(),
+    )
+}
+
+fn engine_on(dir: &Path) -> SweepEngine {
+    SweepEngine::with_workers(1).with_store(Arc::new(MemoStore::open(dir).expect("temp store")))
+}
+
+/// Asserts every line of every journal under `dir` parses as exactly one
+/// well-formed v2 entry — the "zero malformed lines" guarantee durable
+/// appends are supposed to buy.
+fn assert_journals_well_formed(dir: &Path) {
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(dir).expect("cache root listable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "journal") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("journal readable");
+        assert!(
+            text.is_empty() || text.ends_with('\n'),
+            "journal {} does not end with a newline",
+            path.display()
+        );
+        for line in text.lines() {
+            assert!(
+                well_formed_entry(line),
+                "malformed journal line in {}: {line:?}",
+                path.display()
+            );
+            seen += 1;
+        }
+    }
+    assert!(seen > 0, "expected at least one journal entry under {}", dir.display());
+}
+
+/// Strict shape check for one journal line, independent of the parser
+/// under test: `ok <cell> <fp32> <fp32|->`, `failed <cell> <class>`, or
+/// `stale <cell> <fp32>`.
+fn well_formed_entry(line: &str) -> bool {
+    let fields: Vec<&str> = line.split(' ').collect();
+    let is_hex32 = |s: &str| s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit());
+    let is_cell = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    match fields.as_slice() {
+        ["ok", cell, fp, digest] => {
+            is_cell(cell) && is_hex32(fp) && (*digest == "-" || is_hex32(digest))
+        }
+        ["ok", cell, fp] => is_cell(cell) && is_hex32(fp), // legacy v1
+        ["failed", cell, class] => is_cell(cell) && !class.is_empty(),
+        ["stale", cell, fp] => is_cell(cell) && is_hex32(fp),
+        _ => false,
+    }
+}
+
+#[test]
+fn concurrent_campaigns_serialize_or_contend_cleanly() {
+    let dir = temp_store_dir("concurrent");
+    let spec = tiny_grid();
+    for iteration in 0..50 {
+        let outcomes: Vec<Result<_, SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..2).map(|_| scope.spawn(|| engine_on(&dir).try_run(&spec))).collect();
+            handles.into_iter().map(|h| h.join().expect("campaign thread")).collect()
+        });
+        let mut completed = 0;
+        for outcome in outcomes {
+            match outcome {
+                Ok(report) => {
+                    assert!(report.is_complete(), "iteration {iteration}: {:?}", report.failed);
+                    completed += 1;
+                }
+                Err(SimError::CacheContention { holder, .. }) => {
+                    // The loser names the live holder (this very process).
+                    // `None` is tolerated: the winner can release between
+                    // the loser's create attempt and its holder read.
+                    assert!(
+                        holder.is_none_or(|pid| pid == std::process::id()),
+                        "iteration {iteration}: contention against foreign pid {holder:?}"
+                    );
+                }
+                Err(other) => panic!("iteration {iteration}: unexpected error {other}"),
+            }
+        }
+        assert!(completed >= 1, "iteration {iteration}: both campaigns lost the lock race");
+        assert_journals_well_formed(&dir);
+    }
+    // A follow-up resume sees a consistent journal and completes.
+    let report = engine_on(&dir).resume(true).try_run(&spec).expect("resume after races");
+    assert!(report.is_complete());
+    assert_eq!(report.resumed, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dead_holder_lock_is_taken_over() {
+    let dir = temp_store_dir("takeover");
+    let spec = tiny_grid();
+    let report = engine_on(&dir).try_run(&spec).expect("first campaign");
+    assert!(report.is_complete());
+
+    // Fabricate a crash: the campaign's lock file left behind by a PID
+    // that no longer exists. PIDs this large are far above any real
+    // pid_max, so the holder is reliably dead.
+    let journal_path = std::fs::read_dir(&dir)
+        .expect("cache root listable")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "journal"))
+        .expect("campaign journal exists");
+    let lock_path = journal_path.with_extension("journal.lock");
+    std::fs::write(&lock_path, "3999999999\n").expect("plant stale lock");
+
+    let report = engine_on(&dir).resume(true).try_run(&spec).expect("takeover succeeds");
+    assert!(report.is_complete());
+    assert_eq!(report.resumed, 1);
+    assert!(!lock_path.exists(), "released lock must not linger after the campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn live_holder_contention_fails_fast_with_holder_pid() {
+    let dir = temp_store_dir("live-holder");
+    let spec = tiny_grid();
+    // Hold the campaign's journal lock the way a live sibling process
+    // would, then race an engine against it with a short lock wait.
+    let store = MemoStore::open(&dir).expect("temp store");
+    // Single-predictor grid: cell i is simply workload i.
+    let fps: Vec<Fingerprint> = spec
+        .workloads
+        .iter()
+        .map(|w| store.result_fingerprint(&spec.predictors[0], w, &spec.sim))
+        .collect();
+    let held = CampaignJournal::open_with_wait(
+        store.root(),
+        campaign_fingerprint(&fps),
+        false,
+        Duration::from_millis(10),
+    )
+    .expect("holder acquires the lock");
+
+    let err = engine_on(&dir).try_run(&spec).expect_err("second campaign must contend");
+    match err {
+        SimError::CacheContention { holder, .. } => {
+            assert_eq!(holder, Some(std::process::id()));
+        }
+        other => panic!("expected contention, got {other}"),
+    }
+    drop(held);
+
+    // Lock released: the same campaign now runs to completion.
+    let report = engine_on(&dir).try_run(&spec).expect("after release");
+    assert!(report.is_complete());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two-cell grid plus the paths of each cell's memoized result file.
+fn verify_fixture(dir: &Path) -> (SweepSpec, Vec<PathBuf>) {
+    let spec = SweepSpec::new(
+        vec![PredictorKind::Tsl64K],
+        vec![
+            WorkloadSpec::named(Workload::Http).with_branches(2_000),
+            WorkloadSpec::named(Workload::Kafka).with_branches(2_000),
+        ],
+        SimConfig::default(),
+    );
+    let store = MemoStore::open(dir).expect("temp store");
+    // Single-predictor grid: cell i is simply workload i.
+    let cells = spec
+        .workloads
+        .iter()
+        .map(|w| {
+            let fp = store.result_fingerprint(&spec.predictors[0], w, &spec.sim);
+            dir.join("results").join(format!("{fp}.llbr"))
+        })
+        .collect();
+    (spec, cells)
+}
+
+#[test]
+fn verify_resume_demotes_a_bit_flipped_cell() {
+    let dir = temp_store_dir("bit-flip");
+    let (spec, cells) = verify_fixture(&dir);
+    let clean = engine_on(&dir).try_run(&spec).expect("cold campaign");
+    assert!(clean.is_complete());
+
+    // Flip one payload bit of cell 1's memoized result on disk.
+    let mut bytes = std::fs::read(&cells[1]).expect("memoized cell exists");
+    bytes[10] ^= 0x04;
+    std::fs::write(&cells[1], &bytes).expect("rewrite tampered cell");
+
+    let verified = engine_on(&dir).resume(true).verify_resume(true).try_run(&spec).expect("verify");
+    assert!(verified.is_complete());
+    assert_eq!(verified.stale, 1, "exactly the tampered cell is demoted");
+    assert_eq!(verified.resumed, 1, "the intact cell is still trusted");
+    assert_eq!(verified.memo_misses, 1, "the demoted cell re-simulates");
+    for (c, v) in clean.jobs.iter().zip(&verified.jobs) {
+        assert_eq!(c.result, v.result, "verified resume reproduces the cold run");
+    }
+    // The demotion is journaled, and the re-run supersedes it.
+    assert_journals_well_formed(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_resume_demotes_a_replaced_cell() {
+    let dir = temp_store_dir("replaced");
+    let (spec, cells) = verify_fixture(&dir);
+    let clean = engine_on(&dir).try_run(&spec).expect("cold campaign");
+    assert!(clean.is_complete());
+
+    // Overwrite cell 1's file with cell 0's — internally consistent bytes
+    // (magic, version and trailer checksum all pass), but the *wrong*
+    // result. Only the journaled digest can catch this: a plain decode
+    // happily serves it.
+    std::fs::copy(&cells[0], &cells[1]).expect("replace cell 1 with cell 0");
+
+    let verified = engine_on(&dir).resume(true).verify_resume(true).try_run(&spec).expect("verify");
+    assert!(verified.is_complete());
+    assert_eq!(verified.stale, 1, "the replaced cell fails digest verification");
+    for (c, v) in clean.jobs.iter().zip(&verified.jobs) {
+        assert_eq!(c.result, v.result, "verified resume reproduces the cold run");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -93,6 +93,43 @@ fn slow_cells_time_out_and_converge_on_retry() {
 }
 
 #[test]
+fn slow_generation_times_out_and_converges_on_retry() {
+    // One predictor × three distinct workloads: every cell owns its
+    // workload's cache slot, so the only thing racing the watchdog is the
+    // injected generation delay itself.
+    let spec = SweepSpec::new(
+        vec![PredictorKind::Tsl64K],
+        vec![
+            WorkloadSpec::named(Workload::Http).with_branches(3_000),
+            WorkloadSpec::named(Workload::Kafka).with_branches(3_000),
+            WorkloadSpec::named(Workload::Tpcc).with_branches(3_000),
+        ],
+        SimConfig::default(),
+    );
+    let clean = SweepEngine::with_workers(1).run(&spec);
+    // Attempt 0 of cell 1 stalls inside *trace generation*; the watchdog
+    // cancels it at the generator's next poll point, and the cache rolls
+    // the pending slot back so attempt 1 regenerates cleanly.
+    let faulty = SweepEngine::with_workers(1)
+        .retries(2)
+        .timeout(Some(Duration::from_millis(100)))
+        .with_faults(injector("slow:cell=1,ms=400,at=gen"))
+        .run(&spec);
+    assert_reports_match(&clean, &faulty);
+
+    // With no retry budget the stuck-in-generation cell surfaces as a
+    // structured timeout, not a hang or a truncated trace.
+    let report = SweepEngine::with_workers(1)
+        .retries(0)
+        .timeout(Some(Duration::from_millis(100)))
+        .with_faults(injector("slow:cell=1,ms=400,count=99,at=gen"))
+        .run(&spec);
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.failed[0].index, 1);
+    assert_eq!(report.failed[0].error.class(), "timeout");
+}
+
+#[test]
 fn exhausted_retries_surface_as_structured_failures() {
     let spec = grid();
     let report = SweepEngine::with_workers(2)

@@ -31,6 +31,22 @@ impl std::fmt::Display for Fingerprint {
     }
 }
 
+impl Fingerprint {
+    /// Parses the exact 32-hex-digit form produced by `Display`.
+    ///
+    /// Strictness is the point: persistent journals address cells by
+    /// fingerprint, and a line torn mid-write must parse as *malformed*
+    /// rather than as a shorter-but-valid fingerprint. Anything other
+    /// than exactly 32 hex digits is rejected.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Self)
+    }
+}
+
 /// 128-bit FNV-1a offset basis.
 const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 /// 128-bit FNV-1a prime.
@@ -123,5 +139,22 @@ mod tests {
     fn display_is_32_hex_chars() {
         assert_eq!(Fingerprint(0).to_string(), "0".repeat(32));
         assert_eq!(Fingerprint(u128::MAX).to_string(), "f".repeat(32));
+    }
+
+    #[test]
+    fn from_hex_roundtrips_display() {
+        for fp in [Fingerprint(0), Fingerprint(0xabcd_1234), Fingerprint(u128::MAX)] {
+            assert_eq!(Fingerprint::from_hex(&fp.to_string()), Some(fp));
+        }
+    }
+
+    #[test]
+    fn from_hex_rejects_torn_or_padded_forms() {
+        let full = Fingerprint(0x42).to_string();
+        assert!(Fingerprint::from_hex(&full[..31]).is_none(), "truncated");
+        assert!(Fingerprint::from_hex(&format!("{full}0")).is_none(), "over-long");
+        assert!(Fingerprint::from_hex("").is_none());
+        assert!(Fingerprint::from_hex(&"g".repeat(32)).is_none(), "non-hex");
+        assert!(Fingerprint::from_hex(&format!("+{}", &full[..31])).is_none(), "signed");
     }
 }

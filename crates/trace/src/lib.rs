@@ -34,4 +34,4 @@ pub use fingerprint::{Fingerprint, StableHasher};
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use record::{BranchKind, BranchRecord, Trace};
 pub use stats::TraceStats;
-pub use synth::{Workload, WorkloadParams, WorkloadSpec};
+pub use synth::{NoSink, ProgressSink, Workload, WorkloadParams, WorkloadSpec, GEN_POLL_INTERVAL};

@@ -36,6 +36,43 @@ pub use program::{Program, ProgramBuilder};
 
 use crate::record::Trace;
 
+/// How often the generator polls its [`ProgressSink`]: once before the
+/// first record and then every this-many emitted records. Chosen so that
+/// even the slowest workloads poll several hundred times per second,
+/// making a watchdog-cancelled generation terminate promptly, while the
+/// poll itself stays invisible in generation throughput.
+pub const GEN_POLL_INTERVAL: usize = 4096;
+
+/// Observer of trace-generation progress — the cancellation hook that
+/// lets a watchdog interrupt a cell stuck *generating* its trace, not
+/// just one stuck simulating.
+///
+/// The interpreter calls [`ProgressSink::on_progress`] every
+/// [`GEN_POLL_INTERVAL`] emitted records (and once with `0` before the
+/// first). Returning `false` aborts the generation:
+/// [`WorkloadSpec::generate_with_sink`] then returns `None` instead of a
+/// truncated trace, so an aborted generation can never be mistaken for a
+/// complete one.
+///
+/// No `Sync` bound: a sink is only ever polled from the thread running
+/// the generation, so implementations may use interior mutability
+/// (`Cell`) freely.
+pub trait ProgressSink {
+    /// Called at each poll point with the number of records emitted so
+    /// far; return `false` to abort the generation.
+    fn on_progress(&self, emitted: usize) -> bool;
+}
+
+/// The sink that never aborts (plain [`WorkloadSpec::generate`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSink;
+
+impl ProgressSink for NoSink {
+    fn on_progress(&self, _emitted: usize) -> bool {
+        true
+    }
+}
+
 /// A specification of a synthetic workload trace: which workload preset,
 /// how many branch records, and an optional seed override.
 ///
@@ -116,6 +153,14 @@ impl WorkloadSpec {
     pub fn generate(&self) -> Trace {
         self.build_program().execute(&self.name, self.branches)
     }
+
+    /// [`WorkloadSpec::generate`] with a cancellation hook: `sink` is
+    /// polled every [`GEN_POLL_INTERVAL`] emitted records, and `None` is
+    /// returned when it aborts the generation.
+    #[must_use]
+    pub fn generate_with_sink(&self, sink: &dyn ProgressSink) -> Option<Trace> {
+        self.build_program().execute_with_sink(&self.name, self.branches, sink)
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +206,50 @@ mod tests {
             assert_eq!(t.len(), 500, "workload {w}");
             assert!(t.instructions() > 500);
         }
+    }
+
+    #[test]
+    fn sinked_generation_matches_plain_generation() {
+        // The poll points must be pure observation: a never-aborting sink
+        // produces the identical trace.
+        let spec = WorkloadSpec::named(Workload::Kafka).with_branches(10_000);
+        let plain = spec.generate();
+        let sinked = spec.generate_with_sink(&NoSink).expect("NoSink never aborts");
+        assert_eq!(plain.records(), sinked.records());
+    }
+
+    #[test]
+    fn aborting_sink_stops_generation_early() {
+        use std::cell::Cell;
+
+        /// Aborts after a fixed number of polls, counting them.
+        struct AbortAfter {
+            polls: Cell<usize>,
+            limit: usize,
+        }
+        impl ProgressSink for AbortAfter {
+            fn on_progress(&self, _emitted: usize) -> bool {
+                let seen = self.polls.get() + 1;
+                self.polls.set(seen);
+                seen <= self.limit
+            }
+        }
+
+        // Abort immediately: the very first poll (before any record).
+        let spec = WorkloadSpec::named(Workload::Http).with_branches(1_000_000);
+        let sink = AbortAfter { polls: Cell::new(0), limit: 0 };
+        assert!(spec.generate_with_sink(&sink).is_none());
+        assert_eq!(sink.polls.get(), 1, "aborted before generating anything");
+
+        // Abort after a few poll intervals: far fewer than the requested
+        // million records were generated before the interpreter stopped.
+        let sink = AbortAfter { polls: Cell::new(0), limit: 3 };
+        assert!(spec.generate_with_sink(&sink).is_none());
+        let polls = sink.polls.get();
+        assert!(polls >= 4, "generation must keep polling until aborted (saw {polls})");
+        assert!(
+            polls < 1_000_000 / GEN_POLL_INTERVAL / 2,
+            "abort must stop generation promptly (saw {polls} polls)"
+        );
     }
 }

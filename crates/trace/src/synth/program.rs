@@ -11,6 +11,7 @@
 
 use super::behavior::{Behavior, BehaviorState};
 use super::catalog::WorkloadParams;
+use super::{NoSink, ProgressSink, GEN_POLL_INTERVAL};
 use crate::record::{BranchKind, BranchRecord, Trace};
 use bputil::hash::mix64;
 use bputil::rng::SplitMix64;
@@ -137,6 +138,20 @@ impl Program {
     /// Interprets the program, emitting `branches` records.
     #[must_use]
     pub fn execute(&self, name: &str, branches: usize) -> Trace {
+        self.execute_with_sink(name, branches, &NoSink).expect("NoSink never aborts")
+    }
+
+    /// [`Program::execute`] with a cancellation hook: `sink` is polled
+    /// once up front and then every [`GEN_POLL_INTERVAL`] emitted
+    /// records. Returns `None` when the sink aborts, never a truncated
+    /// trace.
+    #[must_use]
+    pub fn execute_with_sink(
+        &self,
+        name: &str,
+        branches: usize,
+        sink: &dyn ProgressSink,
+    ) -> Option<Trace> {
         // XOR a constant so the execution RNG stream differs from the
         // build-time RNG stream even for seed 0.
         let mut run = Run {
@@ -147,8 +162,14 @@ impl Program {
             limit: branches,
             fuel: 0,
             call_stack: Vec::with_capacity(MAX_DEPTH + 1),
+            sink,
+            emitted: 0,
+            aborted: false,
         };
-        while run.trace.len() < branches {
+        // The up-front poll catches a deadline that expired before
+        // generation even started (e.g. an injected pre-generation delay).
+        run.aborted = !sink.on_progress(0);
+        while !run.done() {
             let entry = run.pick_entry();
             run.fuel = 150 + run.rng.below(2350);
             run.call_stack.clear();
@@ -156,11 +177,14 @@ impl Program {
             // Requests "return" to a fixed dispatcher address.
             run.call_function(entry, CODE_BASE - 0x100, 0);
         }
+        if run.aborted {
+            return None;
+        }
         // Trim any overshoot from the last request so callers get exactly
         // what they asked for.
         let mut records = run.trace.records().to_vec();
         records.truncate(branches);
-        Trace::from_records(name, records)
+        Some(Trace::from_records(name, records))
     }
 }
 
@@ -193,6 +217,14 @@ struct Run<'p> {
     fuel: u64,
     /// Call-site PCs of the live call chain (innermost last).
     call_stack: Vec<u64>,
+    /// Cancellation hook, polled every [`GEN_POLL_INTERVAL`] emits.
+    sink: &'p dyn ProgressSink,
+    /// Records emitted so far (unlike `trace.len()`, never capped), the
+    /// poll-point counter.
+    emitted: usize,
+    /// Set once the sink aborts; [`Run::done`] then unwinds the
+    /// interpreter at the next statement boundary.
+    aborted: bool,
 }
 
 impl Run<'_> {
@@ -213,10 +245,14 @@ impl Run<'_> {
         if self.trace.len() < self.limit + 64 {
             self.trace.push(record);
         }
+        self.emitted += 1;
+        if self.emitted.is_multiple_of(GEN_POLL_INTERVAL) && !self.sink.on_progress(self.emitted) {
+            self.aborted = true;
+        }
     }
 
     fn done(&self) -> bool {
-        self.trace.len() >= self.limit
+        self.aborted || self.trace.len() >= self.limit
     }
 
     /// Decides whether a call site in function `fidx` is executed this

@@ -49,4 +49,64 @@ cmp -s "$FAULT_DIR/clean.out" "$FAULT_DIR/faulty.out" || {
     exit 1
 }
 
+echo "== concurrent-campaign smoke =="
+# Two campaigns racing the same grid on one cache root must serialize on
+# the journal lock or fail fast with the contention exit (3) — and the
+# shared journal must contain zero malformed lines either way.
+RACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR"' EXIT
+set +e
+LLBP_CACHE_DIR="$RACE_DIR" ./target/release/fig02_mpki_limits --quick \
+    > /dev/null 2> "$RACE_DIR/a.err" &
+PID_A=$!
+LLBP_CACHE_DIR="$RACE_DIR" ./target/release/fig02_mpki_limits --quick \
+    > /dev/null 2> "$RACE_DIR/b.err" &
+PID_B=$!
+wait "$PID_A"; STATUS_A=$?
+wait "$PID_B"; STATUS_B=$?
+set -e
+for status in "$STATUS_A" "$STATUS_B"; do
+    if [ "$status" -ne 0 ] && [ "$status" -ne 3 ]; then
+        echo "concurrent smoke: campaign exited $status (want 0 or 3):"
+        cat "$RACE_DIR/a.err" "$RACE_DIR/b.err"; exit 1
+    fi
+done
+if [ "$STATUS_A" -ne 0 ] && [ "$STATUS_B" -ne 0 ]; then
+    echo "concurrent smoke: both campaigns lost the lock race:"
+    cat "$RACE_DIR/a.err" "$RACE_DIR/b.err"; exit 1
+fi
+grep -Ehv '^(ok [0-9]+ [0-9a-f]{32} ([0-9a-f]{32}|-)|failed [0-9]+ [a-z_]+|stale [0-9]+ [0-9a-f]{32})$' \
+    "$RACE_DIR"/*.journal > "$RACE_DIR/malformed" 2>/dev/null && {
+    echo "concurrent smoke: malformed journal lines:"; cat "$RACE_DIR/malformed"; exit 1
+}
+LLBP_CACHE_DIR="$RACE_DIR" ./target/release/fig02_mpki_limits --quick --resume --strict \
+    > /dev/null 2>&1 || {
+    echo "concurrent smoke: post-race resume failed"; exit 1
+}
+
+echo "== verify-resume smoke =="
+# A bit-flipped memo cell must be detected by --verify-resume, demoted
+# (stale>=1 in the throughput record), re-run, and the final figure must
+# match the untampered run byte-for-byte.
+VERIFY_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR" "$VERIFY_DIR"' EXIT
+LLBP_CACHE_DIR="$VERIFY_DIR" ./target/release/fig02_mpki_limits --quick --strict \
+    > "$VERIFY_DIR/clean.out" 2> /dev/null
+CELL="$(ls "$VERIFY_DIR"/results/*.llbr | head -n 1)"
+# Flip one payload bit (offset 10 sits inside the checksummed payload).
+ORIG="$(dd if="$CELL" bs=1 skip=10 count=1 status=none | od -An -tu1 | tr -d ' ')"
+printf "$(printf '\\%03o' $((ORIG ^ 4)))" | dd of="$CELL" bs=1 seek=10 conv=notrunc status=none
+LLBP_CACHE_DIR="$VERIFY_DIR" ./target/release/fig02_mpki_limits --quick --verify-resume --strict \
+    > "$VERIFY_DIR/verify.out" 2> "$VERIFY_DIR/verify.err" || {
+    echo "verify smoke: verified resume failed:"; cat "$VERIFY_DIR/verify.err"; exit 1
+}
+grep -Eq '"stale":[1-9]' "$VERIFY_DIR/verify.err" || {
+    echo "verify smoke: tampered cell was not demoted:"; cat "$VERIFY_DIR/verify.err"; exit 1
+}
+cmp -s "$VERIFY_DIR/clean.out" "$VERIFY_DIR/verify.out" || {
+    echo "verify smoke: verified resume changed the figure output:"
+    diff "$VERIFY_DIR/clean.out" "$VERIFY_DIR/verify.out" || true
+    exit 1
+}
+
 echo "tier1 OK"
