@@ -21,8 +21,10 @@
 //! re-run of any figure — or a figure sharing grid cells with a previous
 //! one — skips generation and simulation for everything already stored.
 
+use llbp_obs::{Telemetry, TelemetrySettings};
 use llbp_sim::{FaultInjector, MemoStore, SweepEngine, SweepReport, TraceCache};
 use llbp_trace::{Trace, Workload, WorkloadSpec};
+use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 
 /// Default branch records per workload for full experiment runs.
@@ -51,6 +53,12 @@ pub struct Opts {
     /// Whether `--strict` was requested (exit nonzero if any grid cell
     /// ultimately failed).
     pub strict: bool,
+    /// Where to write the Chrome trace-event JSON (`--trace-events`).
+    /// Setting it enables telemetry collection.
+    pub trace_events: Option<String>,
+    /// Where to write the Prometheus metrics snapshot (`--metrics-out`).
+    /// Setting it enables telemetry collection.
+    pub metrics_out: Option<String>,
 }
 
 impl Opts {
@@ -79,6 +87,8 @@ impl Opts {
             resume: false,
             verify_resume: false,
             strict: false,
+            trace_events: None,
+            metrics_out: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -106,6 +116,15 @@ impl Opts {
                         .map(|s| s.trim().parse::<Workload>().unwrap_or_else(|e| usage(&e)))
                         .collect();
                 }
+                "--trace-events" => {
+                    let v =
+                        iter.next().unwrap_or_else(|| usage("missing value for --trace-events"));
+                    opts.trace_events = Some(v);
+                }
+                "--metrics-out" => {
+                    let v = iter.next().unwrap_or_else(|| usage("missing value for --metrics-out"));
+                    opts.metrics_out = Some(v);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument: {other}")),
             }
@@ -125,7 +144,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--quick] [--cold] [--resume] [--verify-resume] [--strict] [--branches N] [--workloads A,B,C]"
+        "usage: <bin> [--quick] [--cold] [--resume] [--verify-resume] [--strict] [--branches N] \
+         [--workloads A,B,C] [--trace-events PATH] [--metrics-out PATH]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -147,15 +167,80 @@ pub fn fault_injector() -> Option<Arc<FaultInjector>> {
         .clone()
 }
 
+/// Resolves the telemetry configuration: `LLBP_TELEMETRY` first, then the
+/// CLI flags layered on top (a flag both sets its path and force-enables
+/// collection). A malformed env spec exits with status 2, like a bad
+/// fault spec: silently dropping telemetry would invalidate an observed
+/// campaign.
+fn telemetry_settings(opts: &Opts) -> TelemetrySettings {
+    let mut settings = match std::env::var(llbp_obs::TELEMETRY_ENV) {
+        Ok(spec) => TelemetrySettings::parse(&spec).unwrap_or_else(|msg| {
+            eprintln!("error: bad {}: {msg}", llbp_obs::TELEMETRY_ENV);
+            std::process::exit(2);
+        }),
+        Err(_) => TelemetrySettings::default(),
+    };
+    if let Some(path) = &opts.trace_events {
+        settings.trace_events = Some(PathBuf::from(path));
+        settings.enabled = true;
+    }
+    if let Some(path) = &opts.metrics_out {
+        settings.metrics_out = Some(PathBuf::from(path));
+        settings.enabled = true;
+    }
+    settings
+}
+
+fn telemetry_state(opts: &Opts) -> &'static (Telemetry, TelemetrySettings) {
+    static STATE: OnceLock<(Telemetry, TelemetrySettings)> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let settings = telemetry_settings(opts);
+        let tel = if settings.enabled { Telemetry::enabled() } else { Telemetry::disabled() };
+        (tel, settings)
+    })
+}
+
+/// The process-wide telemetry handle, enabled iff `--trace-events` /
+/// `--metrics-out` / `LLBP_TELEMETRY` asked for collection. Disabled it
+/// is free: every recording call is a null branch.
+#[must_use]
+pub fn telemetry(opts: &Opts) -> Telemetry {
+    telemetry_state(opts).0.clone()
+}
+
+/// Writes the trace-event and metrics files the resolved settings ask
+/// for. Called by [`emit`]; binaries that never sweep can call it
+/// directly. Export failures warn rather than abort — losing a telemetry
+/// artifact must not turn a completed campaign red — but drained events
+/// are gone either way, so a second call exports only newer events.
+pub fn export_telemetry(opts: &Opts) {
+    let (tel, settings) = telemetry_state(opts);
+    if !tel.is_enabled() {
+        return;
+    }
+    if let Some(path) = &settings.trace_events {
+        let events = tel.drain_events();
+        if let Err(e) = std::fs::write(path, llbp_obs::export::chrome_trace(&events)) {
+            eprintln!("warning: cannot write trace events to {}: {e}", path.display());
+        }
+    }
+    if let Some(path) = &settings.metrics_out {
+        if let Err(e) = std::fs::write(path, llbp_obs::export::prometheus(&tel.metrics())) {
+            eprintln!("warning: cannot write metrics to {}: {e}", path.display());
+        }
+    }
+}
+
 /// Opens the shared persistent memo store (`LLBP_CACHE_DIR`, defaulting
 /// to `target/llbp-cache/`). Returns `None` — and the binaries degrade to
 /// uncached operation — if the directory cannot be created.
 #[must_use]
-pub fn memo_store() -> Option<Arc<MemoStore>> {
+pub fn memo_store(opts: &Opts) -> Option<Arc<MemoStore>> {
     let mut store = MemoStore::open_default().ok()?;
     if let Some(faults) = fault_injector() {
         store.attach_faults(faults);
     }
+    store.attach_telemetry(telemetry(opts));
     Some(Arc::new(store))
 }
 
@@ -163,8 +248,8 @@ pub fn memo_store() -> Option<Arc<MemoStore>> {
 /// `LLBP_FAULT_SPEC` injector, honoring `--cold` and `--resume`.
 #[must_use]
 pub fn engine(opts: &Opts) -> SweepEngine {
-    let mut engine = SweepEngine::new();
-    if let Some(store) = memo_store() {
+    let mut engine = SweepEngine::new().with_telemetry(telemetry(opts));
+    if let Some(store) = memo_store(opts) {
         engine = engine.with_store(store);
     }
     if let Some(faults) = fault_injector() {
@@ -209,6 +294,7 @@ pub fn emit(report: &SweepReport, label: &str, opts: &Opts) {
     for err in &report.failed {
         eprintln!("warning: {err}");
     }
+    export_telemetry(opts);
     if opts.strict && !report.is_complete() {
         eprintln!(
             "error: {} of {} cells failed; rerun with --resume to retry only the gaps",
@@ -223,8 +309,8 @@ pub fn emit(report: &SweepReport, label: &str, opts: &Opts) {
 /// For binaries that analyse traces directly instead of sweeping.
 #[must_use]
 pub fn trace_cache(opts: &Opts) -> TraceCache {
-    match memo_store() {
-        Some(store) => TraceCache::with_store(store, opts.cold),
+    match memo_store(opts) {
+        Some(store) => TraceCache::with_store(store, opts.cold).with_telemetry(telemetry(opts)),
         None => TraceCache::new(),
     }
 }
@@ -304,6 +390,30 @@ mod tests {
     fn parse_explicit_branches() {
         let o = Opts::parse(["--branches", "1234"].iter().map(ToString::to_string));
         assert_eq!(o.branches, 1234);
+    }
+
+    #[test]
+    fn parse_telemetry_flags() {
+        let o = Opts::parse(
+            ["--trace-events", "/tmp/t.json", "--metrics-out", "/tmp/m.prom"]
+                .iter()
+                .map(ToString::to_string),
+        );
+        assert_eq!(o.trace_events.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("/tmp/m.prom"));
+        let o = Opts::parse(Vec::<String>::new());
+        assert_eq!(o.trace_events, None);
+        assert_eq!(o.metrics_out, None);
+    }
+
+    #[test]
+    fn telemetry_flags_force_enable_settings() {
+        let mut o = Opts::parse(Vec::<String>::new());
+        o.trace_events = Some("t.json".into());
+        let s = telemetry_settings(&o);
+        assert!(s.enabled);
+        assert_eq!(s.trace_events.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(s.metrics_out, None);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! `obs_tool` — summarize telemetry event logs written by the sweep
+//! engine (`--trace-events` / `LLBP_TELEMETRY`).
+//!
+//! ```text
+//! obs_tool summarize <events.json|events.jsonl> [--top N]
+//! ```
+//!
+//! Accepts both exporter formats (Chrome trace-event array and JSONL)
+//! and prints per-stage span totals, the slowest sweep cells by
+//! simulation wall time, and mark tallies (retries, watchdog kills,
+//! lock takeovers, stale demotions).
+
+use llbp_obs::json::{parse_event_stream, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct StageAgg {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obs_tool summarize <events.json|events.jsonl> [--top N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("summarize") {
+        return usage();
+    }
+    let mut path = None;
+    let mut top = 5usize;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--top" => {
+                let Some(n) = rest.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                top = n;
+            }
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs_tool: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let events = match parse_event_stream(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("obs_tool: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    summarize(&path, &events, top);
+    ExitCode::SUCCESS
+}
+
+fn field_f64(event: &Value, key: &str) -> Option<f64> {
+    event.get(key).and_then(Value::as_f64)
+}
+
+fn cell_of(event: &Value) -> Option<i64> {
+    event
+        .get("args")
+        .and_then(|args| args.get("cell"))
+        .or_else(|| event.get("cell"))
+        .and_then(Value::as_f64)
+        .map(|c| c as i64)
+}
+
+fn summarize(path: &str, events: &[Value], top: usize) {
+    let mut stages: BTreeMap<String, StageAgg> = BTreeMap::new();
+    let mut marks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut sim_cells: Vec<(i64, u64)> = Vec::new();
+    let mut spans = 0u64;
+    for event in events {
+        let name = event.get("name").and_then(Value::as_str).unwrap_or("?").to_string();
+        match event.get("ph").and_then(Value::as_str) {
+            Some("X") => {
+                spans += 1;
+                let dur = field_f64(event, "dur").unwrap_or(0.0) as u64;
+                let agg = stages.entry(name.clone()).or_insert(StageAgg {
+                    count: 0,
+                    total_us: 0,
+                    max_us: 0,
+                });
+                agg.count += 1;
+                agg.total_us += dur;
+                agg.max_us = agg.max_us.max(dur);
+                if name == "simulation" {
+                    if let Some(cell) = cell_of(event) {
+                        sim_cells.push((cell, dur));
+                    }
+                }
+            }
+            Some("i") => *marks.entry(name).or_insert(0) += 1,
+            _ => {}
+        }
+    }
+
+    println!("# telemetry summary: {path}");
+    println!("events: {spans} spans, {} marks", events.len() as u64 - spans);
+    println!();
+    println!("| stage | count | total ms | mean ms | max ms |");
+    println!("|-------|------:|---------:|--------:|-------:|");
+    let mut ordered: Vec<_> = stages.iter().collect();
+    ordered.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+    for (name, agg) in ordered {
+        println!(
+            "| {name} | {} | {:.3} | {:.3} | {:.3} |",
+            agg.count,
+            agg.total_us as f64 / 1000.0,
+            agg.total_us as f64 / agg.count.max(1) as f64 / 1000.0,
+            agg.max_us as f64 / 1000.0,
+        );
+    }
+
+    if !sim_cells.is_empty() {
+        sim_cells.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        println!();
+        println!("slowest cells by simulation wall:");
+        println!("| cell | ms |");
+        println!("|-----:|---:|");
+        for (cell, dur) in sim_cells.iter().take(top) {
+            println!("| {cell} | {:.3} |", *dur as f64 / 1000.0);
+        }
+    }
+
+    if !marks.is_empty() {
+        println!();
+        println!("| event | count |");
+        println!("|-------|------:|");
+        for (name, count) in &marks {
+            println!("| {name} | {count} |");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Span/mark event recording onto per-thread buffers.
+//!
+//! Each recording thread appends to its own shard, registered lazily on
+//! first use and cached in a thread-local so the steady-state cost of an
+//! event is one uncontended mutex lock and a `Vec::push`. Nothing here
+//! runs on the hot simulation loop — spans are recorded at job
+//! granularity by the sweep engine.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Whether an [`Event`] is a duration span or an instantaneous mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A closed interval with a duration (RAII span guards).
+    Span,
+    /// A point event (retry, watchdog kill, lock takeover, ...).
+    Mark,
+}
+
+/// One recorded telemetry event. Timestamps are microseconds since the
+/// owning [`crate::Telemetry`] handle was created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Static event name (e.g. `"simulation"`).
+    pub name: &'static str,
+    /// Span or mark.
+    pub kind: EventKind,
+    /// Sweep-cell index the event belongs to, or -1 when not tied to one.
+    pub cell: i64,
+    /// Start offset in microseconds from the telemetry epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for marks).
+    pub dur_us: u64,
+    /// Ordinal of the recording thread (assigned at first event).
+    pub thread: u64,
+}
+
+/// Distinguishes shards cached by threads that have seen several
+/// [`EventLog`] instances (tests create many short-lived handles).
+static NEXT_LOG_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static SHARD_CACHE: RefCell<Vec<(u64, Arc<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Debug)]
+struct Shard {
+    thread: u64,
+    events: Mutex<Vec<Event>>,
+}
+
+/// A set of per-thread event buffers with a global drain.
+#[derive(Debug)]
+pub(crate) struct EventLog {
+    id: u64,
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+impl EventLog {
+    pub(crate) fn new() -> Self {
+        Self { id: NEXT_LOG_ID.fetch_add(1, Ordering::Relaxed), shards: Mutex::new(Vec::new()) }
+    }
+
+    /// Appends `event` to the calling thread's shard, stamping
+    /// [`Event::thread`] with the shard's ordinal.
+    pub(crate) fn push(&self, mut event: Event) {
+        SHARD_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let shard = match cache.iter().find(|(id, _)| *id == self.id) {
+                Some((_, shard)) => Arc::clone(shard),
+                None => {
+                    // Drop cached shards whose log is gone before the
+                    // cache can grow without bound across many handles.
+                    if cache.len() >= 32 {
+                        cache.retain(|(_, shard)| Arc::strong_count(shard) > 1);
+                    }
+                    let shard = self.register();
+                    cache.push((self.id, Arc::clone(&shard)));
+                    shard
+                }
+            };
+            event.thread = shard.thread;
+            shard.events.lock().unwrap_or_else(PoisonError::into_inner).push(event);
+        });
+    }
+
+    fn register(&self) -> Arc<Shard> {
+        let mut shards = self.shards.lock().unwrap_or_else(PoisonError::into_inner);
+        let shard = Arc::new(Shard { thread: shards.len() as u64, events: Mutex::new(Vec::new()) });
+        shards.push(Arc::clone(&shard));
+        shard
+    }
+
+    /// Removes and returns every buffered event, sorted by start time
+    /// (ties broken by thread ordinal, then name) for deterministic
+    /// exports. Threads that keep recording after a drain land in the
+    /// next drain.
+    pub(crate) fn drain(&self) -> Vec<Event> {
+        let shards = self.shards.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut events = Vec::new();
+        for shard in shards.iter() {
+            events.append(&mut shard.events.lock().unwrap_or_else(PoisonError::into_inner));
+        }
+        events.sort_by(|a, b| (a.start_us, a.thread, a.name).cmp(&(b.start_us, b.thread, b.name)));
+        events
+    }
+}

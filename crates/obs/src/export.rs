@@ -1,0 +1,120 @@
+//! Exporters: Chrome `trace_event` JSON, JSONL event logs, and
+//! Prometheus text-format metric snapshots.
+//!
+//! All exporters render to a `String`; callers decide where the bytes
+//! go. Output is deterministic for a given input (events are emitted in
+//! the order given; metrics in name order), which the golden-file tests
+//! rely on.
+
+use crate::events::{Event, EventKind};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn event_fields(event: &Event) -> String {
+    let mut out = format!(
+        "\"name\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+        escape(event.name),
+        event.thread,
+        event.start_us
+    );
+    match event.kind {
+        EventKind::Span => {
+            let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", event.dur_us);
+        }
+        EventKind::Mark => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+    }
+    if event.cell >= 0 {
+        let _ = write!(out, ",\"args\":{{\"cell\":{}}}", event.cell);
+    }
+    out
+}
+
+/// Renders events as a Chrome `trace_event` JSON array, loadable in
+/// Perfetto or `chrome://tracing`. Spans use complete (`"ph":"X"`)
+/// events; marks become thread-scoped instants (`"ph":"i"`).
+#[must_use]
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("[\n");
+    for (i, event) in events.iter().enumerate() {
+        out.push('{');
+        out.push_str(&event_fields(event));
+        out.push('}');
+        if i + 1 != events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders events as JSONL: one Chrome-compatible object per line,
+/// suitable for appending and for line-oriented tooling.
+#[must_use]
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push('{');
+        out.push_str(&event_fields(event));
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn prometheus_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE llbp_{name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &n) in hist.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "llbp_{name}_bucket{{le=\"{}\"}} {cumulative}",
+            HistogramSnapshot::bucket_bound(i)
+        );
+    }
+    let _ = writeln!(out, "llbp_{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(out, "llbp_{name}_sum {}", hist.sum);
+    let _ = writeln!(out, "llbp_{name}_count {}", hist.count());
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+/// Metric names get an `llbp_` prefix; histograms emit cumulative
+/// buckets at their populated log2 bounds plus `+Inf`.
+#[must_use]
+pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE llbp_{name} counter");
+        let _ = writeln!(out, "llbp_{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE llbp_{name} gauge");
+        let _ = writeln!(out, "llbp_{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        prometheus_histogram(&mut out, name, hist);
+    }
+    out
+}

@@ -1,0 +1,96 @@
+//! CLI tests for `obs_tool summarize` over both exporter formats.
+
+use llbp_obs::export::{chrome_trace, events_jsonl};
+use llbp_obs::{Event, EventKind};
+use std::process::Command;
+
+fn sample_events() -> Vec<Event> {
+    vec![
+        Event {
+            name: "simulation",
+            kind: EventKind::Span,
+            cell: 3,
+            start_us: 0,
+            dur_us: 9000,
+            thread: 0,
+        },
+        Event {
+            name: "simulation",
+            kind: EventKind::Span,
+            cell: 5,
+            start_us: 100,
+            dur_us: 4000,
+            thread: 1,
+        },
+        Event {
+            name: "generation",
+            kind: EventKind::Span,
+            cell: 3,
+            start_us: 50,
+            dur_us: 2000,
+            thread: 0,
+        },
+        Event {
+            name: "watchdog_kill",
+            kind: EventKind::Mark,
+            cell: 5,
+            start_us: 120,
+            dur_us: 0,
+            thread: 1,
+        },
+    ]
+}
+
+fn summarize(path: &std::path::Path) -> (String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_tool"))
+        .args(["summarize", path.to_str().unwrap()])
+        .output()
+        .expect("obs_tool runs");
+    (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.code().unwrap_or(-1))
+}
+
+#[test]
+fn summarize_reads_both_formats() {
+    let dir = std::env::temp_dir().join(format!("obs-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let chrome = dir.join("events.trace.json");
+    let jsonl = dir.join("events.jsonl");
+    std::fs::write(&chrome, chrome_trace(&sample_events())).unwrap();
+    std::fs::write(&jsonl, events_jsonl(&sample_events())).unwrap();
+
+    for path in [&chrome, &jsonl] {
+        let (stdout, code) = summarize(path);
+        assert_eq!(code, 0, "summarize failed for {}:\n{stdout}", path.display());
+        assert!(stdout.contains("events: 3 spans, 1 marks"), "bad counts:\n{stdout}");
+        // Per-stage totals: simulation 13ms over 2 spans, generation 2ms.
+        assert!(stdout.contains("| simulation | 2 | 13.000 |"), "bad stage row:\n{stdout}");
+        assert!(stdout.contains("| generation | 1 | 2.000 |"), "bad stage row:\n{stdout}");
+        // Slowest-cell ranking: cell 3 (9ms) ahead of cell 5 (4ms).
+        let pos3 = stdout.find("| 3 | 9.000 |").expect("cell 3 listed");
+        let pos5 = stdout.find("| 5 | 4.000 |").expect("cell 5 listed");
+        assert!(pos3 < pos5, "cells not sorted by wall:\n{stdout}");
+        assert!(stdout.contains("| watchdog_kill | 1 |"), "mark tally missing:\n{stdout}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn summarize_rejects_garbage_with_exit_2() {
+    let dir = std::env::temp_dir().join(format!("obs-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "this is not json").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_obs_tool"))
+        .args(["summarize", bad.to_str().unwrap()])
+        .output()
+        .expect("obs_tool runs");
+    assert_eq!(out.status.code(), Some(2));
+    let missing = Command::new(env!("CARGO_BIN_EXE_obs_tool"))
+        .args(["summarize", dir.join("absent.json").to_str().unwrap()])
+        .output()
+        .expect("obs_tool runs");
+    assert_eq!(missing.status.code(), Some(2));
+    let usage = Command::new(env!("CARGO_BIN_EXE_obs_tool")).output().expect("obs_tool runs");
+    assert_eq!(usage.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

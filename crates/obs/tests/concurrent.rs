@@ -1,0 +1,49 @@
+//! Snapshot determinism under concurrent increments: once every writer
+//! thread has joined, repeated snapshots are identical and totals are
+//! exact (no lost updates, no torn histogram state).
+
+use llbp_obs::{EventKind, Telemetry};
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn snapshots_are_deterministic_after_concurrent_updates() {
+    let tel = Telemetry::enabled();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tel = tel.clone();
+            scope.spawn(move || {
+                let counter = tel.counter("incs");
+                let histogram = tel.histogram("vals");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(i % 1024);
+                }
+                tel.mark("worker_done", t as i64);
+            });
+        }
+    });
+
+    let first = tel.metrics();
+    let second = tel.metrics();
+    assert_eq!(first, second, "snapshots after quiescence must be identical");
+
+    assert_eq!(first.counters["incs"], THREADS * PER_THREAD);
+    assert_eq!(first.counters["worker_done"], THREADS);
+    let hist = &first.histograms["vals"];
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    // Sum of (i % 1024) over 0..10_000, times 8 threads.
+    let per_thread_sum: u64 = (0..PER_THREAD).map(|i| i % 1024).sum();
+    assert_eq!(hist.sum, THREADS * per_thread_sum);
+    assert_eq!(hist.max, 1023);
+
+    let events = tel.drain_events();
+    assert_eq!(events.len(), THREADS as usize);
+    assert!(events.iter().all(|e| e.kind == EventKind::Mark && e.name == "worker_done"));
+    // Each mark came from a distinct recording thread.
+    let mut threads: Vec<u64> = events.iter().map(|e| e.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    assert_eq!(threads.len(), THREADS as usize);
+}

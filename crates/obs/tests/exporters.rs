@@ -1,0 +1,102 @@
+//! Exporter golden-file tests: the Chrome trace, JSONL, and Prometheus
+//! renderings of a fixed input must match byte-for-byte, and the bundled
+//! JSON parser must round-trip both event formats.
+
+use llbp_obs::export::{chrome_trace, events_jsonl, prometheus};
+use llbp_obs::json::{parse_event_stream, Value};
+use llbp_obs::{Event, EventKind, HistogramSnapshot, MetricsSnapshot};
+
+fn fixed_events() -> Vec<Event> {
+    vec![
+        Event {
+            name: "queue_wait",
+            kind: EventKind::Span,
+            cell: 0,
+            start_us: 10,
+            dur_us: 5,
+            thread: 0,
+        },
+        Event {
+            name: "simulation",
+            kind: EventKind::Span,
+            cell: 1,
+            start_us: 20,
+            dur_us: 1000,
+            thread: 1,
+        },
+        Event { name: "retry", kind: EventKind::Mark, cell: 1, start_us: 30, dur_us: 0, thread: 1 },
+        Event {
+            name: "write_back",
+            kind: EventKind::Span,
+            cell: -1,
+            start_us: 2000,
+            dur_us: 7,
+            thread: 0,
+        },
+    ]
+}
+
+fn fixed_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("retry".into(), 1);
+    snap.counters.insert("sweep_jobs".into(), 4);
+    snap.gauges.insert("workers".into(), 2);
+    let mut hist = HistogramSnapshot::default();
+    hist.record(5);
+    hist.record(1000);
+    snap.histograms.insert("simulation".into(), hist);
+    snap
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    assert_eq!(chrome_trace(&fixed_events()), include_str!("golden/events.trace.json"));
+}
+
+#[test]
+fn jsonl_matches_golden() {
+    assert_eq!(events_jsonl(&fixed_events()), include_str!("golden/events.jsonl"));
+}
+
+#[test]
+fn prometheus_matches_golden() {
+    assert_eq!(prometheus(&fixed_snapshot()), include_str!("golden/metrics.prom"));
+}
+
+#[test]
+fn parser_round_trips_both_event_formats() {
+    let events = fixed_events();
+    let from_chrome = parse_event_stream(&chrome_trace(&events)).expect("chrome parses");
+    let from_jsonl = parse_event_stream(&events_jsonl(&events)).expect("jsonl parses");
+    assert_eq!(from_chrome, from_jsonl);
+    assert_eq!(from_chrome.len(), events.len());
+    for (parsed, original) in from_chrome.iter().zip(events.iter()) {
+        assert_eq!(parsed.get("name").and_then(Value::as_str), Some(original.name));
+        assert_eq!(parsed.get("ts").and_then(Value::as_f64), Some(original.start_us as f64));
+        let ph = parsed.get("ph").and_then(Value::as_str).unwrap();
+        match original.kind {
+            EventKind::Span => {
+                assert_eq!(ph, "X");
+                assert_eq!(parsed.get("dur").and_then(Value::as_f64), Some(original.dur_us as f64));
+            }
+            EventKind::Mark => assert_eq!(ph, "i"),
+        }
+        let cell = parsed
+            .get("args")
+            .and_then(|args| args.get("cell"))
+            .and_then(Value::as_f64)
+            .map(|c| c as i64);
+        if original.cell >= 0 {
+            assert_eq!(cell, Some(original.cell));
+        } else {
+            assert_eq!(cell, None, "negative cells are omitted from args");
+        }
+    }
+}
+
+#[test]
+fn parser_rejects_garbage() {
+    assert!(parse_event_stream("not json").is_err());
+    assert!(parse_event_stream("[{\"a\":1},]").is_err());
+    assert!(parse_event_stream("[1,2,3]").is_err(), "non-object events rejected");
+}

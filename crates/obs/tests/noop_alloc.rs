@@ -1,0 +1,62 @@
+//! A disabled `Telemetry` handle must cost nothing: zero heap
+//! allocations and zero recorded events across the whole API surface.
+//! Uses a counting global allocator; this file holds exactly one test so
+//! no sibling test thread can allocate concurrently.
+
+use llbp_obs::Telemetry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_handle_performs_zero_allocations() {
+    let tel = Telemetry::disabled();
+    let counter = tel.counter("hot_records");
+    let gauge = tel.gauge("depth");
+    let histogram = tel.histogram("wall");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        counter.add(i);
+        gauge.set(i);
+        histogram.record(i);
+        tel.mark("retry", i as i64);
+        let span = tel.span("simulation").with_cell(i as i64);
+        drop(span);
+        let clone = tel.clone();
+        drop(clone);
+    }
+    let events = tel.drain_events();
+    let snapshot = tel.metrics();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(after - before, 0, "disabled telemetry must not allocate");
+    assert!(events.is_empty(), "disabled telemetry must record no events");
+    assert!(snapshot.is_empty(), "disabled telemetry must register no metrics");
+    assert_eq!(counter.get(), 0);
+    assert_eq!(histogram.snapshot().count(), 0);
+}

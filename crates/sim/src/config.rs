@@ -142,9 +142,26 @@ impl SimConfig {
         trace: &Trace,
         token: &CancelToken,
     ) -> Result<SimResult, SimError> {
+        self.run_observed(kind, trace, token, &llbp_obs::Counter::noop())
+    }
+
+    /// [`SimConfig::run_cancellable`] with a sampled progress counter
+    /// threaded into the hot loop (see [`Simulator::run_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the token fires mid-run.
+    pub fn run_observed(
+        &self,
+        kind: PredictorKind,
+        trace: &Trace,
+        token: &CancelToken,
+        records: &llbp_obs::Counter,
+    ) -> Result<SimResult, SimError> {
         if let PredictorKind::Llbp(params) = kind {
             let mut predictor = LlbpPredictor::new(params);
-            let mut result = Simulator::new(*self).run_cancellable(&mut predictor, trace, token)?;
+            let mut result =
+                Simulator::new(*self).run_observed(&mut predictor, trace, token, records)?;
             result.llbp = Some(LlbpCellStats {
                 llbp: predictor.stats().clone(),
                 frontend: *predictor.frontend().stats(),
@@ -152,7 +169,7 @@ impl SimConfig {
             return Ok(result);
         }
         let mut predictor = kind.build();
-        Simulator::new(*self).run_cancellable(predictor.as_mut(), trace, token)
+        Simulator::new(*self).run_observed(predictor.as_mut(), trace, token, records)
     }
 
     /// Runs a pre-built predictor (for callers that need to inspect its

@@ -118,6 +118,26 @@ impl Simulator {
         trace: &Trace,
         token: &CancelToken,
     ) -> Result<SimResult, SimError> {
+        self.run_observed(predictor, trace, token, &llbp_obs::Counter::noop())
+    }
+
+    /// [`Simulator::run_cancellable`] with a *sampled* progress counter:
+    /// `records` is bumped by [`Simulator::CANCEL_POLL_INTERVAL`] at each
+    /// cancellation poll, so telemetry sees simulation progress at poll
+    /// granularity while the per-record loop stays untouched. Pass a
+    /// pre-resolved counter ([`llbp_obs::Counter::noop`] when telemetry
+    /// is off — a null-pointer branch every 8192 records, nothing more).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the token fires mid-run.
+    pub fn run_observed(
+        &self,
+        predictor: &mut dyn Predictor,
+        trace: &Trace,
+        token: &CancelToken,
+        records: &llbp_obs::Counter,
+    ) -> Result<SimResult, SimError> {
         let warmup = (trace.len() as f64 * self.config.warmup_fraction.clamp(0.0, 1.0)) as usize;
         let mut result = SimResult {
             label: predictor.label().to_string(),
@@ -135,8 +155,13 @@ impl Simulator {
         // the per-branch loop.
         let mut provider_counts = [0u64; PROVIDER_LABELS.len()];
         for (i, record) in trace.iter().enumerate() {
-            if i % Self::CANCEL_POLL_INTERVAL == 0 && token.is_cancelled() {
-                return Err(token.cancellation_error());
+            if i % Self::CANCEL_POLL_INTERVAL == 0 {
+                if token.is_cancelled() {
+                    return Err(token.cancellation_error());
+                }
+                if i > 0 {
+                    records.add(Self::CANCEL_POLL_INTERVAL as u64);
+                }
             }
             let measuring = i >= warmup;
             if measuring {

@@ -62,6 +62,7 @@ use crate::faultinject::FaultInjector;
 use crate::journal::{campaign_fingerprint, CampaignJournal, CellOutcome};
 use crate::memo::MemoStore;
 use bputil::hash::FastHashMap;
+use llbp_obs::{HistogramSnapshot, Telemetry};
 use llbp_trace::{Fingerprint, WorkloadSpec};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -309,6 +310,16 @@ pub struct SweepReport {
     /// misses (missing, corrupt, or digest-mismatched memo cells); each
     /// was journaled `stale` and re-run from scratch.
     pub stale: u64,
+    /// How long acquiring the campaign's journal lock blocked on a live
+    /// holder (zero for storeless sweeps and uncontended locks).
+    pub lock_wait: Duration,
+    /// Dead-holder lock takeovers performed while opening the journal.
+    pub lock_takeovers: u64,
+    /// Per-cell wall-time distribution in microseconds (simulation wall
+    /// for simulated cells, probe wall for memo-served ones; failed
+    /// placeholders excluded). Built for every run — telemetry need not
+    /// be enabled.
+    pub cell_wall: HistogramSnapshot,
 }
 
 impl SweepReport {
@@ -367,7 +378,10 @@ impl SweepReport {
                 "\"wall_s\":{:.3},\"branches_per_sec\":{:.0},",
                 "\"cache_hits\":{},\"cache_misses\":{},",
                 "\"trace_disk_hits\":{},\"memo_hits\":{},\"memo_misses\":{},",
-                "\"resumed\":{},\"stale\":{},\"trace_mib\":{:.1}"
+                "\"resumed\":{},\"stale\":{},\"trace_mib\":{:.1},",
+                "\"lock_wait_ms\":{:.1},\"lock_takeovers\":{},",
+                "\"cell_wall_p50_ms\":{:.3},\"cell_wall_p95_ms\":{:.3},",
+                "\"cell_wall_max_ms\":{:.3}"
             ),
             sanitize(label),
             self.jobs.len(),
@@ -383,6 +397,11 @@ impl SweepReport {
             self.resumed,
             self.stale,
             self.trace_bytes as f64 / (1024.0 * 1024.0),
+            self.lock_wait.as_secs_f64() * 1000.0,
+            self.lock_takeovers,
+            self.cell_wall.quantile(0.5) as f64 / 1000.0,
+            self.cell_wall.quantile(0.95) as f64 / 1000.0,
+            self.cell_wall.max as f64 / 1000.0,
         );
         if !self.failed.is_empty() {
             line.push_str(",\"failed\":[");
@@ -424,6 +443,7 @@ pub struct SweepEngine {
     faults: Option<Arc<FaultInjector>>,
     resume: bool,
     verify_resume: bool,
+    telemetry: Telemetry,
 }
 
 impl Default for SweepEngine {
@@ -454,7 +474,20 @@ impl SweepEngine {
             faults: None,
             resume: false,
             verify_resume: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle. Each job then records five stage
+    /// spans — `queue_wait`, `memo_probe`, `generation`, `simulation`,
+    /// `write_back` — plus marks for `retry`, `watchdog_kill`,
+    /// `lock_takeover` and `stale_demotion`, and the hot simulation loop
+    /// feeds a sampled `sim_records_total` counter. The default disabled
+    /// handle costs nothing (see `llbp_obs`).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Attaches a persistent store: each grid cell probes it for a
@@ -581,7 +614,8 @@ impl SweepEngine {
         let cache = match &self.store {
             Some(store) => TraceCache::with_store(Arc::clone(store), self.cold),
             None => TraceCache::new(),
-        };
+        }
+        .with_telemetry(self.telemetry.clone());
         self.try_run_with_cache(spec, &cache)
     }
 
@@ -638,6 +672,7 @@ impl SweepEngine {
                             });
                         if !verified {
                             journal.record_stale(cell, fingerprint);
+                            self.telemetry.mark("stale_demotion", cell as i64);
                             stale_count += 1;
                             force_fresh.insert(cell);
                             continue;
@@ -655,6 +690,10 @@ impl SweepEngine {
         let resumed = AtomicU64::new(0);
         let mut claimed = run_indexed(self.workers, n, |slot| {
             let index = order[slot];
+            // Queue wait: campaign start until a worker claims the cell.
+            if self.telemetry.is_enabled() {
+                self.telemetry.record_span("queue_wait", started, Instant::now(), index as i64);
+            }
             let outcome = self.run_cell(
                 spec,
                 index,
@@ -676,9 +715,13 @@ impl SweepEngine {
         claimed.sort_unstable_by_key(|&(index, _)| index);
         let mut jobs = Vec::with_capacity(n);
         let mut failed = Vec::new();
+        let mut cell_wall = HistogramSnapshot::default();
         for (index, outcome) in claimed {
             match outcome {
-                Ok((record, _digest)) => jobs.push(record),
+                Ok((record, _digest)) => {
+                    cell_wall.record(record.stats.wall.as_micros() as u64);
+                    jobs.push(record);
+                }
                 Err(err) => {
                     // A placeholder keeps dense grid indexing valid;
                     // `failed` is the authoritative record of the gap.
@@ -687,7 +730,9 @@ impl SweepEngine {
                 }
             }
         }
-        Ok(SweepReport {
+        let (lock_wait, lock_takeovers) =
+            journal.as_ref().map_or((Duration::ZERO, 0), CampaignJournal::lock_stats);
+        let report = SweepReport {
             jobs,
             num_predictors: spec.predictors.len(),
             workers: self.workers.clamp(1, n.max(1)),
@@ -701,7 +746,24 @@ impl SweepEngine {
             failed,
             resumed: resumed.into_inner(),
             stale: stale_count,
-        })
+            lock_wait,
+            lock_takeovers,
+            cell_wall,
+        };
+        // Mirror the campaign summary into the metrics registry so a
+        // Prometheus snapshot is self-contained without the report.
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("sweep_jobs").add(report.jobs.len() as u64);
+            self.telemetry.counter("sweep_failed").add(report.failed.len() as u64);
+            self.telemetry.counter("cache_hits").add(report.cache_hits);
+            self.telemetry.counter("cache_misses").add(report.cache_misses);
+            self.telemetry.counter("trace_disk_hits").add(report.trace_disk_hits);
+            self.telemetry.counter("memo_hits").add(report.memo_hits);
+            self.telemetry.counter("memo_misses").add(report.memo_misses);
+            self.telemetry.counter("resumed").add(report.resumed);
+            self.telemetry.counter("stale").add(report.stale);
+        }
+        Ok(report)
     }
 
     /// Opens the campaign journal when a persistent store is attached,
@@ -727,7 +789,13 @@ impl SweepEngine {
         if let Some(faults) = &self.faults {
             faults.check_lock()?;
         }
-        match CampaignJournal::open(store.root(), campaign_fingerprint(fingerprints), self.resume) {
+        match CampaignJournal::open_observed(
+            store.root(),
+            campaign_fingerprint(fingerprints),
+            self.resume,
+            crate::lock::lock_wait_from_env(),
+            &self.telemetry,
+        ) {
             Ok(journal) => Ok(Some(journal)),
             Err(e @ SimError::CacheContention { .. }) => Err(e),
             Err(_) => Ok(None),
@@ -767,10 +835,17 @@ impl SweepEngine {
             match outcome {
                 Ok(record) => return Ok(record),
                 Err(error) if error.is_transient() && attempt < self.max_retries => {
+                    if matches!(error, SimError::Timeout { .. }) {
+                        self.telemetry.mark("watchdog_kill", index as i64);
+                    }
+                    self.telemetry.mark("retry", index as i64);
                     std::thread::sleep(backoff_delay(attempt));
                     attempt += 1;
                 }
                 Err(error) => {
+                    if matches!(error, SimError::Timeout { .. }) {
+                        self.telemetry.mark("watchdog_kill", index as i64);
+                    }
                     return Err(Box::new(JobError {
                         job,
                         index,
@@ -820,7 +895,11 @@ impl SweepEngine {
             // verification (`force_fresh` bypasses straight to re-run).
             if (!self.cold && !force_fresh) || resumable {
                 let probe_started = Instant::now();
-                if let Some(cell) = store.load_result(fp)? {
+                let probed = {
+                    let _span = self.telemetry.span("memo_probe").with_cell(index as i64);
+                    store.load_result(fp)?
+                };
+                if let Some(cell) = probed {
                     memo_hits.fetch_add(1, Ordering::Relaxed);
                     if resumable {
                         resumed.fetch_add(1, Ordering::Relaxed);
@@ -833,27 +912,36 @@ impl SweepEngine {
         }
         let wspec = &spec.workloads[job.workload];
         let gen_delay = self.faults.as_ref().and_then(|f| f.generation_delay(index, attempt));
-        let trace = catch_unwind(AssertUnwindSafe(|| {
-            cache.get_or_generate_cancellable(wspec, &token, gen_delay)
-        }))
-        .map_err(|payload| SimError::TraceGen {
-            workload: wspec.name().to_string(),
-            detail: panic_message(payload.as_ref()),
-        })??;
+        let trace = {
+            let _span = self.telemetry.span("generation").with_cell(index as i64);
+            catch_unwind(AssertUnwindSafe(|| {
+                cache.get_or_generate_cancellable(wspec, &token, gen_delay)
+            }))
+            .map_err(|payload| SimError::TraceGen {
+                workload: wspec.name().to_string(),
+                detail: panic_message(payload.as_ref()),
+            })??
+        };
         let kind = spec.predictors[job.predictor].clone();
         let label = kind.label();
+        let sim_records = self.telemetry.counter("sim_records_total");
         let sim_started = Instant::now();
-        let result =
-            catch_unwind(AssertUnwindSafe(|| spec.sim.run_cancellable(kind, &trace, &token)))
-                .map_err(|payload| SimError::PredictorPanic {
-                    label,
-                    detail: panic_message(payload.as_ref()),
-                })??;
+        let result = {
+            let _span = self.telemetry.span("simulation").with_cell(index as i64);
+            catch_unwind(AssertUnwindSafe(|| {
+                spec.sim.run_observed(kind, &trace, &token, &sim_records)
+            }))
+            .map_err(|payload| SimError::PredictorPanic {
+                label,
+                detail: panic_message(payload.as_ref()),
+            })??
+        };
         let wall = sim_started.elapsed();
         // Counted on successful simulation (not per probe attempt), so
         // the counter still reads "cells simulated" under retries.
         memo_misses.fetch_add(1, Ordering::Relaxed);
         let digest = if let (Some(store), Some(fp)) = (&self.store, fingerprint) {
+            let _span = self.telemetry.span("write_back").with_cell(index as i64);
             self.write_back(store, fp, &result, wall, trace.len() as u64)
         } else {
             None

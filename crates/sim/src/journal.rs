@@ -109,7 +109,7 @@ pub struct CampaignJournal {
     path: PathBuf,
     file: Mutex<File>,
     /// Held for the journal's lifetime; unlinked on drop.
-    _lock: LockFile,
+    lock: LockFile,
 }
 
 impl CampaignJournal {
@@ -142,6 +142,23 @@ impl CampaignJournal {
         resume: bool,
         lock_wait: Duration,
     ) -> Result<Self, SimError> {
+        Self::open_observed(root, campaign, resume, lock_wait, &llbp_obs::Telemetry::disabled())
+    }
+
+    /// [`CampaignJournal::open_with_wait`] with telemetry: lock waits and
+    /// dead-holder takeovers are recorded as `lock_wait` spans and
+    /// `lock_takeover` marks (see [`LockFile::acquire_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignJournal::open`].
+    pub fn open_observed(
+        root: &Path,
+        campaign: Fingerprint,
+        resume: bool,
+        lock_wait: Duration,
+        telemetry: &llbp_obs::Telemetry,
+    ) -> Result<Self, SimError> {
         let io_err =
             |e: std::io::Error| SimError::MemoIo { op: "open_journal", detail: e.to_string() };
         std::fs::create_dir_all(root).map_err(io_err)?;
@@ -149,7 +166,8 @@ impl CampaignJournal {
         // Lock BEFORE opening/truncating: a fresh campaign truncating a
         // journal a live campaign is appending to is exactly the race the
         // lock exists to exclude.
-        let lock = LockFile::acquire(path.with_extension("journal.lock"), lock_wait)?;
+        let lock =
+            LockFile::acquire_observed(path.with_extension("journal.lock"), lock_wait, telemetry)?;
         let mut file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -166,13 +184,20 @@ impl CampaignJournal {
         } else {
             file.set_len(0).map_err(io_err)?;
         }
-        Ok(Self { path, file: Mutex::new(file), _lock: lock })
+        Ok(Self { path, file: Mutex::new(file), lock })
     }
 
     /// The journal's path on disk.
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// How long acquiring the campaign lock blocked, and how many
+    /// dead-holder takeovers it performed (both usually zero).
+    #[must_use]
+    pub fn lock_stats(&self) -> (Duration, u64) {
+        (self.lock.wait_duration(), self.lock.takeovers())
     }
 
     /// Parses the journal into per-cell outcomes. Later lines win (a

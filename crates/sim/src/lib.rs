@@ -42,3 +42,7 @@ pub use l1i::L1iCache;
 pub use lock::{LockFile, LOCK_WAIT_ENV};
 pub use memo::{CachedCell, MemoStore, MEMO_FORMAT_VERSION};
 pub use timing::TimingModel;
+
+/// The observability crate, re-exported so downstream harnesses can build
+/// [`llbp_obs::Telemetry`] handles without naming a second dependency.
+pub use llbp_obs as obs;

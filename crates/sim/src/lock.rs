@@ -27,6 +27,7 @@
 //! accepted in exchange for remaining std-only.
 
 use crate::error::SimError;
+use llbp_obs::Telemetry;
 use std::fs::{File, OpenOptions};
 use std::io::{ErrorKind, Write};
 use std::path::{Path, PathBuf};
@@ -75,6 +76,10 @@ pub fn pid_alive(pid: u32) -> bool {
 #[derive(Debug)]
 pub struct LockFile {
     path: PathBuf,
+    /// How long acquisition blocked on a held lock (zero if uncontended).
+    waited: Duration,
+    /// Dead-holder takeovers performed while acquiring.
+    takeovers: u64,
 }
 
 impl LockFile {
@@ -87,12 +92,41 @@ impl LockFile {
     /// budget; [`SimError::MemoIo`] when the lock file itself cannot be
     /// created for any other reason (unwritable root, etc.).
     pub fn acquire(path: PathBuf, wait: Duration) -> Result<Self, SimError> {
-        let deadline = Instant::now() + wait;
+        Self::acquire_observed(path, wait, &Telemetry::disabled())
+    }
+
+    /// [`LockFile::acquire`] with telemetry: records a `lock_wait` span
+    /// whenever acquisition did not succeed on the first try (including
+    /// the failing contention path) and a `lock_takeover` mark per
+    /// dead-holder takeover.
+    ///
+    /// # Errors
+    ///
+    /// As [`LockFile::acquire`].
+    pub fn acquire_observed(
+        path: PathBuf,
+        wait: Duration,
+        telemetry: &Telemetry,
+    ) -> Result<Self, SimError> {
+        let started = Instant::now();
+        let deadline = started + wait;
+        let mut takeovers = 0u64;
+        let mut contended = false;
+        let observe = |contended: bool, takeovers: u64| {
+            if contended || takeovers > 0 {
+                telemetry.record_span("lock_wait", started, Instant::now(), -1);
+            }
+            for _ in 0..takeovers {
+                telemetry.mark("lock_takeover", -1);
+            }
+        };
         loop {
             match OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(file) => {
                     Self::stamp(file);
-                    return Ok(Self { path });
+                    observe(contended, takeovers);
+                    let waited = if contended { started.elapsed() } else { Duration::ZERO };
+                    return Ok(Self { path, waited, takeovers });
                 }
                 Err(e) if e.kind() == ErrorKind::AlreadyExists => {
                     let holder = Self::read_holder(&path);
@@ -101,15 +135,18 @@ impl LockFile {
                             // Dead holder: take over. Racing takeovers are
                             // fine — both unlink, one wins the create.
                             let _ = std::fs::remove_file(&path);
+                            takeovers += 1;
                             continue;
                         }
                     }
                     if Instant::now() >= deadline {
+                        observe(true, takeovers);
                         return Err(SimError::CacheContention {
                             path: path.display().to_string(),
                             holder,
                         });
                     }
+                    contended = true;
                     std::thread::sleep(RETRY_INTERVAL);
                 }
                 Err(e) => {
@@ -117,6 +154,18 @@ impl LockFile {
                 }
             }
         }
+    }
+
+    /// How long this acquisition blocked on a held lock.
+    #[must_use]
+    pub fn wait_duration(&self) -> Duration {
+        self.waited
+    }
+
+    /// Dead-holder takeovers performed while acquiring.
+    #[must_use]
+    pub fn takeovers(&self) -> u64 {
+        self.takeovers
     }
 
     /// Writes the holder PID into a freshly created lock file
@@ -207,9 +256,15 @@ mod tests {
             return; // no /proc: liveness is unknowable, takeover disabled
         };
         std::fs::write(&path, format!("{dead}\n")).expect("plant stale lock");
-        let lock = LockFile::acquire(path.clone(), Duration::ZERO).expect("takeover");
+        let telemetry = Telemetry::enabled();
+        let lock =
+            LockFile::acquire_observed(path.clone(), Duration::ZERO, &telemetry).expect("takeover");
         let holder = std::fs::read_to_string(&path).expect("restamped");
         assert_eq!(holder.trim().parse::<u32>().expect("pid"), std::process::id());
+        assert_eq!(lock.takeovers(), 1, "takeover must be counted");
+        let events = telemetry.drain_events();
+        assert!(events.iter().any(|e| e.name == "lock_takeover"), "takeover must emit a mark");
+        assert_eq!(telemetry.metrics().counters["lock_takeover"], 1);
         drop(lock);
         let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
     }
@@ -228,13 +283,21 @@ mod tests {
     fn waiting_acquirer_wins_after_release() {
         let path = scratch_lock("handoff");
         let held = LockFile::acquire(path.clone(), Duration::ZERO).expect("first");
+        assert_eq!(held.wait_duration(), Duration::ZERO, "uncontended lock has no wait");
+        let telemetry = Telemetry::enabled();
         std::thread::scope(|s| {
-            let waiter = s.spawn(|| LockFile::acquire(path.clone(), Duration::from_secs(10)));
+            let waiter = s.spawn(|| {
+                LockFile::acquire_observed(path.clone(), Duration::from_secs(10), &telemetry)
+            });
             std::thread::sleep(Duration::from_millis(30));
             drop(held);
             let lock = waiter.join().expect("no panic").expect("acquired after release");
             assert!(lock.path().exists());
+            assert!(lock.wait_duration() > Duration::ZERO, "handoff wait must be measured");
         });
+        let events = telemetry.drain_events();
+        let wait = events.iter().find(|e| e.name == "lock_wait").expect("lock_wait span");
+        assert!(wait.dur_us > 0, "lock_wait span must carry the blocked duration");
         let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
     }
 }

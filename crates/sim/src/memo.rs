@@ -85,6 +85,7 @@ pub struct MemoStore {
     result_loads: AtomicU64,
     result_stores: AtomicU64,
     faults: Option<std::sync::Arc<FaultInjector>>,
+    telemetry: llbp_obs::Telemetry,
 }
 
 impl MemoStore {
@@ -118,6 +119,7 @@ impl MemoStore {
             result_loads: AtomicU64::new(0),
             result_stores: AtomicU64::new(0),
             faults: None,
+            telemetry: llbp_obs::Telemetry::disabled(),
         })
     }
 
@@ -126,6 +128,14 @@ impl MemoStore {
     /// stores have none attached).
     pub fn attach_faults(&mut self, faults: std::sync::Arc<FaultInjector>) {
         self.faults = Some(faults);
+    }
+
+    /// Attaches a telemetry handle: successful loads and stores mirror
+    /// the store's own counters into `memo_trace_loads` /
+    /// `memo_trace_stores` / `memo_result_loads` / `memo_result_stores`.
+    /// A disabled handle (the default) costs nothing.
+    pub fn attach_telemetry(&mut self, telemetry: llbp_obs::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Consults the attached injector, if any, before an IO operation.
@@ -255,6 +265,7 @@ impl MemoStore {
             return Ok(None);
         };
         self.trace_loads.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("memo_trace_loads").inc();
         Ok(Some(trace))
     }
 
@@ -274,6 +285,8 @@ impl MemoStore {
         })?;
         self.publish(&buf, &self.trace_path(fp))?;
         self.trace_stores.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("memo_trace_stores").inc();
+        self.telemetry.counter("memo_bytes_written").add(buf.len() as u64);
         Ok(())
     }
 
@@ -328,6 +341,7 @@ impl MemoStore {
             return Ok(None);
         };
         self.result_loads.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("memo_result_loads").inc();
         Ok(Some(cell))
     }
 
@@ -349,6 +363,8 @@ impl MemoStore {
         let (bytes, digest) = encode_cell(result, wall, trace_len);
         self.publish(&bytes, &self.result_path(fp))?;
         self.result_stores.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("memo_result_stores").inc();
+        self.telemetry.counter("memo_bytes_written").add(bytes.len() as u64);
         Ok(digest)
     }
 

@@ -61,6 +61,13 @@ pub trait ProgressSink {
     /// Called at each poll point with the number of records emitted so
     /// far; return `false` to abort the generation.
     fn on_progress(&self, emitted: usize) -> bool;
+
+    /// Called exactly once when a generation finishes successfully, with
+    /// the total records emitted (before any overshoot trim). Never
+    /// called for aborted generations. Default: no-op — this exists so
+    /// observers (e.g. telemetry record counters) can account finished
+    /// work without a second poll path.
+    fn on_complete(&self, _emitted: usize) {}
 }
 
 /// The sink that never aborts (plain [`WorkloadSpec::generate`]).

@@ -180,6 +180,7 @@ impl Program {
         if run.aborted {
             return None;
         }
+        sink.on_complete(run.emitted);
         // Trim any overshoot from the last request so callers get exactly
         // what they asked for.
         let mut records = run.trace.records().to_vec();

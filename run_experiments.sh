@@ -4,8 +4,12 @@
 # Exits non-zero if any binary failed, after running all of them.
 # Every sweep binary runs --strict, so a figure with any ultimately-failed
 # grid cell counts as a failed binary; rerun with --resume to fill gaps.
+# Every binary also runs observed: per-figure Chrome trace-event files and
+# Prometheus snapshots land under results/telemetry/ (summarize one with
+# `cargo run -p llbp-obs --bin obs_tool -- summarize results/telemetry/<b>.trace.json`).
 set -u
 cd "$(dirname "$0")"
+mkdir -p results/telemetry
 BINS="table01_workloads table02_config table03_latency_energy \
       fig01_wasted_cycles fig02_mpki_limits fig09_mpki_reduction fig10_speedup \
       fig15_breakdown fig11_bandwidth fig12_energy fig03_working_set \
@@ -15,7 +19,10 @@ BINS="table01_workloads table02_config table03_latency_energy \
 FAILED=0
 for b in $BINS; do
     echo "=== $b $(date +%H:%M:%S)"
-    cargo run --release -q -p llbp-bench --bin "$b" -- --strict "$@" > "results/$b.md" 2>"results/$b.err" \
+    cargo run --release -q -p llbp-bench --bin "$b" -- --strict \
+        --trace-events "results/telemetry/$b.trace.json" \
+        --metrics-out "results/telemetry/$b.prom" \
+        "$@" > "results/$b.md" 2>"results/$b.err" \
         || { echo "FAILED: $b"; FAILED=$((FAILED + 1)); }
 done
 if [ "$FAILED" -ne 0 ]; then

@@ -109,4 +109,49 @@ cmp -s "$VERIFY_DIR/clean.out" "$VERIFY_DIR/verify.out" || {
     exit 1
 }
 
+echo "== telemetry smoke =="
+# An observed quick sweep must leave a parseable Chrome trace-event file
+# containing every per-job stage span, a Prometheus snapshot with the
+# matching histograms, and an obs_tool summary that reads both.
+TEL_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR" "$VERIFY_DIR" "$TEL_DIR"' EXIT
+LLBP_CACHE_DIR="$TEL_DIR" ./target/release/fig02_mpki_limits --quick \
+    --trace-events "$TEL_DIR/trace.json" --metrics-out "$TEL_DIR/metrics.prom" \
+    > "$TEL_DIR/observed-cold.out" 2> "$TEL_DIR/observed-cold.err"
+for span in queue_wait memo_probe generation simulation write_back; do
+    grep -q "\"name\":\"$span\"" "$TEL_DIR/trace.json" || {
+        echo "telemetry smoke: stage span '$span' missing from trace events"; exit 1
+    }
+done
+./target/release/obs_tool summarize "$TEL_DIR/trace.json" > "$TEL_DIR/summary.md" || {
+    echo "telemetry smoke: obs_tool failed to parse the trace-event file"; exit 1
+}
+grep -q '| simulation |' "$TEL_DIR/summary.md" || {
+    echo "telemetry smoke: summary lacks the simulation stage:"; cat "$TEL_DIR/summary.md"; exit 1
+}
+grep -q '^llbp_simulation_count' "$TEL_DIR/metrics.prom" || {
+    echo "telemetry smoke: metrics snapshot lacks the simulation histogram:"
+    cat "$TEL_DIR/metrics.prom"; exit 1
+}
+
+echo "== telemetry overhead gate =="
+# Telemetry must never perturb results: with it disabled again, a warm
+# run and a fresh cold run both print the byte-identical figure the
+# observed run did. (The zero-cost claim itself is pinned by the obs
+# crate's zero-allocation test; this gate pins output equivalence.)
+LLBP_CACHE_DIR="$TEL_DIR" ./target/release/fig02_mpki_limits --quick \
+    > "$TEL_DIR/plain-warm.out" 2> /dev/null
+cmp -s "$TEL_DIR/observed-cold.out" "$TEL_DIR/plain-warm.out" || {
+    echo "overhead gate: disabled-telemetry warm run changed the figure output:"
+    diff "$TEL_DIR/observed-cold.out" "$TEL_DIR/plain-warm.out" || true
+    exit 1
+}
+LLBP_CACHE_DIR="$TEL_DIR/cold2" ./target/release/fig02_mpki_limits --quick \
+    > "$TEL_DIR/plain-cold.out" 2> /dev/null
+cmp -s "$TEL_DIR/observed-cold.out" "$TEL_DIR/plain-cold.out" || {
+    echo "overhead gate: disabled-telemetry cold run changed the figure output:"
+    diff "$TEL_DIR/observed-cold.out" "$TEL_DIR/plain-cold.out" || true
+    exit 1
+}
+
 echo "tier1 OK"
