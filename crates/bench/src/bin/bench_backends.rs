@@ -1,0 +1,80 @@
+//! Micro-harness comparing the execution backends on one workload.
+//!
+//! Runs the same predictor over the same trace once per backend tier and
+//! reports wall time and branches/sec (best of three runs, so one-off
+//! scheduler noise does not flip a comparison). Results are additionally
+//! cross-checked for parity — a divergence aborts, because a fast wrong
+//! backend is worse than useless.
+//!
+//! The markdown table feeds `results/sweep_throughput.md`; a JSON record
+//! per backend goes to stderr for archival, mirroring `emit`.
+
+use llbp_bench::Opts;
+use llbp_sim::report::{f2, Table};
+use llbp_sim::{BackendKind, PredictorKind, SimConfig};
+use llbp_trace::{Workload, WorkloadSpec};
+use std::time::Instant;
+
+const RUNS: usize = 3;
+
+fn main() {
+    let mut opts = Opts::from_args();
+    if opts.workloads.len() == Workload::ALL.len() {
+        // Default to the paper's case-study workload.
+        opts.workloads = vec![Workload::Tomcat];
+    }
+    let workload = opts.workloads[0];
+    let trace = WorkloadSpec::named(workload).with_branches(opts.branches).generate();
+    let kind = PredictorKind::Tsl64K;
+
+    println!(
+        "# Backend micro-benchmark — {} on {workload} ({} branch records, best of {RUNS})",
+        kind.label(),
+        trace.len()
+    );
+    println!("(auto resolves to `{}` on this build)\n", BackendKind::Auto.resolve());
+
+    let mut table = Table::new(["backend", "wall_s", "branches_per_sec", "vs reference"]);
+    let mut reference: Option<(f64, llbp_sim::SimResult)> = None;
+    for backend in BackendKind::CONCRETE {
+        let cfg = SimConfig::default().with_backend(backend);
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let r = cfg.run(kind.clone(), &trace);
+            best = best.min(start.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        let result = result.expect("RUNS > 0");
+        let bps = trace.len() as f64 / best;
+        let speedup = match &reference {
+            None => {
+                reference = Some((best, result.clone()));
+                "1.00x".to_string()
+            }
+            Some((ref_wall, ref_result)) => {
+                assert_eq!(
+                    &result, ref_result,
+                    "backend `{backend}` diverged from reference — do not trust its timing"
+                );
+                format!("{}x", f2(ref_wall / best))
+            }
+        };
+        table.row([
+            backend.label().to_string(),
+            format!("{best:.3}"),
+            format!("{bps:.0}"),
+            speedup,
+        ]);
+        eprintln!(
+            "{{\"event\":\"backend_bench\",\"workload\":\"{workload}\",\"predictor\":\"{}\",\
+             \"backend\":\"{}\",\"branches\":{},\"wall_s\":{best:.3},\"branches_per_sec\":{bps:.0}}}",
+            kind.label(),
+            backend.label(),
+            trace.len()
+        );
+    }
+    println!("{}", table.to_markdown());
+    llbp_bench::export_telemetry(&opts);
+}

@@ -5,11 +5,11 @@
 //! → TAGE-SC-L → TAGE-SC-L + LLBP) on the same workloads, with storage
 //! budgets for scale.
 
-use llbp_bench::{emit, engine, workload_specs, Opts};
+use llbp_bench::{emit, engine, sim_config, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
-use llbp_sim::{PredictorKind, SimConfig};
+use llbp_sim::PredictorKind;
 
 fn main() {
     let opts = Opts::from_args();
@@ -24,7 +24,7 @@ fn main() {
             PredictorKind::Llbp(LlbpParams::default()),
         ],
         workload_specs(&opts),
-        SimConfig::default(),
+        sim_config(&opts),
     );
     let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 

@@ -7,11 +7,11 @@
 //! indirect-target mispredictions — per workload, explaining why
 //! indirect-heavy workloads (PHPWiki) lose more of LLBP's benefit.
 
-use llbp_bench::{emit, engine, workload_specs, Opts};
+use llbp_bench::{emit, engine, sim_config, workload_specs, Opts};
 use llbp_core::LlbpParams;
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f2, Table};
-use llbp_sim::{PredictorKind, SimConfig};
+use llbp_sim::PredictorKind;
 
 fn main() {
     let opts = Opts::from_args();
@@ -19,7 +19,7 @@ fn main() {
     let spec = SweepSpec::new(
         vec![PredictorKind::Llbp(LlbpParams::default())],
         workload_specs(&opts),
-        SimConfig::default(),
+        sim_config(&opts),
     );
     let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 

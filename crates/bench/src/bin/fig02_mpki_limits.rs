@@ -4,10 +4,10 @@
 //! Paper values: 64K TSL 0.29–6.4 MPKI (avg 2.91); Inf TAGE reduces
 //! mispredictions by 14–54% (avg 31.9%); Inf TSL by 36.5% on average.
 
-use llbp_bench::{emit, engine, mean_reduction, workload_specs, Opts};
+use llbp_bench::{emit, engine, mean_reduction, sim_config, workload_specs, Opts};
 use llbp_sim::engine::SweepSpec;
 use llbp_sim::report::{f1, f2, Table};
-use llbp_sim::{PredictorKind, SimConfig};
+use llbp_sim::PredictorKind;
 
 fn main() {
     let opts = Opts::from_args();
@@ -15,7 +15,7 @@ fn main() {
     let spec = SweepSpec::new(
         vec![PredictorKind::Tsl64K, PredictorKind::InfTage, PredictorKind::InfTsl],
         workload_specs(&opts),
-        SimConfig::default(),
+        sim_config(&opts),
     );
     let report = llbp_bench::run_sweep(&engine(&opts), &spec);
 

@@ -72,14 +72,17 @@ impl SatCounter {
     }
 
     /// Moves the counter one step towards `taken`, saturating at the bounds.
+    ///
+    /// Branchless: the ±1 step is computed from `taken` and clamped, which
+    /// compiles to conditional moves. Counter updates run once per
+    /// conditional branch record in every table of every predictor, so a
+    /// data-dependent branch here (taken/not-taken is exactly the
+    /// hard-to-predict bit) costs real simulation throughput. Widths are
+    /// capped at 15 bits, so `value + 1` cannot overflow `i16`.
+    #[inline]
     pub fn update(&mut self, taken: bool) {
-        if taken {
-            if self.value < self.max {
-                self.value += 1;
-            }
-        } else if self.value > self.min {
-            self.value -= 1;
-        }
+        let step = i16::from(taken) * 2 - 1;
+        self.value = (self.value + step).clamp(self.min, self.max);
     }
 
     /// `true` when the counter sits in one of the two weak states.
@@ -177,18 +180,18 @@ impl UnsignedCounter {
         self.value = value.min(self.max);
     }
 
-    /// Increments, saturating at the maximum.
+    /// Increments, saturating at the maximum. Branchless (`min` compiles
+    /// to a conditional move); widths are capped at 15 bits so `value + 1`
+    /// cannot overflow `u16`.
+    #[inline]
     pub fn increment(&mut self) {
-        if self.value < self.max {
-            self.value += 1;
-        }
+        self.value = (self.value + 1).min(self.max);
     }
 
     /// Decrements, saturating at zero.
+    #[inline]
     pub fn decrement(&mut self) {
-        if self.value > 0 {
-            self.value -= 1;
-        }
+        self.value = self.value.saturating_sub(1);
     }
 
     /// `true` when the counter is zero.

@@ -511,6 +511,38 @@ impl Predictor for LlbpPredictor {
     }
 
     fn update_history(&mut self, record: &BranchRecord) {
+        self.advance_history(record, false);
+    }
+
+    fn update_history_fast(&mut self, record: &BranchRecord) {
+        self.advance_history(record, true);
+    }
+
+    fn last_provider(&self) -> ProviderKind {
+        // `finish_lookup` already attributes injected predictions to LLBP
+        // (or to the SC/loop predictor when they corrected it).
+        self.pending.as_ref().map_or(ProviderKind::Bimodal, |p| p.tsl.provider)
+    }
+
+    fn label(&self) -> &str {
+        &self.params.label
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.params.storage_bits()
+            + self.params.cd_bits()
+            + self.params.pb_bits()
+            + self.params.tsl.storage_bits()
+    }
+}
+
+impl LlbpPredictor {
+    /// The shared body of [`Predictor::update_history`] /
+    /// [`Predictor::update_history_fast`]: identical except that the fast
+    /// variant advances every folded register branch-free
+    /// ([`FoldedHistory::update_with_out_bit`], one outgoing-bit read per
+    /// history length) and delegates to the backing TAGE-SC-L's fast path.
+    fn advance_history(&mut self, record: &BranchRecord, fast: bool) {
         self.instructions += record.instructions();
         self.stats.instructions = self.instructions;
         self.stats.cycles = self.cycle();
@@ -531,10 +563,21 @@ impl Predictor for LlbpPredictor {
         } else {
             ((record.pc() >> 2) ^ (record.target() >> 3)) & 1 == 1
         };
-        for f in self.folded_tag0.iter_mut().chain(self.folded_tag1.iter_mut()) {
-            f.update_before_push(self.tsl.ghr(), bit);
+        if fast {
+            // `folded_tag0[i]` and `folded_tag1[i]` fold the same
+            // `history_lengths[i]` window — one outgoing bit serves both.
+            for i in 0..self.folded_tag0.len() {
+                let out = self.tsl.ghr().bit(self.folded_tag0[i].original_len() - 1);
+                self.folded_tag0[i].update_with_out_bit(out, bit);
+                self.folded_tag1[i].update_with_out_bit(out, bit);
+            }
+            self.tsl.update_history_fast(record);
+        } else {
+            for f in self.folded_tag0.iter_mut().chain(self.folded_tag1.iter_mut()) {
+                f.update_before_push(self.tsl.ghr(), bit);
+            }
+            self.tsl.update_history(record);
         }
-        self.tsl.update_history(record);
 
         // Context tracking + prefetch issue. The RCR always advances (so
         // re-enabling a power-gated LLBP is seamless); directory lookups
@@ -556,23 +599,6 @@ impl Predictor for LlbpPredictor {
                 }
             }
         }
-    }
-
-    fn last_provider(&self) -> ProviderKind {
-        // `finish_lookup` already attributes injected predictions to LLBP
-        // (or to the SC/loop predictor when they corrected it).
-        self.pending.as_ref().map_or(ProviderKind::Bimodal, |p| p.tsl.provider)
-    }
-
-    fn label(&self) -> &str {
-        &self.params.label
-    }
-
-    fn storage_bits(&self) -> u64 {
-        self.params.storage_bits()
-            + self.params.cd_bits()
-            + self.params.pb_bits()
-            + self.params.tsl.storage_bits()
     }
 }
 

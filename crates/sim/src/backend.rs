@@ -1,0 +1,509 @@
+//! Tiered execution backends for the simulation hot loop.
+//!
+//! Every figure funnels through one loop shape — predict/train/
+//! update-history per trace record — but how that loop executes is a pure
+//! throughput choice. Three tiers implement it:
+//!
+//! * **reference** — the original scalar loop in
+//!   [`crate::driver::Simulator`], driving the predictor through
+//!   `&mut dyn Predictor`. Always correct, never removed; the other tiers
+//!   are parity-pinned against it byte for byte.
+//! * **specialized** — monomorphizes the loop per [`PredictorKind`]: one
+//!   generic `run` instantiated through a match at cell start, so
+//!   `predict`/`train`/`update_history` inline into the loop body and the
+//!   virtual dispatch of the reference tier disappears. The loop is also
+//!   split into warmup/measure phases and tracked/untracked variants, so
+//!   the per-record `measuring` test and the per-branch `Option` map
+//!   probes vanish from the instruction stream entirely.
+//! * **batch** — the specialized loop over the structure-of-arrays trace
+//!   view ([`llbp_trace::TraceSoa`]), processing records in
+//!   [`BATCH_BLOCK`]-sized blocks: cancellation polls and progress
+//!   accounting hoist to block boundaries, and instruction accounting is
+//!   software-pipelined ahead of the predictor stage as a branchless,
+//!   auto-vectorizable sum over the block's packed-meta column.
+//!
+//! Selection threads through [`crate::SimConfig::backend`]: `auto` (the
+//! default) resolves to the fastest tier, the `LLBP_BACKEND` environment
+//! variable and the experiment binaries' `--backend` flag override it.
+//! Results never depend on the choice — `crates/sim/tests/backend_parity.rs`
+//! pins every tier against the reference for every predictor kind — and
+//! memo fingerprints exclude it, so cells cached under one backend are
+//! served to all of them.
+
+use crate::config::{PredictorKind, SimConfig};
+use crate::driver::{finish_provider_counts, warmup_len, LlbpCellStats, SimResult, Simulator};
+use crate::error::{CancelToken, SimError};
+use bputil::hash::FastHashMap;
+use llbp_core::LlbpPredictor;
+use llbp_tage::classic::{Gshare, HashedPerceptron, TwoLevelLocal};
+use llbp_tage::{Predictor, ProviderKind, TageScl, TslConfig};
+use llbp_trace::{BranchKind, Trace};
+
+/// Environment variable selecting the execution backend for harness
+/// binaries (`reference` | `specialized` | `batch` | `auto`). The
+/// `--backend` flag overrides it; library callers set
+/// [`SimConfig::backend`] directly.
+pub const BACKEND_ENV: &str = "LLBP_BACKEND";
+
+/// Records per block in the batch tier: cancellation polls, progress
+/// accounting and instruction sums all hoist to this granularity, so a
+/// watchdog deadline is honored within one block.
+pub const BATCH_BLOCK: usize = 4096;
+
+/// Which execution tier runs the simulation hot loop.
+///
+/// The choice affects throughput only — every tier is parity-pinned to
+/// produce the identical [`SimResult`] — so it is deliberately *excluded*
+/// from memo-store fingerprints ([`SimConfig::fingerprint_text`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Resolve to the fastest tier at run time ([`BackendKind::fastest`]).
+    #[default]
+    Auto,
+    /// The original scalar `dyn Predictor` loop — the correctness anchor.
+    Reference,
+    /// Monomorphized per-predictor loop with phase/tracking splitting.
+    Specialized,
+    /// Monomorphized block loop over the structure-of-arrays trace view.
+    Batch,
+}
+
+impl BackendKind {
+    /// The concrete tiers, in documentation order (excludes `Auto`).
+    pub const CONCRETE: [BackendKind; 3] =
+        [BackendKind::Reference, BackendKind::Specialized, BackendKind::Batch];
+
+    /// The tier `auto` resolves to: the fastest implementation, as
+    /// measured by the `bench_backends` harness (batch edges out
+    /// specialized by folding instruction accounting into a vectorized
+    /// block sum and hoisting poll/progress work off the record path).
+    #[must_use]
+    pub const fn fastest() -> Self {
+        BackendKind::Batch
+    }
+
+    /// Stable lowercase name, as accepted by [`BackendKind::parse`].
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            BackendKind::Auto => "auto",
+            BackendKind::Reference => "reference",
+            BackendKind::Specialized => "specialized",
+            BackendKind::Batch => "batch",
+        }
+    }
+
+    /// Parses a backend name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic listing the accepted names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(BackendKind::Auto),
+            "reference" => Ok(BackendKind::Reference),
+            "specialized" => Ok(BackendKind::Specialized),
+            "batch" => Ok(BackendKind::Batch),
+            other => {
+                Err(format!("unknown backend `{other}` (want auto|reference|specialized|batch)"))
+            }
+        }
+    }
+
+    /// Reads [`BACKEND_ENV`]; `Auto` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse diagnostic for a set-but-invalid value (callers
+    /// should treat that as a configuration error, not fall back
+    /// silently — running the wrong tier would invalidate a benchmark).
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var(BACKEND_ENV) {
+            Ok(v) if !v.trim().is_empty() => Self::parse(&v),
+            _ => Ok(BackendKind::Auto),
+        }
+    }
+
+    /// The concrete tier this selection executes as (`Auto` resolves to
+    /// [`BackendKind::fastest`]; concrete tiers resolve to themselves).
+    #[must_use]
+    pub fn resolve(self) -> Self {
+        match self {
+            BackendKind::Auto => Self::fastest(),
+            concrete => concrete,
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runs one cell on the **specialized** tier.
+///
+/// # Errors
+///
+/// Returns [`SimError::Timeout`] when the token fires mid-run.
+pub(crate) fn run_specialized(
+    cfg: &SimConfig,
+    kind: &PredictorKind,
+    trace: &Trace,
+    token: &CancelToken,
+    progress: &llbp_obs::Counter,
+) -> Result<SimResult, SimError> {
+    if let PredictorKind::Llbp(params) = kind {
+        let mut predictor = LlbpPredictor::new(params.clone());
+        let mut result = specialized_loop(cfg, &mut predictor, trace, token, progress)?;
+        result.llbp = Some(LlbpCellStats {
+            llbp: predictor.stats().clone(),
+            frontend: *predictor.frontend().stats(),
+        });
+        return Ok(result);
+    }
+    build_and_drive(kind, SpecializedDrive { cfg, trace, token, progress })
+}
+
+/// Runs one cell on the **batch/SoA** tier.
+///
+/// # Errors
+///
+/// Returns [`SimError::Timeout`] when the token fires mid-run.
+pub(crate) fn run_batch(
+    cfg: &SimConfig,
+    kind: &PredictorKind,
+    trace: &Trace,
+    token: &CancelToken,
+    progress: &llbp_obs::Counter,
+) -> Result<SimResult, SimError> {
+    if let PredictorKind::Llbp(params) = kind {
+        let mut predictor = LlbpPredictor::new(params.clone());
+        let mut result = batch_loop(cfg, &mut predictor, trace, token, progress)?;
+        result.llbp = Some(LlbpCellStats {
+            llbp: predictor.stats().clone(),
+            frontend: *predictor.frontend().stats(),
+        });
+        return Ok(result);
+    }
+    build_and_drive(kind, BatchDrive { cfg, trace, token, progress })
+}
+
+/// A loop implementation generic over the concrete predictor type — the
+/// monomorphization seam. `build_and_drive` matches on [`PredictorKind`]
+/// once per cell and instantiates the driver's `go::<P>` for the concrete
+/// type, so the per-record `predict`/`train`/`update_history` calls
+/// devirtualize and inline.
+trait MonoDrive {
+    fn go<P: Predictor>(self, predictor: P) -> Result<SimResult, SimError>;
+}
+
+/// The per-cell `match` that turns a dynamic [`PredictorKind`] into a
+/// statically typed predictor and hands it to a [`MonoDrive`].
+fn build_and_drive<D: MonoDrive>(kind: &PredictorKind, drive: D) -> Result<SimResult, SimError> {
+    match kind {
+        PredictorKind::Tsl64K => drive.go(TageScl::new(TslConfig::cbp64k())),
+        PredictorKind::TslScaled(f) => drive.go(TageScl::new(TslConfig::scaled(*f))),
+        PredictorKind::InfTage => drive.go(TageScl::new(TslConfig::infinite_tage())),
+        PredictorKind::InfTsl => drive.go(TageScl::new(TslConfig::infinite_tsl())),
+        PredictorKind::CustomTsl(cfg) => drive.go(TageScl::new(cfg.clone())),
+        PredictorKind::Gshare { index_bits, history_bits } => {
+            drive.go(Gshare::new(*index_bits, *history_bits))
+        }
+        PredictorKind::TwoLevelLocal { bht_bits, local_bits } => {
+            drive.go(TwoLevelLocal::new(*bht_bits, *local_bits))
+        }
+        PredictorKind::HashedPerceptron { tables, index_bits, segment_bits } => {
+            drive.go(HashedPerceptron::new(*tables, *index_bits, *segment_bits))
+        }
+        // Callers that need the LLBP-internal statistics special-case this
+        // arm before dispatching; reaching it is still correct (the stats
+        // are simply not collected).
+        PredictorKind::Llbp(params) => drive.go(LlbpPredictor::new(params.clone())),
+    }
+}
+
+struct SpecializedDrive<'a> {
+    cfg: &'a SimConfig,
+    trace: &'a Trace,
+    token: &'a CancelToken,
+    progress: &'a llbp_obs::Counter,
+}
+
+impl MonoDrive for SpecializedDrive<'_> {
+    fn go<P: Predictor>(self, mut predictor: P) -> Result<SimResult, SimError> {
+        specialized_loop(self.cfg, &mut predictor, self.trace, self.token, self.progress)
+    }
+}
+
+struct BatchDrive<'a> {
+    cfg: &'a SimConfig,
+    trace: &'a Trace,
+    token: &'a CancelToken,
+    progress: &'a llbp_obs::Counter,
+}
+
+impl MonoDrive for BatchDrive<'_> {
+    fn go<P: Predictor>(self, mut predictor: P) -> Result<SimResult, SimError> {
+        batch_loop(self.cfg, &mut predictor, self.trace, self.token, self.progress)
+    }
+}
+
+/// Measurement accumulators shared by the non-reference tiers. Provider
+/// attribution counts into a dense ordinal array (string hashing stays
+/// out of the loop); the per-branch maps are only touched by the
+/// `TRACK = true` loop instantiations.
+#[derive(Default)]
+struct Tally {
+    instructions: u64,
+    conditional_branches: u64,
+    mispredictions: u64,
+    providers: [u64; ProviderKind::COUNT],
+    per_branch_mispredicts: FastHashMap<u64, u64>,
+    per_branch_executions: FastHashMap<u64, u64>,
+}
+
+impl Tally {
+    /// Assembles the [`SimResult`], matching the reference tier's shape
+    /// exactly (empty-but-present maps when tracking is on, pruned
+    /// zero-count providers).
+    fn finish(self, label: &str, workload: &str, track: bool) -> SimResult {
+        SimResult {
+            label: label.to_string(),
+            workload: workload.to_string(),
+            instructions: self.instructions,
+            conditional_branches: self.conditional_branches,
+            mispredictions: self.mispredictions,
+            provider_counts: finish_provider_counts(&self.providers),
+            per_branch_mispredicts: track.then_some(self.per_branch_mispredicts),
+            per_branch_executions: track.then_some(self.per_branch_executions),
+            llbp: None,
+        }
+    }
+}
+
+/// One warmup record: identical predictor *training* to the measure phase
+/// (tables must train through warmup), but zero statistics work. Uses the
+/// fused [`Predictor::predict_train`] and the branch-free
+/// [`Predictor::update_history_fast`] — both contractually bit-identical
+/// to the split reference sequence, and pinned so by the parity tests.
+#[inline(always)]
+fn warmup_step<P: Predictor>(predictor: &mut P, record: &llbp_trace::BranchRecord) {
+    if record.kind() == BranchKind::Conditional {
+        let _ = predictor.predict_train(record.pc(), record.taken());
+    }
+    predictor.update_history_fast(record);
+}
+
+/// One measured record. `TRACK` is a compile-time split: the untracked
+/// instantiation carries no map probes at all.
+#[inline(always)]
+fn measure_step<P: Predictor, const TRACK: bool>(
+    predictor: &mut P,
+    record: &llbp_trace::BranchRecord,
+    tally: &mut Tally,
+) {
+    tally.instructions += record.instructions();
+    if record.kind() == BranchKind::Conditional {
+        let pc = record.pc();
+        let taken = record.taken();
+        let (pred, provider) = predictor.predict_train(pc, taken);
+        let wrong = pred != taken;
+        tally.conditional_branches += 1;
+        tally.mispredictions += u64::from(wrong);
+        tally.providers[provider.ordinal()] += 1;
+        if TRACK {
+            *tally.per_branch_executions.entry(pc).or_default() += 1;
+            if wrong {
+                *tally.per_branch_mispredicts.entry(pc).or_default() += 1;
+            }
+        }
+    }
+    predictor.update_history_fast(record);
+}
+
+fn specialized_loop<P: Predictor>(
+    cfg: &SimConfig,
+    predictor: &mut P,
+    trace: &Trace,
+    token: &CancelToken,
+    progress: &llbp_obs::Counter,
+) -> Result<SimResult, SimError> {
+    if cfg.track_per_branch {
+        specialized_loop_inner::<P, true>(cfg, predictor, trace, token, progress)
+    } else {
+        specialized_loop_inner::<P, false>(cfg, predictor, trace, token, progress)
+    }
+}
+
+fn specialized_loop_inner<P: Predictor, const TRACK: bool>(
+    cfg: &SimConfig,
+    predictor: &mut P,
+    trace: &Trace,
+    token: &CancelToken,
+    progress: &llbp_obs::Counter,
+) -> Result<SimResult, SimError> {
+    let warmup = warmup_len(cfg, trace);
+    let records = trace.records();
+    let mut tally = Tally::default();
+    // Warmup phase: chunked only for cancellation polls and progress.
+    let mut i = 0usize;
+    while i < warmup {
+        if token.is_cancelled() {
+            return Err(token.cancellation_error());
+        }
+        let end = (i + Simulator::CANCEL_POLL_INTERVAL).min(warmup);
+        for record in &records[i..end] {
+            warmup_step(predictor, record);
+        }
+        progress.add((end - i) as u64);
+        i = end;
+    }
+    // Measure phase: no `measuring` test per record — the split *is* the
+    // test, evaluated once.
+    while i < records.len() {
+        if token.is_cancelled() {
+            return Err(token.cancellation_error());
+        }
+        let end = (i + Simulator::CANCEL_POLL_INTERVAL).min(records.len());
+        for record in &records[i..end] {
+            measure_step::<P, TRACK>(predictor, record, &mut tally);
+        }
+        progress.add((end - i) as u64);
+        i = end;
+    }
+    Ok(tally.finish(predictor.label(), trace.name(), cfg.track_per_branch))
+}
+
+fn batch_loop<P: Predictor>(
+    cfg: &SimConfig,
+    predictor: &mut P,
+    trace: &Trace,
+    token: &CancelToken,
+    progress: &llbp_obs::Counter,
+) -> Result<SimResult, SimError> {
+    if cfg.track_per_branch {
+        batch_loop_inner::<P, true>(cfg, predictor, trace, token, progress)
+    } else {
+        batch_loop_inner::<P, false>(cfg, predictor, trace, token, progress)
+    }
+}
+
+/// Packed-meta decode masks (see [`llbp_trace::BranchRecord::packed_meta`]).
+const META_KIND_MASK: u32 = 0x7;
+const META_COND: u32 = 0; // BranchKind::Conditional encoding
+const META_TAKEN_BIT: u32 = 0x8;
+
+fn batch_loop_inner<P: Predictor, const TRACK: bool>(
+    cfg: &SimConfig,
+    predictor: &mut P,
+    trace: &Trace,
+    token: &CancelToken,
+    progress: &llbp_obs::Counter,
+) -> Result<SimResult, SimError> {
+    let warmup = warmup_len(cfg, trace);
+    let soa = trace.soa();
+    let (pcs, metas) = (soa.pcs(), soa.metas());
+    let records = trace.records();
+    let mut tally = Tally::default();
+    let mut i = 0usize;
+    // Warmup blocks: direction/kind decode from the dense meta column.
+    while i < warmup {
+        if token.is_cancelled() {
+            return Err(token.cancellation_error());
+        }
+        let end = (i + BATCH_BLOCK).min(warmup);
+        for j in i..end {
+            let meta = metas[j];
+            if meta & META_KIND_MASK == META_COND {
+                let pc = pcs[j];
+                let _ = predictor.predict_train(pc, meta & META_TAKEN_BIT != 0);
+            }
+            predictor.update_history_fast(&records[j]);
+        }
+        progress.add((end - i) as u64);
+        i = end;
+    }
+    // Measure blocks: instruction accounting is software-pipelined ahead
+    // of the predictor stage — a branchless sum over the block's meta
+    // column that the compiler vectorizes — so the predictor stage below
+    // touches only the branch-prediction work itself.
+    while i < records.len() {
+        if token.is_cancelled() {
+            return Err(token.cancellation_error());
+        }
+        let end = (i + BATCH_BLOCK).min(records.len());
+        tally.instructions +=
+            metas[i..end].iter().map(|&meta| u64::from(meta >> 4) + 1).sum::<u64>();
+        for j in i..end {
+            let meta = metas[j];
+            if meta & META_KIND_MASK == META_COND {
+                let pc = pcs[j];
+                let taken = meta & META_TAKEN_BIT != 0;
+                let (pred, provider) = predictor.predict_train(pc, taken);
+                let wrong = pred != taken;
+                tally.conditional_branches += 1;
+                tally.mispredictions += u64::from(wrong);
+                tally.providers[provider.ordinal()] += 1;
+                if TRACK {
+                    *tally.per_branch_executions.entry(pc).or_default() += 1;
+                    if wrong {
+                        *tally.per_branch_mispredicts.entry(pc).or_default() += 1;
+                    }
+                }
+            }
+            predictor.update_history_fast(&records[j]);
+        }
+        progress.add((end - i) as u64);
+        i = end;
+    }
+    Ok(tally.finish(predictor.label(), trace.name(), cfg.track_per_branch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_kind() {
+        for kind in [
+            BackendKind::Auto,
+            BackendKind::Reference,
+            BackendKind::Specialized,
+            BackendKind::Batch,
+        ] {
+            assert_eq!(BackendKind::parse(kind.label()), Ok(kind));
+            assert_eq!(kind.label().parse::<BackendKind>(), Ok(kind));
+        }
+        assert!(BackendKind::parse("jit").is_err());
+        assert_eq!(BackendKind::parse(" BATCH "), Ok(BackendKind::Batch));
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_tier() {
+        let resolved = BackendKind::Auto.resolve();
+        assert_ne!(resolved, BackendKind::Auto);
+        assert!(BackendKind::CONCRETE.contains(&resolved));
+        for concrete in BackendKind::CONCRETE {
+            assert_eq!(concrete.resolve(), concrete, "concrete tiers resolve to themselves");
+        }
+    }
+
+    #[test]
+    fn meta_masks_match_record_encoding() {
+        use llbp_trace::{BranchKind, BranchRecord};
+        let cond = BranchRecord::conditional(0x40, 0x80, true, 5);
+        assert_eq!(cond.packed_meta() & META_KIND_MASK, META_COND);
+        assert_eq!(cond.packed_meta() & META_TAKEN_BIT != 0, cond.taken());
+        let ret = BranchRecord::unconditional(0x40, 0x80, BranchKind::Return, 5);
+        assert_ne!(ret.packed_meta() & META_KIND_MASK, META_COND);
+    }
+}

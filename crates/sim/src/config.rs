@@ -1,5 +1,6 @@
 //! Simulation configuration and the predictor factory.
 
+use crate::backend::BackendKind;
 use crate::driver::{LlbpCellStats, SimResult, Simulator};
 use crate::error::{CancelToken, SimError};
 use llbp_core::{LlbpParams, LlbpPredictor};
@@ -99,7 +100,7 @@ impl PredictorKind {
     }
 }
 
-/// Simulation parameters (warmup split, probes).
+/// Simulation parameters (warmup split, probes, execution backend).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Fraction of records used as warmup: statistics are collected only
@@ -107,15 +108,39 @@ pub struct SimConfig {
     pub warmup_fraction: f64,
     /// Record per-static-branch misprediction counts (Fig. 3 probes).
     pub track_per_branch: bool,
+    /// Which execution backend runs the hot loop (see [`crate::backend`]).
+    /// A pure throughput choice: backends are parity-pinned to produce
+    /// identical results, so this field is excluded from memo fingerprints
+    /// ([`SimConfig::fingerprint_text`]).
+    pub backend: BackendKind,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { warmup_fraction: 1.0 / 3.0, track_per_branch: false }
+        Self { warmup_fraction: 1.0 / 3.0, track_per_branch: false, backend: BackendKind::Auto }
     }
 }
 
 impl SimConfig {
+    /// Returns the config with the execution backend replaced.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// A stable string describing the *result-relevant* configuration for
+    /// cache fingerprinting. Deliberately excludes [`SimConfig::backend`]
+    /// — backends are parity-pinned, so a cell memoized under one backend
+    /// is valid for all of them — and reproduces the pre-backend `Debug`
+    /// format exactly so existing memo stores stay warm.
+    #[must_use]
+    pub fn fingerprint_text(&self) -> String {
+        format!(
+            "SimConfig {{ warmup_fraction: {:?}, track_per_branch: {:?} }}",
+            self.warmup_fraction, self.track_per_branch
+        )
+    }
     /// Runs `kind` over `trace` and returns the measured result.
     ///
     /// For LLBP designs the result additionally carries the predictor's
@@ -158,6 +183,24 @@ impl SimConfig {
         token: &CancelToken,
         records: &llbp_obs::Counter,
     ) -> Result<SimResult, SimError> {
+        match self.backend.resolve() {
+            BackendKind::Reference => self.run_reference(kind, trace, token, records),
+            BackendKind::Specialized => {
+                crate::backend::run_specialized(self, &kind, trace, token, records)
+            }
+            BackendKind::Batch => crate::backend::run_batch(self, &kind, trace, token, records),
+            BackendKind::Auto => unreachable!("resolve() always returns a concrete backend"),
+        }
+    }
+
+    /// The reference backend: the original scalar `dyn Predictor` loop.
+    fn run_reference(
+        &self,
+        kind: PredictorKind,
+        trace: &Trace,
+        token: &CancelToken,
+        records: &llbp_obs::Counter,
+    ) -> Result<SimResult, SimError> {
         if let PredictorKind::Llbp(params) = kind {
             let mut predictor = LlbpPredictor::new(params);
             let mut result =
@@ -191,6 +234,20 @@ mod tests {
         assert_eq!(PredictorKind::TslScaled(8).label(), "512K TSL");
         assert_eq!(PredictorKind::InfTsl.label(), "Inf TSL");
         assert_eq!(PredictorKind::Llbp(LlbpParams::default()).label(), "LLBP");
+    }
+
+    #[test]
+    fn fingerprint_text_excludes_backend() {
+        let base = SimConfig::default();
+        for backend in BackendKind::CONCRETE {
+            assert_eq!(
+                base.with_backend(backend).fingerprint_text(),
+                base.fingerprint_text(),
+                "backend choice must not split memo caches"
+            );
+        }
+        let tracked = SimConfig { track_per_branch: true, ..base };
+        assert_ne!(tracked.fingerprint_text(), base.fingerprint_text());
     }
 
     #[test]

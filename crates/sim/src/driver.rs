@@ -123,8 +123,10 @@ impl Simulator {
 
     /// [`Simulator::run_cancellable`] with a *sampled* progress counter:
     /// `records` is bumped by [`Simulator::CANCEL_POLL_INTERVAL`] at each
-    /// cancellation poll, so telemetry sees simulation progress at poll
-    /// granularity while the per-record loop stays untouched. Pass a
+    /// cancellation poll (plus the sub-interval tail once the loop
+    /// finishes, so a completed run always reports exactly
+    /// [`Trace::len`] records), giving telemetry simulation progress at
+    /// poll granularity while the per-record loop stays untouched. Pass a
     /// pre-resolved counter ([`llbp_obs::Counter::noop`] when telemetry
     /// is off — a null-pointer branch every 8192 records, nothing more).
     ///
@@ -138,7 +140,7 @@ impl Simulator {
         token: &CancelToken,
         records: &llbp_obs::Counter,
     ) -> Result<SimResult, SimError> {
-        let warmup = (trace.len() as f64 * self.config.warmup_fraction.clamp(0.0, 1.0)) as usize;
+        let warmup = warmup_len(&self.config, trace);
         let mut result = SimResult {
             label: predictor.label().to_string(),
             workload: trace.name().to_string(),
@@ -153,7 +155,8 @@ impl Simulator {
         // Providers are a tiny closed set; counting into a fixed array and
         // materialising the map once afterwards keeps string hashing out of
         // the per-branch loop.
-        let mut provider_counts = [0u64; PROVIDER_LABELS.len()];
+        let mut provider_counts = [0u64; ProviderKind::COUNT];
+        let mut reported = 0u64;
         for (i, record) in trace.iter().enumerate() {
             if i % Self::CANCEL_POLL_INTERVAL == 0 {
                 if token.is_cancelled() {
@@ -161,6 +164,7 @@ impl Simulator {
                 }
                 if i > 0 {
                     records.add(Self::CANCEL_POLL_INTERVAL as u64);
+                    reported += Self::CANCEL_POLL_INTERVAL as u64;
                 }
             }
             let measuring = i >= warmup;
@@ -173,7 +177,7 @@ impl Simulator {
                 if measuring {
                     result.conditional_branches += 1;
                     result.mispredictions += u64::from(wrong);
-                    provider_counts[provider_ordinal(predictor.last_provider())] += 1;
+                    provider_counts[predictor.last_provider().ordinal()] += 1;
                     if let Some(map) = &mut result.per_branch_executions {
                         *map.entry(record.pc()).or_default() += 1;
                     }
@@ -187,34 +191,36 @@ impl Simulator {
             }
             predictor.update_history(record);
         }
-        for (ordinal, &count) in provider_counts.iter().enumerate() {
-            if count > 0 {
-                result.provider_counts.insert(PROVIDER_LABELS[ordinal], count);
-            }
-        }
+        // The polls only report full intervals; account for the trailing
+        // `len % CANCEL_POLL_INTERVAL` records (and the final full chunk,
+        // which has no poll after it) so a completed run's counter totals
+        // exactly the trace length.
+        records.add(trace.len() as u64 - reported);
+        result.provider_counts = finish_provider_counts(&provider_counts);
         Ok(result)
     }
 }
 
-/// Report labels in [`provider_ordinal`] order.
-const PROVIDER_LABELS: [&str; 5] = ["bim", "tage", "sc", "loop", "llbp"];
-
-/// Maps a provider label back to its interned `&'static str` (the memo
-/// store deserializes provider counts from disk and must key the map with
-/// the same statics the simulator uses). Unknown labels return `None`,
-/// which deserialization treats as a stale cache entry.
-pub(crate) fn intern_provider_label(label: &str) -> Option<&'static str> {
-    PROVIDER_LABELS.iter().find(|&&l| l == label).copied()
+/// The number of leading warmup records for `trace` under `config`:
+/// statistics are collected only after this index. Shared by every
+/// execution backend so the warmup split can never diverge between tiers.
+pub(crate) fn warmup_len(config: &SimConfig, trace: &Trace) -> usize {
+    (trace.len() as f64 * config.warmup_fraction.clamp(0.0, 1.0)) as usize
 }
 
-fn provider_ordinal(kind: ProviderKind) -> usize {
-    match kind {
-        ProviderKind::Bimodal => 0,
-        ProviderKind::Tage { .. } => 1,
-        ProviderKind::StatisticalCorrector => 2,
-        ProviderKind::Loop => 3,
-        ProviderKind::Llbp => 4,
+/// Materializes the per-ordinal provider counting array into the report
+/// map, skipping zero entries. Shared by every execution backend so the
+/// map shape (which keys are present) can never diverge between tiers.
+pub(crate) fn finish_provider_counts(
+    counts: &[u64; ProviderKind::COUNT],
+) -> FastHashMap<&'static str, u64> {
+    let mut map = FastHashMap::default();
+    for (ordinal, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            map.insert(ProviderKind::LABELS[ordinal], count);
+        }
     }
+    map
 }
 
 #[cfg(test)]
@@ -226,9 +232,9 @@ mod tests {
     #[test]
     fn warmup_region_is_excluded() {
         let trace = WorkloadSpec::named(Workload::Http).with_branches(9_000).generate();
-        let all = SimConfig { warmup_fraction: 0.0, track_per_branch: false }
+        let all = SimConfig { warmup_fraction: 0.0, ..SimConfig::default() }
             .run(PredictorKind::Tsl64K, &trace);
-        let warm = SimConfig { warmup_fraction: 0.5, track_per_branch: false }
+        let warm = SimConfig { warmup_fraction: 0.5, ..SimConfig::default() }
             .run(PredictorKind::Tsl64K, &trace);
         assert!(warm.conditional_branches < all.conditional_branches);
         assert!(warm.instructions < all.instructions);
@@ -237,7 +243,8 @@ mod tests {
     #[test]
     fn per_branch_tracking_sums_to_totals() {
         let trace = WorkloadSpec::named(Workload::Tpcc).with_branches(8_000).generate();
-        let cfg = SimConfig { warmup_fraction: 0.25, track_per_branch: true };
+        let cfg =
+            SimConfig { warmup_fraction: 0.25, track_per_branch: true, ..SimConfig::default() };
         let r = cfg.run(PredictorKind::Tsl64K, &trace);
         let sum_mis: u64 = r.per_branch_mispredicts.as_ref().unwrap().values().sum();
         let sum_exec: u64 = r.per_branch_executions.as_ref().unwrap().values().sum();
@@ -280,6 +287,25 @@ mod tests {
             .run_cancellable(b.as_mut(), &trace, &CancelToken::none())
             .expect("inert token never cancels");
         assert_eq!(plain, tokened);
+    }
+
+    #[test]
+    fn progress_counter_reports_exactly_the_trace_length() {
+        // The sampled counter used to add only full CANCEL_POLL_INTERVAL
+        // chunks at poll boundaries, silently dropping the trailing
+        // `len % 8192` records of every run. Cover a sub-interval trace,
+        // an exact multiple, and a multi-interval trace with a tail.
+        for len in [100, Simulator::CANCEL_POLL_INTERVAL, 2 * Simulator::CANCEL_POLL_INTERVAL + 77]
+        {
+            let trace = WorkloadSpec::named(Workload::Http).with_branches(len).generate();
+            let telemetry = llbp_obs::Telemetry::enabled();
+            let counter = telemetry.counter("sim_records_total");
+            let mut predictor = PredictorKind::Tsl64K.build();
+            Simulator::new(SimConfig::default())
+                .run_observed(predictor.as_mut(), &trace, &CancelToken::none(), &counter)
+                .expect("inert token never cancels");
+            assert_eq!(counter.get(), trace.len() as u64, "len={len}");
+        }
     }
 
     #[test]

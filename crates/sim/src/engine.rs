@@ -320,6 +320,10 @@ pub struct SweepReport {
     /// placeholders excluded). Built for every run — telemetry need not
     /// be enabled.
     pub cell_wall: HistogramSnapshot,
+    /// Label of the *resolved* execution backend that ran the simulated
+    /// cells (`auto` never appears here — the concrete tier it picked
+    /// does), so archived throughput records say what actually ran.
+    pub backend: &'static str,
 }
 
 impl SweepReport {
@@ -374,6 +378,7 @@ impl SweepReport {
         let mut line = format!(
             concat!(
                 "{{\"event\":\"sweep_throughput\",\"label\":\"{}\",",
+                "\"backend\":\"{}\",",
                 "\"jobs\":{},\"workers\":{},\"branches\":{},",
                 "\"wall_s\":{:.3},\"branches_per_sec\":{:.0},",
                 "\"cache_hits\":{},\"cache_misses\":{},",
@@ -384,6 +389,7 @@ impl SweepReport {
                 "\"cell_wall_max_ms\":{:.3}"
             ),
             sanitize(label),
+            self.backend,
             self.jobs.len(),
             self.workers,
             self.total_branches(),
@@ -749,6 +755,7 @@ impl SweepEngine {
             lock_wait,
             lock_takeovers,
             cell_wall,
+            backend: spec.sim.backend.resolve().label(),
         };
         // Mirror the campaign summary into the metrics registry so a
         // Prometheus snapshot is self-contained without the report.

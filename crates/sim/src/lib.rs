@@ -15,6 +15,7 @@
 //! assert!(big.mpki() <= base.mpki() * 1.2);
 //! ```
 
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod driver;
@@ -30,6 +31,7 @@ pub mod patterns;
 pub mod report;
 pub mod timing;
 
+pub use backend::{BackendKind, BACKEND_ENV, BATCH_BLOCK};
 pub use cache::TraceCache;
 pub use config::{PredictorKind, SimConfig};
 pub use driver::{LlbpCellStats, SimResult, Simulator};

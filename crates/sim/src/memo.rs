@@ -29,7 +29,7 @@
 //! whole store cleanly — stale files are simply never addressed again.
 
 use crate::config::{PredictorKind, SimConfig};
-use crate::driver::{intern_provider_label, LlbpCellStats, SimResult};
+use crate::driver::{LlbpCellStats, SimResult};
 use crate::error::SimError;
 use crate::faultinject::FaultInjector;
 use bputil::hash::FastHashMap;
@@ -225,7 +225,10 @@ impl MemoStore {
         let mut h = self.base_hasher("llbp-result");
         h.write_str(&kind.fingerprint_text());
         h.write_str(&format!("{workload:?}"));
-        h.write_str(&format!("{sim:?}"));
+        // `fingerprint_text`, not `{sim:?}`: the execution backend is a
+        // parity-pinned throughput choice, so cells must be shared across
+        // backends (and stores written before backends existed stay warm).
+        h.write_str(&sim.fingerprint_text());
         h.finish()
     }
 
@@ -645,7 +648,7 @@ fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
     for _ in 0..n_providers {
         let key = c.str()?;
         let count = c.u64()?;
-        provider_counts.insert(intern_provider_label(&key)?, count);
+        provider_counts.insert(llbp_tage::ProviderKind::intern_label(&key)?, count);
     }
     let per_branch_mispredicts = c.branch_map()?;
     let per_branch_executions = c.branch_map()?;
@@ -817,6 +820,13 @@ mod tests {
             "sim config must be keyed"
         );
         assert_ne!(store.trace_fingerprint(&spec), base, "domains must not collide");
+        for backend in crate::backend::BackendKind::CONCRETE {
+            assert_eq!(
+                base,
+                store.result_fingerprint(&PredictorKind::Tsl64K, &spec, &sim.with_backend(backend)),
+                "backend must NOT be keyed: parity-pinned tiers share memo cells"
+            );
+        }
         let _ = fs::remove_dir_all(dir);
     }
 

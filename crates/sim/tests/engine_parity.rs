@@ -63,7 +63,7 @@ fn per_branch_tracking_survives_the_engine() {
     let spec = SweepSpec::new(
         vec![PredictorKind::Tsl64K],
         vec![WorkloadSpec::named(Workload::Kafka).with_branches(5_000)],
-        SimConfig { warmup_fraction: 0.25, track_per_branch: true },
+        SimConfig { warmup_fraction: 0.25, track_per_branch: true, ..SimConfig::default() },
     );
     let reference = serial_reference(&spec);
     let report = SweepEngine::with_workers(3).run(&spec);

@@ -24,16 +24,44 @@ pub enum ProviderKind {
 }
 
 impl ProviderKind {
-    /// Short label for reports.
+    /// Number of distinct providers (the length of
+    /// [`ProviderKind::LABELS`] and the exclusive upper bound of
+    /// [`ProviderKind::ordinal`]).
+    pub const COUNT: usize = 5;
+
+    /// Report labels in [`ProviderKind::ordinal`] order — the single
+    /// source of truth for the label↔ordinal mapping. The simulator's
+    /// per-provider counting arrays, the report maps, and the memo-store
+    /// deserializer all derive from this table, so a new provider only
+    /// has to be added here and in `ordinal` (where a missing arm is a
+    /// compile error).
+    pub const LABELS: [&'static str; Self::COUNT] = ["bim", "tage", "sc", "loop", "llbp"];
+
+    /// Dense index of this provider, in `0..ProviderKind::COUNT`.
+    #[must_use]
+    pub fn ordinal(self) -> usize {
+        match self {
+            ProviderKind::Bimodal => 0,
+            ProviderKind::Tage { .. } => 1,
+            ProviderKind::StatisticalCorrector => 2,
+            ProviderKind::Loop => 3,
+            ProviderKind::Llbp => 4,
+        }
+    }
+
+    /// Short label for reports, derived from [`ProviderKind::LABELS`].
     #[must_use]
     pub fn label(self) -> &'static str {
-        match self {
-            ProviderKind::Bimodal => "bim",
-            ProviderKind::Tage { .. } => "tage",
-            ProviderKind::StatisticalCorrector => "sc",
-            ProviderKind::Loop => "loop",
-            ProviderKind::Llbp => "llbp",
-        }
+        Self::LABELS[self.ordinal()]
+    }
+
+    /// Maps a label back to its interned `&'static str` from
+    /// [`ProviderKind::LABELS`] (deserializers must key report maps with
+    /// the same statics the simulator uses). Unknown labels return
+    /// `None`, which readers treat as data from an incompatible version.
+    #[must_use]
+    pub fn intern_label(label: &str) -> Option<&'static str> {
+        Self::LABELS.iter().find(|&&l| l == label).copied()
     }
 }
 
@@ -61,6 +89,27 @@ pub trait Predictor {
     /// Observes a retired branch of any kind, updating histories.
     fn update_history(&mut self, record: &BranchRecord);
 
+    /// Fused [`Predictor::predict`] + [`Predictor::last_provider`] +
+    /// [`Predictor::train`] for callers that resolve the branch
+    /// immediately (trace-driven simulation). Must be observably identical
+    /// to the split sequence; the default simply performs it. Implementors
+    /// may override to skip per-call state that only exists to bridge the
+    /// split (e.g. stashing a lookup between predict and train).
+    fn predict_train(&mut self, pc: u64, taken: bool) -> (bool, ProviderKind) {
+        let pred = self.predict(pc);
+        let provider = self.last_provider();
+        self.train(pc, taken);
+        (pred, provider)
+    }
+
+    /// [`Predictor::update_history`], throughput-oriented: implementors
+    /// may override with a bit-identical but faster history advance (the
+    /// default is the reference path). Simulation backends other than the
+    /// reference tier call this variant.
+    fn update_history_fast(&mut self, record: &BranchRecord) {
+        self.update_history(record);
+    }
+
     /// The component that provided the most recent prediction.
     fn last_provider(&self) -> ProviderKind;
 
@@ -80,5 +129,23 @@ mod tests {
         assert_eq!(ProviderKind::Bimodal.label(), "bim");
         assert_eq!(ProviderKind::Tage { table: 3 }.label(), "tage");
         assert_eq!(ProviderKind::Llbp.label(), "llbp");
+    }
+
+    #[test]
+    fn ordinal_label_roundtrip() {
+        let all = [
+            ProviderKind::Bimodal,
+            ProviderKind::Tage { table: 0 },
+            ProviderKind::StatisticalCorrector,
+            ProviderKind::Loop,
+            ProviderKind::Llbp,
+        ];
+        assert_eq!(all.len(), ProviderKind::COUNT);
+        for (i, kind) in all.into_iter().enumerate() {
+            assert_eq!(kind.ordinal(), i, "ordinals must be dense and in LABELS order");
+            assert_eq!(ProviderKind::LABELS[kind.ordinal()], kind.label());
+            assert_eq!(ProviderKind::intern_label(kind.label()), Some(kind.label()));
+        }
+        assert_eq!(ProviderKind::intern_label("nope"), None);
     }
 }

@@ -175,6 +175,21 @@ impl TageScl {
         self.tage.update_history(record);
     }
 
+    /// [`TageScl::update_history`] via the branch-free folded-register
+    /// paths ([`Tage::update_history_fast`]). Bit-identical; same SC-first
+    /// ordering (the SC folds against the GHR before the push).
+    pub fn update_history_fast(&mut self, record: &BranchRecord) {
+        if let Some(sc) = &mut self.sc {
+            let bit = if record.kind() == BranchKind::Conditional {
+                record.taken()
+            } else {
+                ((record.pc() >> 2) ^ (record.target() >> 3)) & 1 == 1
+            };
+            sc.update_history_fast(self.tage.ghr(), bit);
+        }
+        self.tage.update_history_fast(record);
+    }
+
     /// Conditional branch predictions made so far.
     #[must_use]
     pub fn predictions(&self) -> u64 {
@@ -228,8 +243,24 @@ impl Predictor for TageScl {
         self.commit(&lookup, taken, UpdateMode::Full);
     }
 
+    fn predict_train(&mut self, pc: u64, taken: bool) -> (bool, ProviderKind) {
+        // Fused lookup+commit: the ~0.5 KiB `TslLookup` never round-trips
+        // through `self.pending` (predict stashes it, train takes it back
+        // out), it lives on this stack frame only. `pending` stays `None`,
+        // which is indistinguishable from the split path after `train()`.
+        let lookup = self.lookup(pc);
+        self.predictions += 1;
+        let out = (lookup.pred, lookup.provider);
+        self.commit(&lookup, taken, UpdateMode::Full);
+        out
+    }
+
     fn update_history(&mut self, record: &BranchRecord) {
         TageScl::update_history(self, record);
+    }
+
+    fn update_history_fast(&mut self, record: &BranchRecord) {
+        TageScl::update_history_fast(self, record);
     }
 
     fn last_provider(&self) -> ProviderKind {
@@ -290,6 +321,33 @@ mod tests {
         // ≈0.5, so chance is ≈0.5).
         let rate = mispredicts as f64 / conds as f64;
         assert!(rate < 0.25, "misprediction rate {rate:.3} too high");
+    }
+
+    #[test]
+    fn fast_paths_are_bit_identical_to_reference_paths() {
+        // Drive two clones of the full TAGE-SC-L over the same trace: one
+        // through the split reference sequence, one through the fused
+        // `predict_train` + branch-free `update_history_fast`. Every
+        // prediction, every provider, and the complete speculative history
+        // state must agree at every step — this is the contract that lets
+        // the non-reference simulation backends use the fast paths.
+        let trace = WorkloadSpec::named(Workload::Kafka).with_branches(20_000).generate();
+        let mut slow = TageScl::new(TslConfig::cbp64k());
+        let mut fast = slow.clone();
+        for (i, r) in trace.iter().enumerate() {
+            if r.kind() == BranchKind::Conditional {
+                let pred = slow.predict(r.pc());
+                let provider = Predictor::last_provider(&slow);
+                slow.train(r.pc(), r.taken());
+                let (fast_pred, fast_provider) = fast.predict_train(r.pc(), r.taken());
+                assert_eq!(pred, fast_pred, "prediction diverged at record {i}");
+                assert_eq!(provider, fast_provider, "provider diverged at record {i}");
+            }
+            Predictor::update_history(&mut slow, r);
+            Predictor::update_history_fast(&mut fast, r);
+            assert_eq!(slow.checkpoint(), fast.checkpoint(), "history diverged at record {i}");
+        }
+        assert_eq!(slow.predictions(), fast.predictions());
     }
 
     #[test]

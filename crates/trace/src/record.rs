@@ -206,6 +206,79 @@ impl BranchRecord {
     pub fn instructions(&self) -> u64 {
         u64::from(self.non_branch_insts()) + 1
     }
+
+    /// The packed metadata word: bits 0..3 hold the [`BranchKind`]
+    /// encoding, bit 3 the direction, bits 4..32 the non-branch
+    /// instruction count. This is the word [`TraceSoa`] stores per record,
+    /// so batch simulation loops can decode kind/direction/instructions
+    /// from one dense `u32` stream.
+    #[inline]
+    #[must_use]
+    pub fn packed_meta(&self) -> u32 {
+        self.meta
+    }
+}
+
+/// A structure-of-arrays view of a trace: parallel `pc` / `meta` columns.
+///
+/// The batch simulation backend streams every record once per grid cell,
+/// touching only the branch address and the packed metadata word in its
+/// hot decode (the `target` halves matter only for the unconditional
+/// subset that reaches `update_history`). Splitting those two columns out
+/// of the 20-byte array-of-structs layout means the decode loop reads 12
+/// dense bytes per record instead of striding through 20, and the meta
+/// column on its own (instruction accounting, kind tests) vectorizes.
+///
+/// Built once per trace on first use and cached inside [`Trace`] (see
+/// [`Trace::soa`]), so a sweep that runs many predictors over one shared
+/// trace pays the build cost once.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSoa {
+    pcs: Vec<u64>,
+    metas: Vec<u32>,
+}
+
+impl TraceSoa {
+    /// Builds the column view from record storage.
+    #[must_use]
+    pub fn from_records(records: &[BranchRecord]) -> Self {
+        Self {
+            pcs: records.iter().map(BranchRecord::pc).collect(),
+            metas: records.iter().map(BranchRecord::packed_meta).collect(),
+        }
+    }
+
+    /// Number of records in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// `true` when the view holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// The branch-address column, parallel to [`TraceSoa::metas`].
+    #[must_use]
+    pub fn pcs(&self) -> &[u64] {
+        &self.pcs
+    }
+
+    /// The packed-metadata column ([`BranchRecord::packed_meta`] per
+    /// record), parallel to [`TraceSoa::pcs`].
+    #[must_use]
+    pub fn metas(&self) -> &[u32] {
+        &self.metas
+    }
+
+    /// Heap bytes held by the two columns.
+    #[must_use]
+    pub fn memory_footprint(&self) -> usize {
+        self.pcs.capacity() * std::mem::size_of::<u64>()
+            + self.metas.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 impl std::fmt::Debug for BranchRecord {
@@ -233,25 +306,46 @@ impl std::fmt::Debug for BranchRecord {
 /// assert_eq!(t.len(), 2);
 /// assert_eq!(t.instructions(), 7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     name: String,
     records: Vec<BranchRecord>,
     instructions: u64,
+    /// Lazily built column view, shared by reference so every simulation
+    /// of this trace reuses one build (see [`Trace::soa`]). Not part of
+    /// the trace's identity: equality and serialization ignore it.
+    soa: std::sync::OnceLock<std::sync::Arc<TraceSoa>>,
 }
+
+/// Equality is over the logical trace (name + records); the lazily built
+/// SoA cache is derived data and excluded.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.instructions == other.instructions
+            && self.records == other.records
+    }
+}
+
+impl Eq for Trace {}
 
 impl Trace {
     /// Creates an empty trace with a human-readable name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), records: Vec::new(), instructions: 0 }
+        Self {
+            name: name.into(),
+            records: Vec::new(),
+            instructions: 0,
+            soa: std::sync::OnceLock::new(),
+        }
     }
 
     /// Creates a trace from pre-built records.
     #[must_use]
     pub fn from_records(name: impl Into<String>, records: Vec<BranchRecord>) -> Self {
         let instructions = records.iter().map(BranchRecord::instructions).sum();
-        Self { name: name.into(), records, instructions }
+        Self { name: name.into(), records, instructions, soa: std::sync::OnceLock::new() }
     }
 
     /// The trace name (workload identifier).
@@ -260,10 +354,11 @@ impl Trace {
         &self.name
     }
 
-    /// Appends one record.
+    /// Appends one record, invalidating any cached column view.
     pub fn push(&mut self, record: BranchRecord) {
         self.instructions += record.instructions();
         self.records.push(record);
+        self.soa = std::sync::OnceLock::new();
     }
 
     /// Number of branch records.
@@ -301,13 +396,26 @@ impl Trace {
         crate::stats::TraceStats::from_trace(self)
     }
 
-    /// Heap bytes held by this trace (record storage plus the name buffer).
+    /// The structure-of-arrays view of this trace, built on first use and
+    /// cached so that every grid cell simulating this trace shares one
+    /// build. Mutating the trace ([`Trace::push`]) invalidates the cache.
+    #[must_use]
+    pub fn soa(&self) -> std::sync::Arc<TraceSoa> {
+        std::sync::Arc::clone(
+            self.soa.get_or_init(|| std::sync::Arc::new(TraceSoa::from_records(&self.records))),
+        )
+    }
+
+    /// Heap bytes held by this trace (record storage, the name buffer,
+    /// and the SoA column cache when it has been built).
     ///
     /// The sweep engine's trace cache uses this to report how much memory
     /// sharing a trace across grid cells saves versus regenerating it.
     #[must_use]
     pub fn memory_footprint(&self) -> usize {
-        self.records.capacity() * std::mem::size_of::<BranchRecord>() + self.name.capacity()
+        self.records.capacity() * std::mem::size_of::<BranchRecord>()
+            + self.name.capacity()
+            + self.soa.get().map_or(0, |soa| soa.memory_footprint())
     }
 }
 
@@ -406,6 +514,46 @@ mod tests {
     #[should_panic(expected = "28-bit record field")]
     fn oversized_gap_rejected() {
         let _ = BranchRecord::conditional(0, 4, true, BranchRecord::MAX_NON_BRANCH_INSTS + 1);
+    }
+
+    #[test]
+    fn soa_columns_mirror_records() {
+        let mut t = Trace::new("soa");
+        t.push(BranchRecord::conditional(0x1000, 0x1040, true, 3));
+        t.push(BranchRecord::unconditional(0x2000, 0x3000, BranchKind::Return, 7));
+        let soa = t.soa();
+        assert_eq!(soa.len(), t.len());
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(soa.pcs()[i], r.pc());
+            assert_eq!(soa.metas()[i], r.packed_meta());
+            // The packed word decodes to the same logical fields.
+            let meta = soa.metas()[i];
+            assert_eq!(BranchKind::from_u8((meta & 0x7) as u8), Some(r.kind()));
+            assert_eq!(meta & 0x8 != 0, r.taken());
+            assert_eq!(u64::from(meta >> 4) + 1, r.instructions());
+        }
+    }
+
+    #[test]
+    fn soa_cache_is_shared_and_invalidated_by_push() {
+        let mut t = Trace::new("cache");
+        t.push(BranchRecord::conditional(0, 4, true, 1));
+        let a = t.soa();
+        let b = t.soa();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "repeated soa() calls must share one build");
+        t.push(BranchRecord::conditional(8, 12, false, 1));
+        let c = t.soa();
+        assert_eq!(c.len(), 2, "push must invalidate the cached view");
+        // Equality ignores the cache: a clone without a built view
+        // compares equal to the original with one.
+        let fresh = Trace::from_records(
+            "cache",
+            vec![
+                BranchRecord::conditional(0, 4, true, 1),
+                BranchRecord::conditional(8, 12, false, 1),
+            ],
+        );
+        assert_eq!(t, fresh);
     }
 
     #[test]

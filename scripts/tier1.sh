@@ -154,4 +154,32 @@ cmp -s "$TEL_DIR/observed-cold.out" "$TEL_DIR/plain-cold.out" || {
     exit 1
 }
 
+echo "== backend parity smoke =="
+# The same quick figure cell run under every execution backend must print
+# the byte-identical figure (stdout only — stderr carries wall times).
+# Separate cold cache dirs per backend keep the memo store from serving
+# one backend's cells to another, so each tier actually simulates.
+BACKEND_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR" "$VERIFY_DIR" "$TEL_DIR" "$BACKEND_DIR"' EXIT
+LLBP_CACHE_DIR="$BACKEND_DIR/reference" ./target/release/fig02_mpki_limits --quick --strict \
+    --backend reference > "$BACKEND_DIR/reference.out" 2> /dev/null
+for backend in specialized batch auto; do
+    LLBP_CACHE_DIR="$BACKEND_DIR/$backend" ./target/release/fig02_mpki_limits --quick --strict \
+        --backend "$backend" > "$BACKEND_DIR/$backend.out" 2> /dev/null
+    cmp -s "$BACKEND_DIR/reference.out" "$BACKEND_DIR/$backend.out" || {
+        echo "backend smoke: backend '$backend' changed the figure output:"
+        diff "$BACKEND_DIR/reference.out" "$BACKEND_DIR/$backend.out" || true
+        exit 1
+    }
+done
+# The env-var selector must work too (flag wins over env elsewhere; here
+# the env alone drives the choice).
+LLBP_CACHE_DIR="$BACKEND_DIR/env" LLBP_BACKEND=batch ./target/release/fig02_mpki_limits \
+    --quick --strict > "$BACKEND_DIR/env.out" 2> /dev/null
+cmp -s "$BACKEND_DIR/reference.out" "$BACKEND_DIR/env.out" || {
+    echo "backend smoke: LLBP_BACKEND=batch changed the figure output:"
+    diff "$BACKEND_DIR/reference.out" "$BACKEND_DIR/env.out" || true
+    exit 1
+}
+
 echo "tier1 OK"
