@@ -3,63 +3,18 @@
 //!
 //! Paper values: 64K TSL 0.29–6.4 MPKI (avg 2.91); Inf TAGE reduces
 //! mispredictions by 14–54% (avg 31.9%); Inf TSL by 36.5% on average.
+//!
+//! The table rendering lives in [`llbp_bench::figures`] and is shared
+//! with `llbp-coord`, whose distributed runs must reproduce this
+//! binary's stdout byte-for-byte.
 
-use llbp_bench::{emit, engine, mean_reduction, sim_config, workload_specs, Opts};
-use llbp_sim::engine::SweepSpec;
-use llbp_sim::report::{f1, f2, Table};
-use llbp_sim::PredictorKind;
+use llbp_bench::figures::{fig02_render, fig02_spec};
+use llbp_bench::{emit, engine, Opts};
 
 fn main() {
     let opts = Opts::from_args();
-
-    let spec = SweepSpec::new(
-        vec![PredictorKind::Tsl64K, PredictorKind::InfTage, PredictorKind::InfTsl],
-        workload_specs(&opts),
-        sim_config(&opts),
-    );
+    let spec = fig02_spec(&opts);
     let report = llbp_bench::run_sweep(&engine(&opts), &spec);
-
-    let mut table = Table::new([
-        "workload",
-        "64K TSL MPKI",
-        "Inf TAGE MPKI",
-        "Inf TSL MPKI",
-        "Inf TAGE red.",
-        "Inf TSL red.",
-    ]);
-    let mut base_mpkis = Vec::new();
-    let mut tage_reds = Vec::new();
-    let mut tsl_reds = Vec::new();
-    for (i, w) in opts.workloads.iter().enumerate() {
-        let (base, inf_tage, inf_tsl) = (report.get(i, 0), report.get(i, 1), report.get(i, 2));
-        let red_tage = inf_tage.mpki_reduction_vs(base);
-        let red_tsl = inf_tsl.mpki_reduction_vs(base);
-        base_mpkis.push(base.mpki());
-        tage_reds.push(red_tage);
-        tsl_reds.push(red_tsl);
-        table.row([
-            w.to_string(),
-            f2(base.mpki()),
-            f2(inf_tage.mpki()),
-            f2(inf_tsl.mpki()),
-            format!("{}%", f1(red_tage)),
-            format!("{}%", f1(red_tsl)),
-        ]);
-    }
-    table.row([
-        "Mean".to_string(),
-        f2(mean_reduction(&base_mpkis)),
-        String::new(),
-        String::new(),
-        format!("{}%", f1(mean_reduction(&tage_reds))),
-        format!("{}%", f1(mean_reduction(&tsl_reds))),
-    ]);
-
-    println!("# Figure 2 — MPKI for 64K TSL, Inf TAGE, Inf TSL");
-    println!(
-        "(paper: 64K TSL avg 2.91 MPKI; Inf TAGE −31.9% avg; Inf TSL −36.5% avg; \
-         Inf TAGE captures ~87% of Inf TSL)\n"
-    );
-    println!("{}", table.to_markdown());
+    print!("{}", fig02_render(|w, p| report.get(w, p), &opts));
     emit(&report, "fig02", &opts);
 }

@@ -1,0 +1,224 @@
+//! `llbp-coord` — distributed campaign coordinator.
+//!
+//! Shards Figure 2's sweep grid across worker *processes* using
+//! lease-based work claims, then merges the per-worker journals and
+//! metric snapshots into one campaign report whose stdout is
+//! byte-identical to a single-process `fig02_mpki_limits` run of the
+//! same grid (the tier-1 chaos smoke diffs exactly that).
+//!
+//! ```text
+//! llbp_coord [--workers N] [fig02 options...]
+//! ```
+//!
+//! All non-coordinator options (`--quick`, `--workloads`, `--strict`,
+//! `--metrics-out`, ...) are the standard experiment flags and are
+//! forwarded verbatim to each worker. Workers are this same binary
+//! re-spawned with `LLBP_COORD_WORKER=<id>`; they claim cells, publish
+//! results through the configured store (`LLBP_STORE`), and append to
+//! their own shard journal. Crashed workers (including kills staged via
+//! `LLBP_WORKER_ABORT=<worker>:<nth-claim>`) are recovered by the
+//! coordinator's reconcile pass, which steals their stale leases and
+//! re-runs whatever they had not published.
+
+use llbp_bench::figures::{fig02_render, fig02_spec};
+use llbp_bench::{fault_injector, memo_store, telemetry, Opts};
+use llbp_obs::MetricsSnapshot;
+use llbp_sim::coord::{
+    finish_campaign, grid_fingerprints, run_shard, worker_metrics_path, ShardConfig,
+};
+use llbp_sim::journal::{campaign_fingerprint, CellOutcome};
+use llbp_sim::{MemoStore, SimResult};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+/// Set on spawned workers: their worker id. Its presence selects worker
+/// mode, so the coordinator and its workers can be one binary.
+const WORKER_ID_ENV: &str = "LLBP_COORD_WORKER";
+
+/// Reconcile passes before the coordinator gives up on cells held by
+/// live foreign processes.
+const MAX_RECONCILE_PASSES: u32 = 5;
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: llbp_coord [--workers N] [fig02 options...]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let mut workers = 2u32;
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = args.next().unwrap_or_else(|| usage("--workers needs a count"));
+                workers = v.parse().unwrap_or_else(|_| usage(&format!("bad --workers: {v}")));
+                if workers == 0 {
+                    usage("--workers must be >= 1");
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => forwarded.push(other.to_string()),
+        }
+    }
+    let opts = Opts::parse(forwarded.iter().cloned());
+    let store = memo_store(&opts).unwrap_or_else(|| {
+        eprintln!("error: distributed campaigns need a memo store (cache root unavailable)");
+        std::process::exit(1);
+    });
+
+    match std::env::var(WORKER_ID_ENV).ok().and_then(|v| v.parse::<u32>().ok()) {
+        Some(id) => worker_main(id, &opts, &store),
+        None => coordinator_main(workers, &forwarded, &opts, &store),
+    }
+}
+
+/// Worker mode: one shard pass over the grid, then (if telemetry is on)
+/// a metrics snapshot file for the coordinator to merge.
+fn worker_main(id: u32, opts: &Opts, store: &Arc<MemoStore>) -> ! {
+    let spec = fig02_spec(opts);
+    let cfg = ShardConfig::from_env(id);
+    match run_shard(&spec, store, fault_injector().as_ref(), &cfg) {
+        Ok(summary) => {
+            eprintln!(
+                "llbp-coord: worker {id} done: claimed {} (completed {}, memo {}, \
+                 failed {}, lost {}), skipped {}, takeovers {}",
+                summary.claimed,
+                summary.completed,
+                summary.memo_served,
+                summary.failed,
+                summary.lost,
+                summary.skipped,
+                summary.takeovers,
+            );
+            let snapshot = telemetry(opts).metrics();
+            if !snapshot.is_empty() {
+                let campaign = campaign_fingerprint(&grid_fingerprints(&spec, store));
+                let path = worker_metrics_path(store.root(), campaign, id);
+                if let Err(e) = std::fs::write(&path, snapshot.to_text()) {
+                    eprintln!("warning: cannot write worker metrics to {}: {e}", path.display());
+                }
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: worker {id}: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+/// Coordinator mode: spawn the workers, wait, reconcile, merge, render.
+fn coordinator_main(workers: u32, forwarded: &[String], opts: &Opts, store: &Arc<MemoStore>) -> ! {
+    let spec = fig02_spec(opts);
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate own binary to spawn workers: {e}");
+        std::process::exit(1);
+    });
+    let mut children = Vec::new();
+    for id in 0..workers {
+        let child = Command::new(&exe)
+            .args(forwarded)
+            .env(WORKER_ID_ENV, id.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match child {
+            Ok(child) => children.push((id, child)),
+            Err(e) => eprintln!("warning: cannot spawn worker {id}: {e} (reconcile will cover it)"),
+        }
+    }
+    let mut worker_failures = 0u32;
+    for (id, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                worker_failures += 1;
+                eprintln!("llbp-coord: worker {id} exited abnormally ({status}); reconciling");
+            }
+            Err(e) => {
+                worker_failures += 1;
+                eprintln!("llbp-coord: cannot wait for worker {id}: {e}; reconciling");
+            }
+        }
+    }
+
+    // Reconcile in-process: the coordinator takes the next worker id so
+    // its shard journal merges like any other worker's.
+    let cfg = ShardConfig::from_env(workers);
+    let merge =
+        finish_campaign(&spec, store, fault_injector().as_ref(), &cfg, MAX_RECONCILE_PASSES)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(e.exit_code());
+            });
+
+    // Merge the workers' shipped metric snapshots with our own registry.
+    let mut metrics = telemetry(opts).metrics();
+    for id in 0..=workers {
+        let path = worker_metrics_path(store.root(), merge.campaign, id);
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        match MetricsSnapshot::from_text(&text) {
+            Ok(shard) => metrics.merge(&shard),
+            Err(e) => eprintln!("warning: skipping torn metrics snapshot {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = std::fs::write(path, llbp_obs::export::prometheus(&metrics)) {
+            eprintln!("warning: cannot write metrics to {path}: {e}");
+        }
+    }
+
+    let failed = merge.cells.iter().filter(|cell| cell.is_none()).count();
+    let placeholders: Vec<SimResult> =
+        (0..merge.cells.len()).map(|index| placeholder_result(&spec, index)).collect();
+    print!(
+        "{}",
+        fig02_render(
+            |w, p| {
+                let index = w * spec.predictors.len() + p;
+                merge.cells[index].as_ref().map_or(&placeholders[index], |cell| &cell.result)
+            },
+            opts,
+        )
+    );
+    eprintln!(
+        "{{\"event\":\"coord_campaign\",\"workers\":{workers},\"cells\":{},\"failed\":{failed},\
+         \"worker_failures\":{worker_failures},\"reconcile_passes\":{},\"lease_takeovers\":{},\
+         \"journal\":\"{}\"}}",
+        merge.cells.len(),
+        merge.passes,
+        merge.takeovers,
+        merge.journal.display(),
+    );
+    for (cell, outcome) in &merge.outcomes {
+        if let CellOutcome::Failed { class } = outcome {
+            eprintln!("warning: cell {cell} ultimately failed ({class})");
+        }
+    }
+    if opts.strict && failed > 0 {
+        eprintln!("error: {failed} of {} cells failed", merge.cells.len());
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// The engine's all-zero placeholder for a failed cell, so the grid
+/// still renders (and `--strict` decides the exit status).
+fn placeholder_result(spec: &llbp_sim::SweepSpec, index: usize) -> SimResult {
+    let (workload, predictor) = (index / spec.predictors.len(), index % spec.predictors.len());
+    SimResult {
+        label: spec.predictors[predictor].label(),
+        workload: spec.workloads[workload].name().to_string(),
+        instructions: 0,
+        conditional_branches: 0,
+        mispredictions: 0,
+        provider_counts: Default::default(),
+        per_branch_mispredicts: None,
+        per_branch_executions: None,
+        llbp: None,
+    }
+}

@@ -24,6 +24,11 @@
 //! under `target/llbp-cache/` (override with `LLBP_CACHE_DIR`), so a
 //! re-run of any figure — or a figure sharing grid cells with a previous
 //! one — skips generation and simulation for everything already stored.
+//! `LLBP_STORE=tcp://host:port` points the memo store at a shared
+//! `llbp_store` server instead of the local directory; `llbp_coord`
+//! shards a campaign across worker processes against it (DESIGN.md §11).
+
+pub mod figures;
 
 use llbp_obs::{Telemetry, TelemetrySettings};
 use llbp_sim::{
@@ -184,9 +189,9 @@ pub fn fault_injector() -> Option<Arc<FaultInjector>> {
     INJECTOR
         .get_or_init(|| match FaultInjector::from_env() {
             Ok(injector) => injector.map(Arc::new),
-            Err(msg) => {
-                eprintln!("error: bad {}: {msg}", llbp_sim::FAULT_SPEC_ENV);
-                std::process::exit(2);
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(err.exit_code());
             }
         })
         .clone()
@@ -256,12 +261,24 @@ pub fn export_telemetry(opts: &Opts) {
     }
 }
 
-/// Opens the shared persistent memo store (`LLBP_CACHE_DIR`, defaulting
-/// to `target/llbp-cache/`). Returns `None` — and the binaries degrade to
-/// uncached operation — if the directory cannot be created.
+/// Opens the shared persistent memo store: rooted at `LLBP_CACHE_DIR`
+/// (defaulting to `target/llbp-cache/`), served through the backend
+/// `LLBP_STORE` selects (`local`, or `tcp://host:port` for a shared
+/// `llbp-store` server). Returns `None` — and the binaries degrade to
+/// uncached operation — if the local directory cannot be created. A
+/// *malformed* `LLBP_STORE` spec exits with status 2 instead: silently
+/// running local when the user asked for a shared store would fork the
+/// campaign's results.
 #[must_use]
 pub fn memo_store(opts: &Opts) -> Option<Arc<MemoStore>> {
-    let mut store = MemoStore::open_default().ok()?;
+    let mut store = match MemoStore::open_default() {
+        Ok(store) => store,
+        Err(err @ llbp_sim::SimError::Config { .. }) => {
+            eprintln!("error: {err}");
+            std::process::exit(err.exit_code());
+        }
+        Err(_) => return None,
+    };
     if let Some(faults) = fault_injector() {
         store.attach_faults(faults);
     }
@@ -290,7 +307,7 @@ pub fn engine(opts: &Opts) -> SweepEngine {
 /// so campaign scripts can retry contended runs specifically.
 #[must_use]
 pub fn run_sweep(engine: &SweepEngine, spec: &llbp_sim::SweepSpec) -> SweepReport {
-    engine.try_run(spec).unwrap_or_else(|e| contention_exit(&e))
+    engine.try_run(spec).unwrap_or_else(|e| campaign_exit(&e))
 }
 
 /// [`run_sweep`] against a caller-provided trace cache (for binaries that
@@ -301,13 +318,19 @@ pub fn run_sweep_with_cache(
     spec: &llbp_sim::SweepSpec,
     cache: &TraceCache,
 ) -> SweepReport {
-    engine.try_run_with_cache(spec, cache).unwrap_or_else(|e| contention_exit(&e))
+    engine.try_run_with_cache(spec, cache).unwrap_or_else(|e| campaign_exit(&e))
 }
 
-fn contention_exit(e: &llbp_sim::SimError) -> ! {
+/// Maps a campaign-fatal error to its diagnostic and distinct exit
+/// status: config errors exit 2, journal contention 3, network failures
+/// 4, a lost work lease 5, everything else 1 — so campaign scripts can
+/// react to each class specifically (e.g. retry contended runs).
+fn campaign_exit(e: &llbp_sim::SimError) -> ! {
     eprintln!("error: {e}");
-    eprintln!("hint: another campaign holds this grid's journal lock; retry when it finishes");
-    std::process::exit(3);
+    if matches!(e, llbp_sim::SimError::CacheContention { .. }) {
+        eprintln!("hint: another campaign holds this grid's journal lock; retry when it finishes");
+    }
+    std::process::exit(e.exit_code());
 }
 
 /// Standard epilogue for every sweep binary: archives the throughput

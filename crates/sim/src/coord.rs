@@ -1,0 +1,451 @@
+//! Sharded execution for distributed campaigns: lease-claimed cells,
+//! per-worker journals, and the coordinator-side merge.
+//!
+//! A distributed campaign runs one [`SweepSpec`] grid across several
+//! worker *processes* (spawned by the `llbp-coord` binary). There is no
+//! work queue service: coordination is files under the shared cache
+//! root. Each worker walks the grid in order and, per cell, tries to
+//! claim the cell's lease (see [`crate::lease`]); a claimed cell is
+//! probed against the memo store, simulated on a miss, published, and
+//! journaled to the worker's own shard journal
+//! `<campaign>.w<id>.journal`. Cells someone else holds are skipped —
+//! the lease *is* the shard assignment, so the split adapts to worker
+//! speed instead of being fixed up front.
+//!
+//! # Crash recovery
+//!
+//! A worker that dies mid-cell leaves a lease stamped with a dead
+//! process (or, eventually, an expired deadline). The coordinator's
+//! reconcile pass ([`finish_campaign`]) runs the same shard loop in the
+//! coordinator process: stale leases are stolen via the same
+//! PID-reuse-hardened takeover as the campaign lock, unpublished cells
+//! re-run, and the pass repeats until every cell is either published or
+//! deterministically failed. The memo store is the source of truth
+//! throughout — a journal entry is a claim about the store, never a
+//! substitute for it (the same philosophy as single-process resume).
+//!
+//! # Determinism
+//!
+//! Cells are pure functions of `(predictor, workload spec, sim config)`
+//! and results roundtrip the store bit-exactly, so the merged campaign
+//! — journals folded with [`merge_outcomes`], cells loaded back in grid
+//! order — is byte-identical to a single-process run of the same grid,
+//! regardless of how the workers raced. The chaos-parity smoke in
+//! `scripts/tier1.sh` diffs exactly that.
+
+use crate::cache::TraceCache;
+use crate::engine::{SweepSpec, DEFAULT_MAX_RETRIES, MAX_RETRIES_ENV};
+use crate::error::{backoff_delay, panic_message, CancelToken, SimError};
+use crate::faultinject::FaultInjector;
+use crate::journal::{
+    campaign_fingerprint, merge_outcomes, outcome_line, read_outcomes, CellOutcome,
+};
+use crate::lease::{lease_ttl_from_env, LeaseSet};
+use crate::memo::{CachedCell, MemoStore};
+use llbp_trace::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Environment variable injecting a worker crash: `"<worker>:<nth>"`
+/// aborts worker `<worker>` after it claims its `<nth>` lease (1-based),
+/// while still holding it — the chaos smoke's dead-holder scenario.
+pub const WORKER_ABORT_ENV: &str = "LLBP_WORKER_ABORT";
+
+fn io_err(op: &'static str) -> impl Fn(std::io::Error) -> SimError {
+    move |e| SimError::MemoIo { op, detail: e.to_string() }
+}
+
+/// The shard journal path for `worker` — `<campaign>.w<worker>.journal`,
+/// next to the single-process journal `<campaign>.journal` it feeds.
+#[must_use]
+pub fn worker_journal_path(root: &Path, campaign: Fingerprint, worker: u32) -> PathBuf {
+    root.join(format!("{campaign}.w{worker}.journal"))
+}
+
+/// The per-worker metrics snapshot path (`MetricsSnapshot::to_text`
+/// contents), merged by the coordinator alongside the journals.
+#[must_use]
+pub fn worker_metrics_path(root: &Path, campaign: Fingerprint, worker: u32) -> PathBuf {
+    root.join(format!("{campaign}.w{worker}.metrics"))
+}
+
+/// Reads every shard journal of `campaign` under `root` (any worker id),
+/// in deterministic path order. Missing directories read as empty.
+#[must_use]
+pub fn read_worker_journals(
+    root: &Path,
+    campaign: Fingerprint,
+) -> Vec<HashMap<usize, CellOutcome>> {
+    let prefix = format!("{campaign}.w");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(root)
+        .into_iter()
+        .flatten()
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.extension().is_some_and(|ext| ext == "journal")
+                && path.file_name().is_some_and(|name| name.to_string_lossy().starts_with(&prefix))
+        })
+        .collect();
+    paths.sort();
+    paths.iter().map(|path| read_outcomes(path)).collect()
+}
+
+/// Writes the merged campaign journal (`<campaign>.journal`) from folded
+/// shard outcomes, entries sorted by cell index — the canonical artifact
+/// a later single-process `--resume` run picks up. Durable:
+/// write-to-temp, fsync, rename.
+///
+/// # Errors
+///
+/// [`SimError::MemoIo`] on filesystem failures.
+pub fn write_merged_journal(
+    root: &Path,
+    campaign: Fingerprint,
+    outcomes: &HashMap<usize, CellOutcome>,
+) -> Result<PathBuf, SimError> {
+    let path = root.join(format!("{campaign}.journal"));
+    let mut cells: Vec<&usize> = outcomes.keys().collect();
+    cells.sort_unstable();
+    let mut text = String::new();
+    for &cell in cells {
+        text.push_str(&outcome_line(cell, &outcomes[&cell]));
+    }
+    let tmp = path.with_extension("journal.merge-tmp");
+    let err = io_err("merge_journal");
+    let mut file = File::create(&tmp).map_err(&err)?;
+    file.write_all(text.as_bytes()).and_then(|()| file.sync_all()).map_err(&err)?;
+    drop(file);
+    std::fs::rename(&tmp, &path).map_err(&err)?;
+    Ok(path)
+}
+
+/// One worker's shard journal: append-only and fsynced like the campaign
+/// journal, but lock-free — the worker id in the filename is the
+/// exclusion (each process appends only to its own shard).
+#[derive(Debug)]
+pub struct WorkerJournal {
+    file: File,
+}
+
+impl WorkerJournal {
+    /// Opens (appending) the shard journal for `worker`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoIo`] when the file cannot be opened.
+    pub fn open(root: &Path, campaign: Fingerprint, worker: u32) -> Result<Self, SimError> {
+        std::fs::create_dir_all(root).map_err(io_err("open_shard_journal"))?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(worker_journal_path(root, campaign, worker))
+            .map_err(io_err("open_shard_journal"))?;
+        Ok(Self { file })
+    }
+
+    /// Appends one outcome (best-effort, like the campaign journal: a
+    /// journal IO failure never fails the cell it describes).
+    pub fn record(&mut self, cell: usize, outcome: &CellOutcome) {
+        let _ = self.file.write_all(outcome_line(cell, outcome).as_bytes());
+        let _ = self.file.sync_all();
+    }
+}
+
+/// How one shard pass should run.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// This process's worker id (names the shard journal; the
+    /// coordinator's reconcile pass uses the next id after the workers).
+    pub worker: u32,
+    /// Abort the process after claiming this many leases (1-based count;
+    /// `None` = never). Set from [`WORKER_ABORT_ENV`] to stage a crash
+    /// while holding a lease.
+    pub abort_after_claims: Option<u32>,
+    /// Per-cell transient-failure retry budget.
+    pub max_retries: u32,
+}
+
+impl ShardConfig {
+    /// The config for `worker`: retries from `LLBP_MAX_RETRIES` and the
+    /// staged crash (if any) from [`WORKER_ABORT_ENV`].
+    #[must_use]
+    pub fn from_env(worker: u32) -> Self {
+        let max_retries = std::env::var(MAX_RETRIES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_MAX_RETRIES);
+        Self { worker, abort_after_claims: Self::abort_from_env(worker), max_retries }
+    }
+
+    /// Parses [`WORKER_ABORT_ENV`] (`"<worker>:<nth>"`) for this worker.
+    fn abort_from_env(worker: u32) -> Option<u32> {
+        let spec = std::env::var(WORKER_ABORT_ENV).ok()?;
+        let (id, nth) = spec.trim().split_once(':')?;
+        (id.trim().parse::<u32>().ok()? == worker).then(|| nth.trim().parse().ok())?
+    }
+}
+
+/// What one shard pass did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSummary {
+    /// Leases claimed (including memo-served and failed cells).
+    pub claimed: u64,
+    /// Cells simulated and published.
+    pub completed: u64,
+    /// Claimed cells already present in the memo store.
+    pub memo_served: u64,
+    /// Cells that exhausted retries (journaled `failed`).
+    pub failed: u64,
+    /// Cells whose lease was lost mid-run (result discarded; the new
+    /// holder re-runs them).
+    pub lost: u64,
+    /// Cells skipped because another live worker held the lease.
+    pub skipped: u64,
+    /// Stale leases stolen (dead or wedged holders taken over).
+    pub takeovers: u64,
+}
+
+/// Runs one shard pass over the whole grid: claim, probe, simulate,
+/// publish, journal. Returns what happened; cells other workers hold
+/// are skipped, not waited for.
+///
+/// # Errors
+///
+/// [`SimError::MemoIo`] when the lease directory or shard journal
+/// cannot be set up. Per-cell failures are journaled and counted, never
+/// returned.
+pub fn run_shard(
+    spec: &SweepSpec,
+    store: &Arc<MemoStore>,
+    faults: Option<&Arc<FaultInjector>>,
+    cfg: &ShardConfig,
+) -> Result<ShardSummary, SimError> {
+    let fps = grid_fingerprints(spec, store);
+    let campaign = campaign_fingerprint(&fps);
+    let leases = LeaseSet::open(store.root(), campaign, lease_ttl_from_env())?;
+    let mut journal = WorkerJournal::open(store.root(), campaign, cfg.worker)?;
+    let cache = TraceCache::with_store(Arc::clone(store), false);
+    let mut summary = ShardSummary::default();
+    for (index, &fp) in fps.iter().enumerate() {
+        let Some(lease) = leases.try_claim(index)? else {
+            summary.skipped += 1;
+            continue;
+        };
+        summary.claimed += 1;
+        if cfg.abort_after_claims == Some(u32::try_from(summary.claimed).unwrap_or(u32::MAX)) {
+            // Staged crash: die holding the lease, exactly like a real
+            // worker kill. The coordinator's takeover path cleans up.
+            eprintln!(
+                "llbp-coord: worker {} aborting on claim {} (injected)",
+                cfg.worker, summary.claimed
+            );
+            std::process::abort();
+        }
+        if let Ok(Some(cell)) = store.load_result(fp) {
+            journal.record(index, &CellOutcome::Ok { fingerprint: fp, digest: Some(cell.digest) });
+            summary.memo_served += 1;
+            continue;
+        }
+        match simulate_cell(spec, index, &cache, cfg.max_retries) {
+            Ok((result, wall, branches)) => match lease.check(faults.map(Arc::as_ref)) {
+                Ok(()) => {
+                    let digest = publish(store, fp, &result, wall, branches, cfg.max_retries);
+                    journal.record(index, &CellOutcome::Ok { fingerprint: fp, digest });
+                    summary.completed += 1;
+                }
+                Err(SimError::LeaseLost { .. }) => summary.lost += 1,
+                Err(e) => return Err(e),
+            },
+            Err(error) => {
+                journal.record(index, &CellOutcome::Failed { class: error.class().to_string() });
+                summary.failed += 1;
+            }
+        }
+    }
+    summary.takeovers = leases.takeovers();
+    Ok(summary)
+}
+
+/// The merged view of a finished distributed campaign.
+#[derive(Debug)]
+pub struct CampaignMerge {
+    /// The campaign fingerprint (names journals and leases).
+    pub campaign: Fingerprint,
+    /// Folded per-cell outcomes from every shard journal.
+    pub outcomes: HashMap<usize, CellOutcome>,
+    /// Every cell in grid order; `None` for deterministically failed
+    /// cells (their outcome says why).
+    pub cells: Vec<Option<CachedCell>>,
+    /// Path of the merged canonical journal.
+    pub journal: PathBuf,
+    /// Reconcile passes the coordinator ran (1 = workers left nothing).
+    pub passes: u32,
+    /// Stale leases stolen during reconcile (dead workers taken over).
+    pub takeovers: u64,
+}
+
+/// Coordinator-side completion: repeat shard passes in this process
+/// until every cell is published or deterministically failed, then fold
+/// the shard journals, write the merged canonical journal, and load the
+/// cells back in grid order.
+///
+/// Crashed workers' cells are recovered here — their stale leases are
+/// stolen by the pass's claim loop, and cells they published before
+/// dying are honored via the memo probe. Lost-lease discards (e.g.
+/// injected `lease:expire`) converge because each pass re-claims
+/// whatever is still unpublished.
+///
+/// # Errors
+///
+/// [`SimError::MemoIo`] when setup fails, a published cell cannot be
+/// read back, or `max_passes` passes still leave unresolved cells
+/// (live foreign leases wedging the campaign).
+pub fn finish_campaign(
+    spec: &SweepSpec,
+    store: &Arc<MemoStore>,
+    faults: Option<&Arc<FaultInjector>>,
+    cfg: &ShardConfig,
+    max_passes: u32,
+) -> Result<CampaignMerge, SimError> {
+    let fps = grid_fingerprints(spec, store);
+    let campaign = campaign_fingerprint(&fps);
+    let mut passes = 0u32;
+    let mut takeovers = 0u64;
+    loop {
+        passes += 1;
+        let summary = run_shard(spec, store, faults, cfg)?;
+        takeovers += summary.takeovers;
+        // Resolved = published in the store, or failed by *our own*
+        // shard pass (meaning it exhausted retries locally and is
+        // deterministic, not a crashed worker's transient verdict).
+        let own = read_outcomes(&worker_journal_path(store.root(), campaign, cfg.worker));
+        let unresolved = fps.iter().enumerate().any(|(index, &fp)| {
+            !store.has_result(fp) && !matches!(own.get(&index), Some(CellOutcome::Failed { .. }))
+        });
+        if !unresolved {
+            break;
+        }
+        if passes >= max_passes {
+            return Err(SimError::MemoIo {
+                op: "campaign_merge",
+                detail: format!(
+                    "cells still unresolved after {passes} reconcile passes \
+                     (a live foreign process may hold their leases)"
+                ),
+            });
+        }
+        // Another pass: stale leases age out / their holders die.
+        std::thread::sleep(backoff_delay(passes));
+    }
+    let outcomes = merge_outcomes(read_worker_journals(store.root(), campaign));
+    let journal = write_merged_journal(store.root(), campaign, &outcomes)?;
+    let mut cells = Vec::with_capacity(fps.len());
+    for (index, &fp) in fps.iter().enumerate() {
+        if matches!(outcomes.get(&index), Some(CellOutcome::Failed { .. })) && !store.has_result(fp)
+        {
+            cells.push(None);
+            continue;
+        }
+        match store.load_result(fp)? {
+            Some(cell) => cells.push(Some(cell)),
+            None => {
+                return Err(SimError::MemoIo {
+                    op: "campaign_merge",
+                    detail: format!("cell {index} vanished between reconcile and merge"),
+                })
+            }
+        }
+    }
+    Ok(CampaignMerge { campaign, outcomes, cells, journal, passes, takeovers })
+}
+
+/// Cell fingerprints in grid order (workload-major, matching
+/// [`SweepSpec`]'s job numbering).
+#[must_use]
+pub fn grid_fingerprints(spec: &SweepSpec, store: &MemoStore) -> Vec<Fingerprint> {
+    (0..spec.num_jobs())
+        .map(|index| {
+            let (workload, predictor) =
+                (index / spec.predictors.len(), index % spec.predictors.len());
+            store.result_fingerprint(
+                &spec.predictors[predictor],
+                &spec.workloads[workload],
+                &spec.sim,
+            )
+        })
+        .collect()
+}
+
+/// Simulates one cell with the engine's isolation semantics: trace
+/// generation and the simulation run under `catch_unwind`, transient
+/// failures retry with deterministic backoff, deterministic failures
+/// fail fast.
+fn simulate_cell(
+    spec: &SweepSpec,
+    index: usize,
+    cache: &TraceCache,
+    max_retries: u32,
+) -> Result<(crate::driver::SimResult, std::time::Duration, u64), SimError> {
+    let (workload, predictor) = (index / spec.predictors.len(), index % spec.predictors.len());
+    let wspec = &spec.workloads[workload];
+    let mut attempt = 0u32;
+    loop {
+        let outcome: Result<_, SimError> = (|| {
+            let token = CancelToken::none();
+            let trace = catch_unwind(AssertUnwindSafe(|| {
+                cache.get_or_generate_cancellable(wspec, &token, None)
+            }))
+            .map_err(|payload| SimError::TraceGen {
+                workload: wspec.name().to_string(),
+                detail: panic_message(payload.as_ref()),
+            })??;
+            let kind = spec.predictors[predictor].clone();
+            let label = kind.label();
+            let started = Instant::now();
+            let result =
+                catch_unwind(AssertUnwindSafe(|| spec.sim.run_cancellable(kind, &trace, &token)))
+                    .map_err(|payload| SimError::PredictorPanic {
+                        label,
+                        detail: panic_message(payload.as_ref()),
+                    })??;
+            Ok((result, started.elapsed(), trace.len() as u64))
+        })();
+        match outcome {
+            Ok(done) => return Ok(done),
+            Err(error) if error.is_transient() && attempt < max_retries => {
+                std::thread::sleep(backoff_delay(attempt));
+                attempt += 1;
+            }
+            Err(error) => return Err(error),
+        }
+    }
+}
+
+/// Publishes a cell with bounded retry; best-effort like the engine's
+/// write-back (a journal entry without a digest marks the gap).
+fn publish(
+    store: &MemoStore,
+    fp: Fingerprint,
+    result: &crate::driver::SimResult,
+    wall: std::time::Duration,
+    trace_len: u64,
+    max_retries: u32,
+) -> Option<Fingerprint> {
+    let mut attempt = 0u32;
+    loop {
+        match store.store_result(fp, result, wall, trace_len) {
+            Ok(digest) => return Some(digest),
+            Err(_) if attempt < max_retries => {
+                std::thread::sleep(backoff_delay(attempt));
+                attempt += 1;
+            }
+            Err(_) => return None,
+        }
+    }
+}

@@ -324,6 +324,10 @@ pub struct SweepReport {
     /// cells (`auto` never appears here — the concrete tier it picked
     /// does), so archived throughput records say what actually ran.
     pub backend: &'static str,
+    /// Storage tier serving memoized cells (`"local"`, `"remote"`, or
+    /// `"none"` for storeless sweeps), so archived throughput records
+    /// say where the cells came from.
+    pub store_tier: &'static str,
 }
 
 impl SweepReport {
@@ -378,7 +382,7 @@ impl SweepReport {
         let mut line = format!(
             concat!(
                 "{{\"event\":\"sweep_throughput\",\"label\":\"{}\",",
-                "\"backend\":\"{}\",",
+                "\"backend\":\"{}\",\"store\":\"{}\",",
                 "\"jobs\":{},\"workers\":{},\"branches\":{},",
                 "\"wall_s\":{:.3},\"branches_per_sec\":{:.0},",
                 "\"cache_hits\":{},\"cache_misses\":{},",
@@ -390,6 +394,7 @@ impl SweepReport {
             ),
             sanitize(label),
             self.backend,
+            self.store_tier,
             self.jobs.len(),
             self.workers,
             self.total_branches(),
@@ -756,6 +761,7 @@ impl SweepEngine {
             lock_takeovers,
             cell_wall,
             backend: spec.sim.backend.resolve().label(),
+            store_tier: self.store.as_ref().map_or("none", |store| store.tier()),
         };
         // Mirror the campaign summary into the metrics registry so a
         // Prometheus snapshot is self-contained without the report.

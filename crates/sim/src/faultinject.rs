@@ -22,6 +22,11 @@
 //!                           watchdog must interrupt the generator itself
 //! lock:count=1              report journal contention on the first campaign open
 //! stale:cell=2              demote cell 2's first verify-resume check to stale
+//! net:drop                  sever the remote-store connection mid-request
+//! net:timeout               stall a remote-store request past its deadline
+//! net:torn-write            send a truncated request frame, then sever
+//! net:disconnect:count=2    close the connection before the next 2 requests
+//! lease:expire              force the next lease-validity check to report expiry
 //! ```
 //!
 //! The `LLBP_FAULT_SPEC` environment variable carries the spec into the
@@ -49,6 +54,29 @@ pub const INJECTED_PANIC_TAG: &str = "llbp injected panic";
 
 /// Fixed seed of the IO-fault random stream (reproducible by design).
 const IO_FAULT_SEED: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// Network fault sub-kinds injected at the remote-store framing layer.
+///
+/// Each maps to one way a real TCP peer can misbehave; the remote
+/// backend consults [`FaultInjector::next_net_fault`] once per request
+/// and simulates the returned kind, so every distributed failure mode
+/// has a deterministic reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Sever the connection after the request frame is written but
+    /// before the response arrives (`net:drop`).
+    Drop,
+    /// Stall the request past the client's per-request deadline
+    /// (`net:timeout`).
+    Timeout,
+    /// Write only part of the request frame, then sever the connection
+    /// (`net:torn-write`) — the server must reject the torn frame
+    /// without corrupting the store.
+    TornWrite,
+    /// Close the connection before the request is sent
+    /// (`net:disconnect`); the next request must reconnect.
+    Disconnect,
+}
 
 /// Where a `slow` rule injects its sleep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +135,21 @@ pub enum FaultRule {
         /// Number of checks that report stale.
         count: u32,
     },
+    /// Inject a network fault into the first `count` remote-store
+    /// requests that consult this rule.
+    Net {
+        /// Which misbehavior to simulate.
+        kind: NetFaultKind,
+        /// Number of requests that fault.
+        count: u32,
+    },
+    /// Force the first `count` lease-validity checks to report expiry,
+    /// as if the heartbeat deadline passed and another worker stole the
+    /// lease.
+    LeaseExpire {
+        /// Number of checks that report expiry.
+        count: u32,
+    },
 }
 
 /// A shared, thread-safe injector consulted by the sweep engine (cell
@@ -133,15 +176,19 @@ impl FaultInjector {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed rule.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// Returns [`SimError::Config`] naming the first malformed rule —
+    /// a bad spec must abort the campaign (exit 2), never degrade into
+    /// silently running without the requested faults.
+    pub fn parse(spec: &str) -> Result<Self, SimError> {
         let mut rules = Vec::new();
         for rule in spec.split(';') {
             let rule = rule.trim();
             if rule.is_empty() {
                 continue;
             }
-            rules.push(parse_rule(rule)?);
+            rules.push(parse_rule(rule).map_err(|detail| SimError::Config {
+                detail: format!("{FAULT_SPEC_ENV} rule `{rule}`: {detail}"),
+            })?);
         }
         Ok(Self::new(rules))
     }
@@ -150,8 +197,8 @@ impl FaultInjector {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed rule.
-    pub fn from_env() -> Result<Option<Self>, String> {
+    /// Returns [`SimError::Config`] naming the first malformed rule.
+    pub fn from_env() -> Result<Option<Self>, SimError> {
         match std::env::var(FAULT_SPEC_ENV) {
             Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
             _ => Ok(None),
@@ -241,6 +288,40 @@ impl FaultInjector {
         stale
     }
 
+    /// The next injected network fault for a remote-store request, if
+    /// any. Each `net:*` rule fires for its first `count` consultations,
+    /// in rule order, so `net:disconnect:count=1;net:drop` disconnects
+    /// the first request and drops the second. Consulted once per
+    /// request by the protocol framing layer.
+    #[must_use]
+    pub fn next_net_fault(&self) -> Option<NetFaultKind> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let FaultRule::Net { kind, count } = *rule {
+                if self.fired[i].fetch_add(1, Ordering::Relaxed) < count {
+                    return Some(kind);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether a `lease:expire` rule forces this lease-validity check
+    /// to report expiry (each matching rule fires for its first `count`
+    /// checks). The holder must then abandon the cell with
+    /// [`SimError::LeaseLost`] exactly as if a peer had stolen it.
+    #[must_use]
+    pub fn check_lease_expire(&self) -> bool {
+        let mut expired = false;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let FaultRule::LeaseExpire { count } = *rule {
+                if self.fired[i].fetch_add(1, Ordering::Relaxed) < count {
+                    expired = true;
+                }
+            }
+        }
+        expired
+    }
+
     /// Consults the `io` rules before a memo-store operation.
     ///
     /// # Errors
@@ -271,8 +352,34 @@ pub fn is_injected_panic(payload: &(dyn std::any::Any + Send)) -> bool {
 
 fn parse_rule(rule: &str) -> Result<FaultRule, String> {
     // `lock` needs no arguments, so a bare kind (no `:`) is accepted and
-    // validated per kind like any other rule.
-    let (kind, args) = rule.split_once(':').unwrap_or((rule, ""));
+    // validated per kind like any other rule. The `net`/`lease` families
+    // spend a second `:`-segment on their sub-kind (`net:drop:count=2`),
+    // so for those the key=value arguments start after the sub-kind.
+    let (mut kind, mut args) = rule.split_once(':').unwrap_or((rule, ""));
+    let mut net_kind = None;
+    if kind.trim() == "net" {
+        let (sub, rest) = args.split_once(':').unwrap_or((args, ""));
+        net_kind = Some(match sub.trim() {
+            "drop" => NetFaultKind::Drop,
+            "timeout" => NetFaultKind::Timeout,
+            "torn-write" => NetFaultKind::TornWrite,
+            "disconnect" => NetFaultKind::Disconnect,
+            other => {
+                return Err(format!(
+                    "unknown net fault `{other}` (expected drop/timeout/torn-write/disconnect)"
+                ));
+            }
+        });
+        kind = "net";
+        args = rest;
+    } else if kind.trim() == "lease" {
+        let (sub, rest) = args.split_once(':').unwrap_or((args, ""));
+        if sub.trim() != "expire" {
+            return Err(format!("unknown lease fault `{}` (expected expire)", sub.trim()));
+        }
+        kind = "lease";
+        args = rest;
+    }
     let mut cell = None;
     let mut count = None;
     let mut ms = None;
@@ -322,7 +429,14 @@ fn parse_rule(rule: &str) -> Result<FaultRule, String> {
         }
         "lock" => Ok(FaultRule::Lock { count: count.unwrap_or(1) }),
         "stale" => Ok(FaultRule::Stale { cell: cell_of("stale")?, count: count.unwrap_or(1) }),
-        other => Err(format!("unknown fault kind `{other}` (expected panic/io/slow/lock/stale)")),
+        "net" => Ok(FaultRule::Net {
+            kind: net_kind.expect("net rules parse their sub-kind above"),
+            count: count.unwrap_or(1),
+        }),
+        "lease" => Ok(FaultRule::LeaseExpire { count: count.unwrap_or(1) }),
+        other => Err(format!(
+            "unknown fault kind `{other}` (expected panic/io/slow/lock/stale/net/lease)"
+        )),
     }
 }
 
@@ -363,6 +477,64 @@ mod tests {
         );
         assert!(FaultInjector::parse("slow:cell=1,ms=5,at=warp").is_err());
         assert!(FaultInjector::parse("stale:count=2").is_err(), "stale requires a cell");
+    }
+
+    #[test]
+    fn parses_the_network_and_lease_families() {
+        let inj = FaultInjector::parse(
+            "net:drop;net:timeout:count=2;net:torn-write;net:disconnect:count=3;lease:expire",
+        )
+        .expect("spec parses");
+        assert_eq!(
+            inj.rules(),
+            &[
+                FaultRule::Net { kind: NetFaultKind::Drop, count: 1 },
+                FaultRule::Net { kind: NetFaultKind::Timeout, count: 2 },
+                FaultRule::Net { kind: NetFaultKind::TornWrite, count: 1 },
+                FaultRule::Net { kind: NetFaultKind::Disconnect, count: 3 },
+                FaultRule::LeaseExpire { count: 1 },
+            ]
+        );
+        assert_eq!(
+            FaultInjector::parse("lease:expire:count=2").expect("counted lease parses").rules(),
+            &[FaultRule::LeaseExpire { count: 2 }]
+        );
+    }
+
+    #[test]
+    fn net_rules_fire_in_order_then_exhaust() {
+        let inj = FaultInjector::parse("net:disconnect:count=1;net:drop").expect("parse");
+        assert_eq!(inj.next_net_fault(), Some(NetFaultKind::Disconnect));
+        assert_eq!(inj.next_net_fault(), Some(NetFaultKind::Drop));
+        assert_eq!(inj.next_net_fault(), None, "both rules exhausted");
+    }
+
+    #[test]
+    fn lease_expire_fires_count_times_then_clears() {
+        let inj = FaultInjector::parse("lease:expire:count=2").expect("parse");
+        assert!(inj.check_lease_expire());
+        assert!(inj.check_lease_expire());
+        assert!(!inj.check_lease_expire(), "count exhausted");
+        let quiet = FaultInjector::parse("net:drop").expect("parse");
+        assert!(!quiet.check_lease_expire(), "net rules never expire leases");
+    }
+
+    #[test]
+    fn malformed_specs_reject_with_typed_config_errors() {
+        for bad in [
+            "net",                   // missing sub-kind
+            "net:warp",              // unknown sub-kind
+            "net:drop:cell=x",       // non-numeric argument
+            "lease",                 // missing sub-kind
+            "lease:revoke",          // unknown sub-kind
+            "net:disconnect:count:", // stray colon is not key=value
+        ] {
+            let err = FaultInjector::parse(bad).expect_err("spec `{bad}` should fail");
+            assert_eq!(err.class(), "config", "spec `{bad}`");
+            assert_eq!(err.exit_code(), 2, "spec `{bad}`");
+            assert!(!err.is_transient(), "spec `{bad}` must never be retried");
+            assert!(err.to_string().contains(FAULT_SPEC_ENV), "message names the env var");
+        }
     }
 
     #[test]

@@ -103,6 +103,84 @@ pub fn campaign_fingerprint(cells: &[Fingerprint]) -> Fingerprint {
     h.finish()
 }
 
+/// Renders the journal line for one cell outcome (without the trailing
+/// newline handling — the returned string ends in `\n`). Shared by the
+/// locked [`CampaignJournal`] and the per-worker shard journals of
+/// distributed campaigns (see [`crate::coord`]), so every journal on
+/// disk speaks one grammar.
+#[must_use]
+pub fn outcome_line(cell: usize, outcome: &CellOutcome) -> String {
+    match outcome {
+        CellOutcome::Ok { fingerprint, digest: Some(digest) } => {
+            format!("ok {cell} {fingerprint} {digest}\n")
+        }
+        CellOutcome::Ok { fingerprint, digest: None } => format!("ok {cell} {fingerprint} -\n"),
+        CellOutcome::Failed { class } => format!("failed {cell} {class}\n"),
+        CellOutcome::Stale { fingerprint } => format!("stale {cell} {fingerprint}\n"),
+    }
+}
+
+/// Parses any journal file (locked campaign journal or per-worker shard
+/// journal) into per-cell outcomes without taking the campaign lock:
+/// later lines win, malformed or torn lines are ignored, and a missing
+/// file reads as empty. Read-only — safe on a journal another process is
+/// appending to, because entries are single-write lines.
+#[must_use]
+pub fn read_outcomes(path: &Path) -> HashMap<usize, CellOutcome> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let mut outcomes = HashMap::new();
+    for line in text.lines() {
+        if let Some((cell, outcome)) = parse_line(line) {
+            outcomes.insert(cell, outcome);
+        }
+    }
+    outcomes
+}
+
+/// Precedence key for resolving the same cell reported by different
+/// shards: `Ok` beats `Stale` beats `Failed` (a cell one worker
+/// completed is complete no matter what another worker observed), and
+/// ties break on the rendered entry text, so the merge is a total order
+/// — commutative and associative, hence shard-order-insensitive.
+fn outcome_key(cell: usize, outcome: &CellOutcome) -> (u8, String) {
+    let rank = match outcome {
+        CellOutcome::Ok { .. } => 2,
+        CellOutcome::Stale { .. } => 1,
+        CellOutcome::Failed { .. } => 0,
+    };
+    (rank, outcome_line(cell, outcome))
+}
+
+/// Merges per-shard outcome maps into one campaign view. For each cell
+/// the winning outcome is the maximum under [`outcome_key`]'s total
+/// order, so merging N shard journals gives the same result in any
+/// order — the property tests pin this, and it is what makes a
+/// distributed campaign's merged journal deterministic.
+#[must_use]
+pub fn merge_outcomes<I>(shards: I) -> HashMap<usize, CellOutcome>
+where
+    I: IntoIterator<Item = HashMap<usize, CellOutcome>>,
+{
+    let mut merged: HashMap<usize, CellOutcome> = HashMap::new();
+    for shard in shards {
+        for (cell, outcome) in shard {
+            match merged.entry(cell) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(outcome);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    if outcome_key(cell, &outcome) > outcome_key(cell, slot.get()) {
+                        slot.insert(outcome);
+                    }
+                }
+            }
+        }
+    }
+    merged
+}
+
 /// An open, append-only campaign journal holding its exclusive lock.
 #[derive(Debug)]
 pub struct CampaignJournal {
@@ -206,38 +284,26 @@ impl CampaignJournal {
     /// malformed or partial lines are ignored.
     #[must_use]
     pub fn load(&self) -> HashMap<usize, CellOutcome> {
-        let Ok(text) = std::fs::read_to_string(&self.path) else {
-            return HashMap::new();
-        };
-        let mut outcomes = HashMap::new();
-        for line in text.lines() {
-            if let Some((cell, outcome)) = parse_line(line) {
-                outcomes.insert(cell, outcome);
-            }
-        }
-        outcomes
+        read_outcomes(&self.path)
     }
 
     /// Appends a completion entry for `cell` (best-effort: journal IO
     /// failures never fail the cell they describe). `digest` is the
     /// stored cell's payload checksum when write-back succeeded.
     pub fn record_ok(&self, cell: usize, fingerprint: Fingerprint, digest: Option<Fingerprint>) {
-        match digest {
-            Some(digest) => self.append(&format!("ok {cell} {fingerprint} {digest}\n")),
-            None => self.append(&format!("ok {cell} {fingerprint} -\n")),
-        }
+        self.append(&outcome_line(cell, &CellOutcome::Ok { fingerprint, digest }));
     }
 
     /// Appends a failure entry for `cell` (best-effort).
     pub fn record_failed(&self, cell: usize, class: &str) {
-        self.append(&format!("failed {cell} {class}\n"));
+        self.append(&outcome_line(cell, &CellOutcome::Failed { class: class.to_string() }));
     }
 
     /// Appends a stale-demotion entry for `cell` (best-effort): the
     /// memoized result no longer matches what the journal recorded and
     /// the cell will re-run.
     pub fn record_stale(&self, cell: usize, fingerprint: Fingerprint) {
-        self.append(&format!("stale {cell} {fingerprint}\n"));
+        self.append(&outcome_line(cell, &CellOutcome::Stale { fingerprint }));
     }
 
     /// One entry = one preformatted line = one `write_all` + `sync_all`:

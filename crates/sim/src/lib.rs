@@ -18,6 +18,7 @@
 pub mod backend;
 pub mod cache;
 pub mod config;
+pub mod coord;
 pub mod driver;
 pub mod energy;
 pub mod engine;
@@ -25,24 +26,29 @@ pub mod error;
 pub mod faultinject;
 pub mod journal;
 pub mod l1i;
+pub mod lease;
 pub mod lock;
 pub mod memo;
 pub mod patterns;
 pub mod report;
+pub mod store;
 pub mod timing;
 
 pub use backend::{BackendKind, BACKEND_ENV, BATCH_BLOCK};
 pub use cache::TraceCache;
 pub use config::{PredictorKind, SimConfig};
+pub use coord::{finish_campaign, run_shard, ShardConfig, WORKER_ABORT_ENV};
 pub use driver::{LlbpCellStats, SimResult, Simulator};
 pub use energy::EnergyModel;
 pub use engine::{JobError, SweepEngine, SweepReport, SweepSpec};
 pub use error::{CancelToken, SimError};
 pub use faultinject::{FaultInjector, FAULT_SPEC_ENV};
-pub use journal::{campaign_fingerprint, CampaignJournal, CellOutcome};
+pub use journal::{campaign_fingerprint, merge_outcomes, CampaignJournal, CellOutcome};
 pub use l1i::L1iCache;
+pub use lease::{lease_ttl_from_env, CellLease, LeaseSet, LEASE_TTL_ENV};
 pub use lock::{LockFile, LOCK_WAIT_ENV};
 pub use memo::{CachedCell, MemoStore, MEMO_FORMAT_VERSION};
+pub use store::{ObjectKind, StorageBackend, STORE_ENV};
 pub use timing::TimingModel;
 
 /// The observability crate, re-exported so downstream harnesses can build

@@ -9,14 +9,19 @@
 //! protocol must work with nothing but `std` and survive NFS-style
 //! filesystems where byte-range locks are unreliable.
 //!
-//! The lock file records the holder's PID so a lock orphaned by a crash
-//! (the one case atomic-create cannot recover from on its own) is
-//! detectable: an acquirer that finds a lock held by a *dead* process
-//! removes it and retries. Liveness is probed through `/proc/<pid>`;
-//! where `/proc` does not exist the holder is conservatively assumed
-//! alive, so takeover never steals from a live campaign — it can only
-//! leave a stale lock for a human to delete (`rm <journal>.lock` is
-//! always safe when no campaign is running).
+//! The lock file records the holder's PID *and process start time* (the
+//! kernel's `starttime`, field 22 of `/proc/<pid>/stat`) so a lock
+//! orphaned by a crash (the one case atomic-create cannot recover from
+//! on its own) is detectable: an acquirer that finds a lock whose holder
+//! is dead — or whose PID now names a *different* process, i.e. the PID
+//! was recycled after the holder crashed — removes it and retries.
+//! Liveness is probed through `/proc/<pid>`; where `/proc` does not
+//! exist the holder is conservatively assumed alive, so takeover never
+//! steals from a live campaign — it can only leave a stale lock for a
+//! human to delete (`rm <journal>.lock` is always safe when no campaign
+//! is running). Legacy PID-only stamps (written before start times were
+//! recorded) still parse; they simply fall back to the PID-liveness
+//! check alone.
 //!
 //! The takeover has a benign TOCTOU: two acquirers can both observe the
 //! dead holder and both unlink, after which exactly one wins the
@@ -69,6 +74,81 @@ pub fn pid_alive(pid: u32) -> bool {
         proc_root.join(pid.to_string()).exists()
     } else {
         true
+    }
+}
+
+/// The kernel start time (`starttime`, field 22 of `/proc/<pid>/stat`,
+/// in clock ticks since boot) of the given process, or `None` where the
+/// process is gone or `/proc` is unavailable.
+///
+/// PID + start time together name a process *incarnation*: a recycled
+/// PID gets a fresh start time, so a holder stamp carrying both can
+/// never be confused with the unrelated process that inherited its PID.
+#[must_use]
+pub fn process_start_time(pid: u32) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // The command name (field 2) is parenthesized and may itself contain
+    // spaces or parentheses; everything after the *last* `)` is
+    // whitespace-separated, starting with field 3 (state). starttime is
+    // field 22, i.e. index 19 of those tokens.
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    after_comm.split_ascii_whitespace().nth(19)?.parse().ok()
+}
+
+/// A `pid [start-time]` holder stamp, shared by the campaign lock file
+/// and the per-cell work leases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessStamp {
+    /// The stamping process's PID.
+    pub pid: u32,
+    /// Its kernel start time; `None` for legacy PID-only stamps or
+    /// platforms without `/proc`.
+    pub start_time: Option<u64>,
+}
+
+impl ProcessStamp {
+    /// The calling process's own stamp.
+    #[must_use]
+    pub fn current() -> Self {
+        let pid = std::process::id();
+        Self { pid, start_time: process_start_time(pid) }
+    }
+
+    /// Parses `"pid"` (legacy) or `"pid start-time"` stamp text.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut tokens = text.split_ascii_whitespace();
+        let pid = tokens.next()?.parse().ok()?;
+        let start_time = match tokens.next() {
+            Some(token) => Some(token.parse().ok()?),
+            None => None,
+        };
+        Some(Self { pid, start_time })
+    }
+
+    /// The stamp's wire form (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self.start_time {
+            Some(start) => format!("{} {start}", self.pid),
+            None => self.pid.to_string(),
+        }
+    }
+
+    /// Whether the stamped process incarnation is still alive. Dead PID
+    /// → dead. Live PID whose current start time differs from the
+    /// stamped one → the PID was recycled, the holder itself is dead.
+    /// Missing start-time information on either side falls back to the
+    /// conservative PID-liveness answer.
+    #[must_use]
+    pub fn alive(&self) -> bool {
+        if !pid_alive(self.pid) {
+            return false;
+        }
+        match (self.start_time, process_start_time(self.pid)) {
+            (Some(stamped), Some(current)) => stamped == current,
+            _ => true,
+        }
     }
 }
 
@@ -130,10 +210,12 @@ impl LockFile {
                 }
                 Err(e) if e.kind() == ErrorKind::AlreadyExists => {
                     let holder = Self::read_holder(&path);
-                    if let Some(pid) = holder {
-                        if !pid_alive(pid) {
-                            // Dead holder: take over. Racing takeovers are
-                            // fine — both unlink, one wins the create.
+                    if let Some(stamp) = holder {
+                        if !stamp.alive() {
+                            // Dead holder (or its PID was recycled by an
+                            // unrelated process): take over. Racing
+                            // takeovers are fine — both unlink, one wins
+                            // the create.
                             let _ = std::fs::remove_file(&path);
                             takeovers += 1;
                             continue;
@@ -143,7 +225,7 @@ impl LockFile {
                         observe(true, takeovers);
                         return Err(SimError::CacheContention {
                             path: path.display().to_string(),
-                            holder,
+                            holder: holder.map(|stamp| stamp.pid),
                         });
                     }
                     contended = true;
@@ -168,19 +250,20 @@ impl LockFile {
         self.takeovers
     }
 
-    /// Writes the holder PID into a freshly created lock file
-    /// (best-effort: an unstampable lock still excludes via existence,
-    /// it just cannot be taken over until deleted by hand).
+    /// Writes the holder's `pid start-time` stamp into a freshly created
+    /// lock file (best-effort: an unstampable lock still excludes via
+    /// existence, it just cannot be taken over until deleted by hand).
     fn stamp(mut file: File) {
-        let _ = file.write_all(format!("{}\n", std::process::id()).as_bytes());
+        let _ = file.write_all(format!("{}\n", ProcessStamp::current().to_line()).as_bytes());
         let _ = file.sync_all();
     }
 
-    /// The PID recorded in an existing lock file, if readable and parsed.
-    /// `None` covers both an unreadable file and a racer that created the
-    /// lock but has not stamped it yet — treated as a live holder.
-    fn read_holder(path: &Path) -> Option<u32> {
-        std::fs::read_to_string(path).ok()?.trim().parse().ok()
+    /// The holder stamp recorded in an existing lock file, if readable
+    /// and parsed (legacy PID-only stamps included). `None` covers both
+    /// an unreadable file and a racer that created the lock but has not
+    /// stamped it yet — treated as a live holder.
+    fn read_holder(path: &Path) -> Option<ProcessStamp> {
+        ProcessStamp::parse(&std::fs::read_to_string(path).ok()?)
     }
 
     /// The lock file's path.
@@ -228,7 +311,13 @@ mod tests {
             let lock = LockFile::acquire(path.clone(), Duration::ZERO).expect("uncontended");
             assert!(lock.path().exists());
             let holder = std::fs::read_to_string(&path).expect("stamped");
-            assert_eq!(holder.trim().parse::<u32>().expect("pid"), std::process::id());
+            let stamp = ProcessStamp::parse(&holder).expect("stamp parses");
+            assert_eq!(stamp.pid, std::process::id());
+            assert_eq!(
+                stamp.start_time,
+                process_start_time(std::process::id()),
+                "stamp must carry our own start time where /proc exists"
+            );
         }
         assert!(!path.exists(), "drop must unlink the lock");
         let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
@@ -260,13 +349,66 @@ mod tests {
         let lock =
             LockFile::acquire_observed(path.clone(), Duration::ZERO, &telemetry).expect("takeover");
         let holder = std::fs::read_to_string(&path).expect("restamped");
-        assert_eq!(holder.trim().parse::<u32>().expect("pid"), std::process::id());
+        assert_eq!(ProcessStamp::parse(&holder).expect("stamp").pid, std::process::id());
         assert_eq!(lock.takeovers(), 1, "takeover must be counted");
         let events = telemetry.drain_events();
         assert!(events.iter().any(|e| e.name == "lock_takeover"), "takeover must emit a mark");
         assert_eq!(telemetry.metrics().counters["lock_takeover"], 1);
         drop(lock);
         let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn recycled_pid_is_taken_over() {
+        // A stamp whose PID names a *live* process but whose start time
+        // disagrees with that process's models exactly the PID-reuse
+        // hazard: the real holder died and the kernel handed its PID to
+        // someone else. Our own PID with a perturbed start time is the
+        // most convenient live process to stage this with.
+        let path = scratch_lock("recycled");
+        let Some(own_start) = process_start_time(std::process::id()) else {
+            return; // no /proc: start times unknowable, hardening inert
+        };
+        std::fs::write(&path, format!("{} {}\n", std::process::id(), own_start + 1))
+            .expect("plant recycled-pid lock");
+        let lock = LockFile::acquire(path.clone(), Duration::ZERO)
+            .expect("start-time mismatch must be stolen");
+        assert_eq!(lock.takeovers(), 1);
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn matching_start_time_is_not_stolen() {
+        let path = scratch_lock("incarnate");
+        std::fs::write(&path, format!("{}\n", ProcessStamp::current().to_line()))
+            .expect("plant own stamp");
+        let err = LockFile::acquire(path.clone(), Duration::from_millis(30))
+            .expect_err("own live incarnation must contend, not be stolen");
+        assert!(matches!(err, SimError::CacheContention { .. }));
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn legacy_pid_only_stamps_still_parse() {
+        let stamp = ProcessStamp::parse("12345\n").expect("legacy stamp parses");
+        assert_eq!(stamp, ProcessStamp { pid: 12345, start_time: None });
+        let full = ProcessStamp::parse("12345 678\n").expect("full stamp parses");
+        assert_eq!(full, ProcessStamp { pid: 12345, start_time: Some(678) });
+        assert_eq!(full.to_line(), "12345 678");
+        assert!(ProcessStamp::parse("").is_none());
+        assert!(ProcessStamp::parse("pid 5").is_none());
+        assert!(ProcessStamp::parse("5 then").is_none(), "trailing garbage is not a stamp");
+    }
+
+    #[test]
+    fn own_start_time_is_readable_and_stable() {
+        if !Path::new("/proc").is_dir() {
+            return;
+        }
+        let first = process_start_time(std::process::id()).expect("own stat readable");
+        let second = process_start_time(std::process::id()).expect("still readable");
+        assert_eq!(first, second, "start time never changes within one incarnation");
+        assert!(ProcessStamp::current().alive(), "we are our own live incarnation");
     }
 
     #[test]

@@ -32,15 +32,16 @@ use crate::config::{PredictorKind, SimConfig};
 use crate::driver::{LlbpCellStats, SimResult};
 use crate::error::SimError;
 use crate::faultinject::FaultInjector;
+use crate::store::local::LocalDir;
+use crate::store::{ObjectKind, StorageBackend};
 use bputil::hash::FastHashMap;
 use llbp_core::LlbpStats;
 use llbp_tage::FrontEndStats;
 use llbp_trace::fingerprint::{Fingerprint, StableHasher};
 use llbp_trace::{read_trace, write_trace, Trace, WorkloadSpec};
-use std::fs;
-use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Version salt mixed into every fingerprint. Bump whenever the cell
@@ -79,12 +80,13 @@ pub struct CachedCell {
 #[derive(Debug)]
 pub struct MemoStore {
     root: PathBuf,
+    backend: Arc<dyn StorageBackend>,
     salt: u64,
     trace_loads: AtomicU64,
     trace_stores: AtomicU64,
     result_loads: AtomicU64,
     result_stores: AtomicU64,
-    faults: Option<std::sync::Arc<FaultInjector>>,
+    faults: Option<Arc<FaultInjector>>,
     telemetry: llbp_obs::Telemetry,
 }
 
@@ -108,11 +110,32 @@ impl MemoStore {
     /// created.
     pub fn open_with_salt(dir: impl Into<PathBuf>, salt: u64) -> std::io::Result<Self> {
         let root = dir.into();
-        fs::create_dir_all(root.join("traces"))?;
-        fs::create_dir_all(root.join("results"))?;
-        fs::create_dir_all(root.join("tmp"))?;
-        Ok(Self {
+        let backend: Arc<dyn StorageBackend> = Arc::new(LocalDir::open(&root)?);
+        Ok(Self::assemble(root, backend, salt))
+    }
+
+    /// Opens a store whose object IO goes through an explicit backend
+    /// (the remote tier, or anything a test wants to interpose). `root`
+    /// stays the *local* directory holding journals, locks and leases —
+    /// for a remote backend it doubles as the degradation overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the local directory tree
+    /// cannot be created.
+    pub fn open_with_backend(
+        dir: impl Into<PathBuf>,
+        backend: Arc<dyn StorageBackend>,
+    ) -> std::io::Result<Self> {
+        let root = dir.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self::assemble(root, backend, 0))
+    }
+
+    fn assemble(root: PathBuf, backend: Arc<dyn StorageBackend>, salt: u64) -> Self {
+        Self {
             root,
+            backend,
             salt,
             trace_loads: AtomicU64::new(0),
             trace_stores: AtomicU64::new(0),
@@ -120,13 +143,15 @@ impl MemoStore {
             result_stores: AtomicU64::new(0),
             faults: None,
             telemetry: llbp_obs::Telemetry::disabled(),
-        })
+        }
     }
 
-    /// Attaches a [`FaultInjector`] whose `io` rules fire on every
-    /// load/store operation (the fault-injection harness; production
+    /// Attaches a [`FaultInjector`]: its `io` rules fire on every
+    /// load/store operation, and its `net:*` rules are forwarded to the
+    /// backend's framing layer (the fault-injection harness; production
     /// stores have none attached).
-    pub fn attach_faults(&mut self, faults: std::sync::Arc<FaultInjector>) {
+    pub fn attach_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.backend.attach_faults(Arc::clone(&faults));
         self.faults = Some(faults);
     }
 
@@ -146,24 +171,34 @@ impl MemoStore {
         }
     }
 
-    /// Opens the default store: `$LLBP_CACHE_DIR` if set, else
-    /// [`DEFAULT_CACHE_DIR`].
+    /// Opens the default store: rooted at `$LLBP_CACHE_DIR` (else
+    /// [`DEFAULT_CACHE_DIR`]), with object IO through the backend
+    /// `$LLBP_STORE` selects (else the local directory itself).
     ///
     /// # Errors
     ///
-    /// Returns the underlying error when the directory tree cannot be
-    /// created.
-    pub fn open_default() -> std::io::Result<Self> {
-        match std::env::var(CACHE_DIR_ENV) {
-            Ok(dir) if !dir.trim().is_empty() => Self::open(dir),
-            _ => Self::open(DEFAULT_CACHE_DIR),
-        }
+    /// [`SimError::Config`] for a malformed `LLBP_STORE` spec,
+    /// [`SimError::MemoIo`] when the directory tree cannot be created.
+    pub fn open_default() -> Result<Self, SimError> {
+        let root = match std::env::var(CACHE_DIR_ENV) {
+            Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from(DEFAULT_CACHE_DIR),
+        };
+        let backend = crate::store::backend_from_env(&root)?;
+        Self::open_with_backend(root, backend)
+            .map_err(|e| SimError::MemoIo { op: "open_store", detail: e.to_string() })
     }
 
     /// The store's root directory.
     #[must_use]
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The storage tier serving object IO (`"local"` / `"remote"`).
+    #[must_use]
+    pub fn tier(&self) -> &'static str {
+        self.backend.tier()
     }
 
     /// Traces successfully loaded from disk.
@@ -236,35 +271,31 @@ impl MemoStore {
     // Traces
     // ------------------------------------------------------------------
 
-    fn trace_path(&self, fp: Fingerprint) -> PathBuf {
-        self.root.join("traces").join(format!("{fp}.llbt"))
+    /// The local-layout path of a result cell (meaningful for the local
+    /// tier and the remote tier's overlay; tests and the tier-1 smoke
+    /// tamper with cells through it).
+    #[must_use]
+    pub fn result_path(&self, fp: Fingerprint) -> PathBuf {
+        self.root.join(ObjectKind::Result.dir()).join(format!("{fp}.{}", ObjectKind::Result.ext()))
     }
 
-    fn result_path(&self, fp: Fingerprint) -> PathBuf {
-        self.root.join("results").join(format!("{fp}.llbr"))
-    }
-
-    /// Loads the trace addressed by `fp`. `Ok(None)` is a miss — the
-    /// file does not exist, or exists but is corrupt (bad magic,
+    /// Loads the trace addressed by `fp`. `Ok(None)` is a miss — no
+    /// such object, or an object that is corrupt (bad magic,
     /// truncation, checksum mismatch) and must be regenerated.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::MemoIo`] on a *transient* failure: the file
-    /// exists but could not be read (or an injected IO fault fired).
-    /// Callers may retry or degrade to regeneration.
+    /// Returns a *transient* [`SimError`] when the backend could not
+    /// answer (local IO trouble, or an injected IO fault). Callers may
+    /// retry or degrade to regeneration.
     pub fn load_trace(&self, fp: Fingerprint) -> Result<Option<Trace>, SimError> {
         self.check_faults("load_trace")?;
-        let file = match fs::File::open(self.trace_path(fp)) {
-            Ok(file) => file,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => {
-                return Err(SimError::MemoIo { op: "load_trace", detail: e.to_string() });
-            }
+        let Some(bytes) = self.backend.get(ObjectKind::Trace, fp)? else {
+            return Ok(None);
         };
         // A parse failure is a corrupt entry, not an IO fault: the cell
         // degrades to a miss and the regenerated trace overwrites it.
-        let Ok(trace) = read_trace(BufReader::new(file)) else {
+        let Ok(trace) = read_trace(bytes.as_slice()) else {
             return Ok(None);
         };
         self.trace_loads.fetch_add(1, Ordering::Relaxed);
@@ -286,7 +317,7 @@ impl MemoStore {
             llbp_trace::TraceIoError::Io(io) => io,
             other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
         })?;
-        self.publish(&buf, &self.trace_path(fp))?;
+        self.backend.put(ObjectKind::Trace, fp, &buf).map_err(std::io::Error::other)?;
         self.trace_stores.fetch_add(1, Ordering::Relaxed);
         self.telemetry.counter("memo_trace_stores").inc();
         self.telemetry.counter("memo_bytes_written").add(buf.len() as u64);
@@ -294,10 +325,10 @@ impl MemoStore {
     }
 
     /// Whether a result cell exists for `fp` (no validation; a corrupt
-    /// file will still be rejected by [`MemoStore::load_result`]).
+    /// cell will still be rejected by [`MemoStore::load_result`]).
     #[must_use]
     pub fn has_result(&self, fp: Fingerprint) -> bool {
-        self.result_path(fp).exists()
+        self.backend.contains(ObjectKind::Result, fp).unwrap_or(false)
     }
 
     /// The recorded simulation wall time of the cell addressed by `fp`,
@@ -305,13 +336,10 @@ impl MemoStore {
     #[must_use]
     pub fn recorded_cost(&self, fp: Fingerprint) -> Option<Duration> {
         // The wall time sits at a fixed offset right after magic+version;
-        // reading 16 bytes avoids parsing (and validating) the whole cell
-        // just to schedule it.
-        use std::io::Read;
-        let mut file = fs::File::open(self.result_path(fp)).ok()?;
-        let mut head = [0u8; 16];
-        file.read_exact(&mut head).ok()?;
-        if head[0..4] != CELL_MAGIC {
+        // a 16-byte head read avoids shipping (and validating) the whole
+        // cell just to schedule it.
+        let head = self.backend.head(ObjectKind::Result, fp, 16).ok()??;
+        if head.len() < 16 || head[0..4] != CELL_MAGIC {
             return None;
         }
         let version = u32::from_le_bytes(head[4..8].try_into().expect("slice length"));
@@ -333,12 +361,8 @@ impl MemoStore {
     /// The sweep engine retries these with backoff.
     pub fn load_result(&self, fp: Fingerprint) -> Result<Option<CachedCell>, SimError> {
         self.check_faults("load_result")?;
-        let bytes = match fs::read(self.result_path(fp)) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => {
-                return Err(SimError::MemoIo { op: "load_result", detail: e.to_string() });
-            }
+        let Some(bytes) = self.backend.get(ObjectKind::Result, fp)? else {
+            return Ok(None);
         };
         let Some(cell) = decode_cell(&bytes) else {
             return Ok(None);
@@ -364,7 +388,7 @@ impl MemoStore {
     ) -> std::io::Result<Fingerprint> {
         self.check_faults("store_result").map_err(std::io::Error::other)?;
         let (bytes, digest) = encode_cell(result, wall, trace_len);
-        self.publish(&bytes, &self.result_path(fp))?;
+        self.backend.put(ObjectKind::Result, fp, &bytes).map_err(std::io::Error::other)?;
         self.result_stores.fetch_add(1, Ordering::Relaxed);
         self.telemetry.counter("memo_result_stores").inc();
         self.telemetry.counter("memo_bytes_written").add(bytes.len() as u64);
@@ -389,37 +413,13 @@ impl MemoStore {
         expected: Option<Fingerprint>,
     ) -> Result<bool, SimError> {
         self.check_faults("verify_result")?;
-        let bytes = match fs::read(self.result_path(fp)) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
-            Err(e) => {
-                return Err(SimError::MemoIo { op: "verify_result", detail: e.to_string() });
-            }
+        let Some(bytes) = self.backend.get(ObjectKind::Result, fp)? else {
+            return Ok(false);
         };
         let Some(cell) = decode_cell(&bytes) else {
             return Ok(false);
         };
         Ok(expected.is_none_or(|want| cell.digest == want))
-    }
-
-    /// Writes `bytes` to a unique temp file and renames it into place, so
-    /// readers (including other processes) only ever see complete files.
-    fn publish(&self, bytes: &[u8], dest: &Path) -> std::io::Result<()> {
-        static SEQ: AtomicU64 = AtomicU64::new(0);
-        let tmp = self.root.join("tmp").join(format!(
-            "{}-{}-{}",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed),
-            dest.file_name().and_then(|n| n.to_str()).unwrap_or("cell")
-        ));
-        fs::write(&tmp, bytes)?;
-        match fs::rename(&tmp, dest) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
     }
 }
 
@@ -682,6 +682,7 @@ fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
 mod tests {
     use super::*;
     use llbp_trace::Workload;
+    use std::fs;
     use std::sync::atomic::AtomicU32;
 
     /// A unique throwaway store rooted under the system temp dir.

@@ -1,0 +1,167 @@
+//! The local directory backend: the original memo-store layout.
+//!
+//! Objects live at `<root>/<kind>/<fp>.<ext>`; writes go through a
+//! unique temp file in `<root>/tmp/` plus an atomic rename, so readers
+//! (including other processes sharing the directory) only ever observe
+//! complete files. This backend is both the default tier and the
+//! degradation overlay of the remote tier.
+
+use super::{ObjectKind, StorageBackend};
+use crate::error::SimError;
+use llbp_trace::fingerprint::Fingerprint;
+use std::fs;
+use std::io::{ErrorKind, Read};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A content-addressed object directory.
+#[derive(Debug)]
+pub struct LocalDir {
+    root: PathBuf,
+}
+
+impl LocalDir {
+    /// Opens (creating if necessary) the directory layout at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the tree cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join(ObjectKind::Trace.dir()))?;
+        fs::create_dir_all(root.join(ObjectKind::Result.dir()))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(Self { root })
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path addressing one object.
+    #[must_use]
+    pub fn object_path(&self, kind: ObjectKind, fp: Fingerprint) -> PathBuf {
+        self.root.join(kind.dir()).join(format!("{fp}.{}", kind.ext()))
+    }
+
+    /// Writes `bytes` to a unique temp file and renames it into place.
+    fn publish(&self, bytes: &[u8], dest: &Path) -> std::io::Result<()> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+            dest.file_name().and_then(|n| n.to_str()).unwrap_or("cell")
+        ));
+        fs::write(&tmp, bytes)?;
+        match fs::rename(&tmp, dest) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl StorageBackend for LocalDir {
+    fn tier(&self) -> &'static str {
+        "local"
+    }
+
+    fn get(&self, kind: ObjectKind, fp: Fingerprint) -> Result<Option<Vec<u8>>, SimError> {
+        match fs::read(self.object_path(kind, fp)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(SimError::MemoIo { op: "get", detail: e.to_string() }),
+        }
+    }
+
+    fn put(&self, kind: ObjectKind, fp: Fingerprint, bytes: &[u8]) -> Result<(), SimError> {
+        self.publish(bytes, &self.object_path(kind, fp))
+            .map_err(|e| SimError::MemoIo { op: "put", detail: e.to_string() })
+    }
+
+    fn head(
+        &self,
+        kind: ObjectKind,
+        fp: Fingerprint,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, SimError> {
+        let mut file = match fs::File::open(self.object_path(kind, fp)) {
+            Ok(file) => file,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(SimError::MemoIo { op: "head", detail: e.to_string() }),
+        };
+        let mut buf = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            match file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(SimError::MemoIo { op: "head", detail: e.to_string() }),
+            }
+        }
+        buf.truncate(filled);
+        Ok(Some(buf))
+    }
+
+    fn contains(&self, kind: ObjectKind, fp: Fingerprint) -> Result<bool, SimError> {
+        Ok(self.object_path(kind, fp).exists())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn scratch() -> (LocalDir, PathBuf) {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "llbp-localdir-unit-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        (LocalDir::open(&dir).expect("temp dir"), dir)
+    }
+
+    #[test]
+    fn blobs_roundtrip_per_kind() {
+        let (store, dir) = scratch();
+        let fp = Fingerprint(0xabcd);
+        for kind in [ObjectKind::Trace, ObjectKind::Result] {
+            assert_eq!(store.get(kind, fp).expect("clean"), None);
+            assert!(!store.contains(kind, fp).expect("clean"));
+            store.put(kind, fp, b"hello world").expect("put");
+            assert_eq!(store.get(kind, fp).expect("hit"), Some(b"hello world".to_vec()));
+            assert!(store.contains(kind, fp).expect("hit"));
+        }
+        // The two kinds address disjoint namespaces even for equal fps.
+        store.put(ObjectKind::Trace, fp, b"trace bytes").expect("put");
+        assert_eq!(
+            store.get(ObjectKind::Result, fp).expect("hit"),
+            Some(b"hello world".to_vec()),
+            "result object must be untouched by the trace overwrite"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn head_reads_a_prefix_without_failing_short_objects() {
+        let (store, dir) = scratch();
+        let fp = Fingerprint(1);
+        assert_eq!(store.head(ObjectKind::Result, fp, 16).expect("clean"), None);
+        store.put(ObjectKind::Result, fp, b"0123456789").expect("put");
+        assert_eq!(store.head(ObjectKind::Result, fp, 4).expect("hit"), Some(b"0123".to_vec()));
+        assert_eq!(
+            store.head(ObjectKind::Result, fp, 64).expect("hit"),
+            Some(b"0123456789".to_vec()),
+            "a head longer than the object returns the whole object"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+}

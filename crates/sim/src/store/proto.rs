@@ -1,0 +1,309 @@
+//! The length-prefixed TCP object protocol between workers and
+//! `llbp-store`.
+//!
+//! One request, one response, fixed little-endian framing — simple
+//! enough that a torn frame (a connection severed mid-write, or the
+//! injected `net:torn-write` fault) is always detectable as a short
+//! read, never misparsed as a different request:
+//!
+//! ```text
+//! request:  op u8 | kind u8 | fp u128 | aux u32 | len u32 | payload[len]
+//! response: status u8       |                     len u32 | payload[len]
+//! ```
+//!
+//! `aux` carries the requested prefix length for [`Op::Head`] and is
+//! zero otherwise. `len` is bounded by [`MAX_FRAME`]; a frame claiming
+//! more is rejected before any allocation, so a garbage peer cannot
+//! balloon the server. Responses are [`Status::Ok`] (payload is the
+//! object / the answer), [`Status::Miss`] (no such object — an
+//! *answer*, not an error) or [`Status::Err`] (payload is the server's
+//! error text; the client maps it to [`SimError::Network`]).
+//!
+//! [`SimError::Network`]: crate::error::SimError::Network
+
+use super::ObjectKind;
+use llbp_trace::fingerprint::Fingerprint;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (64 MiB — an order of magnitude above
+/// the largest trace the figures generate).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Fetch a whole object.
+    Get,
+    /// Publish an object (payload carries the bytes).
+    Put,
+    /// Fetch an object's first `aux` bytes.
+    Head,
+    /// Existence probe.
+    Contains,
+}
+
+impl Op {
+    fn wire(self) -> u8 {
+        match self {
+            Op::Get => 1,
+            Op::Put => 2,
+            Op::Head => 3,
+            Op::Contains => 4,
+        }
+    }
+
+    fn from_wire(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(Op::Get),
+            2 => Some(Op::Put),
+            3 => Some(Op::Head),
+            4 => Some(Op::Contains),
+            _ => None,
+        }
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The operation succeeded; the payload is the answer.
+    Ok,
+    /// The addressed object does not exist (a clean miss).
+    Miss,
+    /// The server could not serve the request; the payload explains.
+    Err,
+}
+
+impl Status {
+    fn wire(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Miss => 1,
+            Status::Err => 2,
+        }
+    }
+
+    fn from_wire(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Miss),
+            2 => Some(Status::Err),
+            _ => None,
+        }
+    }
+}
+
+/// One framed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// What to do.
+    pub op: Op,
+    /// Which object family.
+    pub kind: ObjectKind,
+    /// Which object.
+    pub fp: Fingerprint,
+    /// [`Op::Head`]'s requested prefix length (zero otherwise).
+    pub aux: u32,
+    /// [`Op::Put`]'s object bytes (empty otherwise).
+    pub payload: Vec<u8>,
+}
+
+/// One framed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// How the request fared.
+    pub status: Status,
+    /// The answer ([`Status::Ok`]) or error text ([`Status::Err`]).
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// An `Ok` response carrying `payload`.
+    #[must_use]
+    pub fn ok(payload: Vec<u8>) -> Self {
+        Self { status: Status::Ok, payload }
+    }
+
+    /// A clean miss.
+    #[must_use]
+    pub fn miss() -> Self {
+        Self { status: Status::Miss, payload: Vec::new() }
+    }
+
+    /// A server-side failure described by `detail`.
+    #[must_use]
+    pub fn err(detail: &str) -> Self {
+        Self { status: Status::Err, payload: detail.as_bytes().to_vec() }
+    }
+}
+
+fn bad_frame(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed frame: {what}"))
+}
+
+fn read_len(r: &mut impl Read) -> io::Result<usize> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(bad_frame("payload length exceeds MAX_FRAME"));
+    }
+    Ok(len as usize)
+}
+
+fn read_payload(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let len = read_len(r)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Writes one request frame (no flush — the caller owns buffering).
+///
+/// # Errors
+///
+/// Propagates the underlying IO error.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let bytes = encode_request(req);
+    w.write_all(&bytes)
+}
+
+/// The full wire form of a request (exposed so fault injection can send
+/// a deliberately truncated prefix of it).
+#[must_use]
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(26 + req.payload.len());
+    bytes.push(req.op.wire());
+    bytes.push(req.kind.wire());
+    bytes.extend_from_slice(&req.fp.0.to_le_bytes());
+    bytes.extend_from_slice(&req.aux.to_le_bytes());
+    bytes.extend_from_slice(&(req.payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&req.payload);
+    bytes
+}
+
+/// Reads one request frame.
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a severed/torn connection, `InvalidData` on a
+/// frame that cannot be a request (unknown opcode/kind, oversized
+/// payload). Both mean "close this connection".
+pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
+    let mut head = [0u8; 22];
+    r.read_exact(&mut head)?;
+    let op = Op::from_wire(head[0]).ok_or_else(|| bad_frame("unknown opcode"))?;
+    let kind = ObjectKind::from_wire(head[1]).ok_or_else(|| bad_frame("unknown object kind"))?;
+    let fp = Fingerprint(u128::from_le_bytes(head[2..18].try_into().expect("slice length")));
+    let aux = u32::from_le_bytes(head[18..22].try_into().expect("slice length"));
+    let payload = read_payload(r)?;
+    Ok(Request { op, kind, fp, aux, payload })
+}
+
+/// Writes one response frame and flushes it.
+///
+/// # Errors
+///
+/// Propagates the underlying IO error.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(5 + resp.payload.len());
+    bytes.push(resp.status.wire());
+    bytes.extend_from_slice(&(resp.payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&resp.payload);
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads one response frame.
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
+    let mut status = [0u8; 1];
+    r.read_exact(&mut status)?;
+    let status = Status::from_wire(status[0]).ok_or_else(|| bad_frame("unknown status"))?;
+    let payload = read_payload(r)?;
+    Ok(Response { status, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_roundtrip() {
+        for req in [
+            Request {
+                op: Op::Put,
+                kind: ObjectKind::Result,
+                fp: Fingerprint(0xdead_beef),
+                aux: 0,
+                payload: b"cell bytes".to_vec(),
+            },
+            Request {
+                op: Op::Head,
+                kind: ObjectKind::Trace,
+                fp: Fingerprint(u128::MAX),
+                aux: 16,
+                payload: Vec::new(),
+            },
+        ] {
+            let mut wire = Vec::new();
+            write_request(&mut wire, &req).expect("write");
+            let back = read_request(&mut wire.as_slice()).expect("read");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_frames_roundtrip() {
+        for resp in [Response::ok(b"payload".to_vec()), Response::miss(), Response::err("boom")] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, &resp).expect("write");
+            assert_eq!(read_response(&mut wire.as_slice()).expect("read"), resp);
+        }
+    }
+
+    #[test]
+    fn torn_frames_read_as_errors_not_garbage() {
+        let req = Request {
+            op: Op::Put,
+            kind: ObjectKind::Result,
+            fp: Fingerprint(7),
+            aux: 0,
+            payload: vec![0xAA; 100],
+        };
+        let wire = encode_request(&req);
+        for cut in [0, 1, 10, 22, wire.len() - 1] {
+            let err = read_request(&mut &wire[..cut]).expect_err("torn frame cut={cut}");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_frames_are_rejected_before_allocation() {
+        // Unknown opcode.
+        let mut bad = encode_request(&Request {
+            op: Op::Get,
+            kind: ObjectKind::Trace,
+            fp: Fingerprint(0),
+            aux: 0,
+            payload: Vec::new(),
+        });
+        bad[0] = 0xFF;
+        assert!(read_request(&mut bad.as_slice()).is_err());
+        // A length field claiming 4 GiB on a tiny frame.
+        let mut huge = encode_request(&Request {
+            op: Op::Put,
+            kind: ObjectKind::Result,
+            fp: Fingerprint(0),
+            aux: 0,
+            payload: Vec::new(),
+        });
+        let len_at = huge.len() - 4;
+        huge[len_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_request(&mut huge.as_slice()).expect_err("oversized frame");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

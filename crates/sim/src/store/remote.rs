@@ -1,0 +1,367 @@
+//! The remote storage tier: a TCP client for `llbp-store`.
+//!
+//! Connections are lazy and self-healing. Every operation runs a
+//! bounded retry loop (deterministic exponential backoff, per-request
+//! read/write timeouts); when the retry budget is exhausted the backend
+//! *degrades* instead of failing: reads fall back to a local overlay
+//! directory, writes land in the overlay and are queued, and the next
+//! operation that manages to reconnect first re-publishes every queued
+//! object to the shared store. A campaign therefore survives a store
+//! outage of any length — at worst its results are private to the
+//! overlay until the server returns.
+//!
+//! The injected network faults of `LLBP_FAULT_SPEC` (`net:drop`,
+//! `net:timeout`, `net:torn-write`, `net:disconnect`) fire here, at the
+//! framing layer, so every degradation path above has a deterministic
+//! reproduction in the test suite.
+
+use super::local::LocalDir;
+use super::proto::{self, Op, Request, Response, Status};
+use super::{ObjectKind, StorageBackend, STORE_TIMEOUT_ENV};
+use crate::error::SimError;
+use crate::faultinject::{FaultInjector, NetFaultKind};
+use llbp_trace::fingerprint::Fingerprint;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default per-request timeout (connect, read and write each).
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_millis(2_000);
+
+/// Network round-trips attempted per operation before degrading.
+pub const REQUEST_RETRIES: u32 = 3;
+
+/// Deterministic backoff before retry `n` (10ms, 20ms, 40ms… capped).
+fn backoff_delay(attempt: u32) -> Duration {
+    let ms = 10u64.saturating_mul(1 << attempt.min(5));
+    Duration::from_millis(ms.min(250))
+}
+
+/// The configured per-request timeout: [`STORE_TIMEOUT_ENV`] if
+/// parsable, else [`DEFAULT_REQUEST_TIMEOUT`].
+fn request_timeout_from_env() -> Duration {
+    std::env::var(STORE_TIMEOUT_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(DEFAULT_REQUEST_TIMEOUT, Duration::from_millis)
+}
+
+/// A remote object store with a local degradation overlay.
+#[derive(Debug)]
+pub struct RemoteBackend {
+    addr: String,
+    timeout: Duration,
+    conn: Mutex<Option<TcpStream>>,
+    overlay: LocalDir,
+    /// Objects written to the overlay while degraded, awaiting
+    /// re-publication to the remote.
+    pending: Mutex<Vec<(ObjectKind, Fingerprint)>>,
+    faults: Mutex<Option<Arc<FaultInjector>>>,
+    degraded_ops: AtomicU64,
+    republished: AtomicU64,
+}
+
+impl RemoteBackend {
+    /// Creates a backend for the server at `addr` (`host:port`), with
+    /// its degradation overlay rooted at `overlay_root`. No connection
+    /// is attempted until the first operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the overlay directory cannot
+    /// be created.
+    pub fn open(addr: String, overlay_root: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            addr,
+            timeout: request_timeout_from_env(),
+            conn: Mutex::new(None),
+            overlay: LocalDir::open(overlay_root)?,
+            pending: Mutex::new(Vec::new()),
+            faults: Mutex::new(None),
+            degraded_ops: AtomicU64::new(0),
+            republished: AtomicU64::new(0),
+        })
+    }
+
+    /// Operations served by the overlay because the remote was
+    /// unreachable.
+    #[must_use]
+    pub fn degraded_ops(&self) -> u64 {
+        self.degraded_ops.load(Ordering::Relaxed)
+    }
+
+    /// Overlay objects re-published to the remote after a reconnect.
+    #[must_use]
+    pub fn republished(&self) -> u64 {
+        self.republished.load(Ordering::Relaxed)
+    }
+
+    fn net_err(op: &'static str, detail: impl Into<String>) -> SimError {
+        SimError::Network { op, detail: detail.into() }
+    }
+
+    /// Resolves and connects with the per-request timeout applied to
+    /// the connect itself and to all subsequent reads/writes.
+    fn connect(&self) -> Result<TcpStream, SimError> {
+        let addrs: Vec<SocketAddr> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| Self::net_err("connect", e.to_string()))?
+            .collect();
+        let mut last = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(self.timeout));
+                    let _ = stream.set_write_timeout(Some(self.timeout));
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(Self::net_err(
+            "connect",
+            last.map_or_else(|| "address resolved to nothing".into(), |e| e.to_string()),
+        ))
+    }
+
+    /// Simulates the next injected network fault, if one is armed.
+    /// Returns the error the real fault would have produced.
+    fn inject_fault(
+        &self,
+        op: &'static str,
+        conn: &mut Option<TcpStream>,
+        request: &Request,
+    ) -> Result<(), SimError> {
+        let armed = self.faults.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        let Some(kind) = armed.and_then(|faults| faults.next_net_fault()) else {
+            return Ok(());
+        };
+        match kind {
+            NetFaultKind::Disconnect => {
+                // Sever before the request goes out; the next attempt
+                // reconnects.
+                *conn = None;
+                Err(Self::net_err(op, "injected disconnect before request"))
+            }
+            NetFaultKind::Drop => {
+                // The request reaches the wire, then the connection dies
+                // before any response: the client cannot know whether
+                // the server acted. (For PUT the protocol is idempotent
+                // — re-publishing the same content-addressed bytes is a
+                // no-op — which is what makes retrying safe.)
+                if let Some(stream) = conn.as_mut() {
+                    let _ = proto::write_request(stream, request);
+                    let _ = stream.flush();
+                }
+                *conn = None;
+                Err(Self::net_err(op, "injected connection drop mid-request"))
+            }
+            NetFaultKind::TornWrite => {
+                // Half a frame, then gone: the server must reject the
+                // torn frame; this side must treat the request as failed.
+                if let Some(stream) = conn.as_mut() {
+                    let wire = proto::encode_request(request);
+                    let _ = stream.write_all(&wire[..wire.len() / 2]);
+                    let _ = stream.flush();
+                }
+                *conn = None;
+                Err(Self::net_err(op, "injected torn write"))
+            }
+            NetFaultKind::Timeout => {
+                // A real stall would burn the full read timeout; the
+                // injection yields the identical outcome immediately so
+                // fault campaigns stay fast.
+                *conn = None;
+                Err(Self::net_err(op, "injected request timeout"))
+            }
+        }
+    }
+
+    /// One framed round-trip on the (re)established connection.
+    fn round_trip(&self, op: &'static str, request: &Request) -> Result<Response, SimError> {
+        let mut guard = self.conn.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.is_none() {
+            let stream = self.connect()?;
+            *guard = Some(stream);
+            // Fresh connection: the server is reachable again, so push
+            // everything the overlay accumulated while it was not.
+            self.flush_pending(&mut guard)?;
+        }
+        self.inject_fault(op, &mut guard, request)?;
+        let stream = guard.as_mut().expect("connection established above");
+        let outcome = proto::write_request(stream, request)
+            .and_then(|()| stream.flush())
+            .and_then(|()| proto::read_response(stream));
+        match outcome {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                // Any framing error poisons the connection: the stream
+                // position is unknowable, so start fresh next time.
+                *guard = None;
+                Err(Self::net_err(op, e.to_string()))
+            }
+        }
+    }
+
+    /// Re-publishes queued overlay objects over the live connection.
+    fn flush_pending(&self, conn: &mut Option<TcpStream>) -> Result<(), SimError> {
+        loop {
+            let Some((kind, fp)) = self
+                .pending
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .last()
+                .copied()
+            else {
+                return Ok(());
+            };
+            let Some(bytes) = self.overlay.get(kind, fp)? else {
+                // Vanished from the overlay (cleaned up?): drop the entry.
+                self.pop_pending(kind, fp);
+                continue;
+            };
+            let request = Request { op: Op::Put, kind, fp, aux: 0, payload: bytes };
+            let stream = conn
+                .as_mut()
+                .ok_or_else(|| Self::net_err("republish", "connection lost during republish"))?;
+            let outcome = proto::write_request(stream, &request)
+                .and_then(|()| stream.flush())
+                .and_then(|()| proto::read_response(stream));
+            match outcome {
+                Ok(Response { status: Status::Ok, .. }) => {
+                    self.pop_pending(kind, fp);
+                    self.republished.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Response { payload, .. }) => {
+                    *conn = None;
+                    return Err(Self::net_err(
+                        "republish",
+                        String::from_utf8_lossy(&payload).into_owned(),
+                    ));
+                }
+                Err(e) => {
+                    *conn = None;
+                    return Err(Self::net_err("republish", e.to_string()));
+                }
+            }
+        }
+    }
+
+    fn pop_pending(&self, kind: ObjectKind, fp: Fingerprint) {
+        let mut pending = self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(at) = pending.iter().rposition(|&entry| entry == (kind, fp)) {
+            pending.remove(at);
+        }
+    }
+
+    fn push_pending(&self, kind: ObjectKind, fp: Fingerprint) {
+        let mut pending = self.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !pending.contains(&(kind, fp)) {
+            pending.push((kind, fp));
+        }
+    }
+
+    /// Runs one operation with bounded retry/backoff. Exhausting the
+    /// budget returns the last network error — the caller then serves
+    /// the operation from the overlay.
+    fn with_retries(&self, op: &'static str, request: &Request) -> Result<Response, SimError> {
+        let mut attempt = 0;
+        loop {
+            match self.round_trip(op, request) {
+                Ok(response) => return Ok(response),
+                Err(e) if attempt + 1 < REQUEST_RETRIES => {
+                    debug_assert!(e.is_transient());
+                    std::thread::sleep(backoff_delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Decodes a server response into the common `Option<Vec<u8>>`
+    /// shape (`Err` status → network error, so the caller degrades).
+    fn expect_object(op: &'static str, response: Response) -> Result<Option<Vec<u8>>, SimError> {
+        match response.status {
+            Status::Ok => Ok(Some(response.payload)),
+            Status::Miss => Ok(None),
+            Status::Err => {
+                Err(Self::net_err(op, String::from_utf8_lossy(&response.payload).into_owned()))
+            }
+        }
+    }
+}
+
+impl StorageBackend for RemoteBackend {
+    fn tier(&self) -> &'static str {
+        "remote"
+    }
+
+    fn get(&self, kind: ObjectKind, fp: Fingerprint) -> Result<Option<Vec<u8>>, SimError> {
+        let request = Request { op: Op::Get, kind, fp, aux: 0, payload: Vec::new() };
+        match self.with_retries("get", &request).and_then(|r| Self::expect_object("get", r)) {
+            Ok(Some(bytes)) => Ok(Some(bytes)),
+            // A remote miss may still be an overlay hit: objects written
+            // while degraded live only locally until re-published.
+            Ok(None) => self.overlay.get(kind, fp),
+            Err(_) => {
+                self.degraded_ops.fetch_add(1, Ordering::Relaxed);
+                self.overlay.get(kind, fp)
+            }
+        }
+    }
+
+    fn put(&self, kind: ObjectKind, fp: Fingerprint, bytes: &[u8]) -> Result<(), SimError> {
+        // The overlay always gets the object first: a crash between the
+        // remote PUT and the overlay write must not lose the only copy.
+        self.overlay.put(kind, fp, bytes)?;
+        let request = Request { op: Op::Put, kind, fp, aux: 0, payload: bytes.to_vec() };
+        match self.with_retries("put", &request) {
+            Ok(Response { status: Status::Ok, .. }) => Ok(()),
+            Ok(_) | Err(_) => {
+                self.degraded_ops.fetch_add(1, Ordering::Relaxed);
+                self.push_pending(kind, fp);
+                Ok(())
+            }
+        }
+    }
+
+    fn head(
+        &self,
+        kind: ObjectKind,
+        fp: Fingerprint,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, SimError> {
+        let aux = u32::try_from(len).unwrap_or(u32::MAX);
+        let request = Request { op: Op::Head, kind, fp, aux, payload: Vec::new() };
+        match self.with_retries("head", &request).and_then(|r| Self::expect_object("head", r)) {
+            Ok(Some(bytes)) => Ok(Some(bytes)),
+            Ok(None) => self.overlay.head(kind, fp, len),
+            Err(_) => {
+                self.degraded_ops.fetch_add(1, Ordering::Relaxed);
+                self.overlay.head(kind, fp, len)
+            }
+        }
+    }
+
+    fn contains(&self, kind: ObjectKind, fp: Fingerprint) -> Result<bool, SimError> {
+        let request = Request { op: Op::Contains, kind, fp, aux: 0, payload: Vec::new() };
+        match self.with_retries("contains", &request) {
+            Ok(Response { status: Status::Ok, payload }) if payload == [1] => Ok(true),
+            Ok(Response { status: Status::Ok, .. }) => self.overlay.contains(kind, fp),
+            Ok(_) | Err(_) => {
+                self.degraded_ops.fetch_add(1, Ordering::Relaxed);
+                self.overlay.contains(kind, fp)
+            }
+        }
+    }
+
+    fn attach_faults(&self, faults: Arc<FaultInjector>) {
+        *self.faults.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(faults);
+    }
+}

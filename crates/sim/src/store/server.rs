@@ -1,0 +1,231 @@
+//! The shared object-store server behind the `llbp-store` binary.
+//!
+//! One [`StoreServer`] wraps a [`LocalDir`] and serves the
+//! [`proto`](super::proto) request/response protocol to any number of
+//! workers, thread-per-connection. Every mutation goes through
+//! `LocalDir`'s temp-file + rename publish, so a crash (or a torn `PUT`
+//! frame) can never leave a partial object where a reader would find
+//! it: a connection that dies mid-frame is simply closed and whatever
+//! it was publishing never becomes visible.
+
+use super::local::LocalDir;
+use super::proto::{self, Op, Request, Response};
+use super::{ObjectKind, StorageBackend};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection idle timeout: a worker that goes silent this long has
+/// its connection reaped (it will transparently reconnect).
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A running (or bound-and-ready) object-store server.
+#[derive(Debug)]
+pub struct StoreServer {
+    listener: TcpListener,
+    store: Arc<LocalDir>,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+}
+
+/// Handle for stopping a server from another thread.
+#[derive(Debug, Clone)]
+pub struct StoreServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+    requests: Arc<AtomicU64>,
+}
+
+impl StoreServerHandle {
+    /// Asks the accept loop to exit (takes effect on its next wakeup —
+    /// the handle pokes the listener so that is immediate).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+
+    /// Requests served so far (across all connections).
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+impl StoreServer {
+    /// Binds `addr` and opens the object directory at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the bind or the directory
+    /// creation fails.
+    pub fn bind(addr: impl ToSocketAddrs, root: &Path) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let store = Arc::new(LocalDir::open(root)?);
+        Ok(Self {
+            listener,
+            store,
+            stop: Arc::new(AtomicBool::new(false)),
+            requests: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`StoreServer::run`] from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error when the bound address is unknown.
+    pub fn handle(&self) -> std::io::Result<StoreServerHandle> {
+        Ok(StoreServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr()?,
+            requests: Arc::clone(&self.requests),
+        })
+    }
+
+    /// Serves connections until the handle's `shutdown` fires. Each
+    /// connection gets its own thread; a connection error (torn frame,
+    /// reset, idle timeout) closes that connection and nothing else.
+    pub fn run(self) {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let store = Arc::clone(&self.store);
+            let requests = Arc::clone(&self.requests);
+            std::thread::spawn(move || serve_connection(&stream, &store, &requests));
+        }
+    }
+}
+
+/// Serves one worker connection until it closes or misbehaves.
+fn serve_connection(stream: &TcpStream, store: &LocalDir, requests: &AtomicU64) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        // A read error here is a torn frame, a reset, or idle expiry:
+        // drop the connection. Nothing was mutated — PUT only publishes
+        // after its complete frame arrived.
+        let Ok(request) = proto::read_request(&mut reader) else {
+            return;
+        };
+        requests.fetch_add(1, Ordering::Relaxed);
+        let response = answer(store, &request);
+        if proto::write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Computes the response to one request against the backing directory.
+fn answer(store: &LocalDir, request: &Request) -> Response {
+    let fp = request.fp;
+    let kind: ObjectKind = request.kind;
+    let outcome = match request.op {
+        Op::Get => store.get(kind, fp).map(|bytes| match bytes {
+            Some(bytes) => Response::ok(bytes),
+            None => Response::miss(),
+        }),
+        Op::Put => store.put(kind, fp, &request.payload).map(|()| Response::ok(Vec::new())),
+        Op::Head => store.head(kind, fp, request.aux as usize).map(|bytes| match bytes {
+            Some(bytes) => Response::ok(bytes),
+            None => Response::miss(),
+        }),
+        Op::Contains => {
+            store.contains(kind, fp).map(|present| Response::ok(vec![u8::from(present)]))
+        }
+    };
+    outcome.unwrap_or_else(|e| Response::err(&e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llbp_trace::fingerprint::Fingerprint;
+    use std::io::Write;
+
+    fn scratch_root(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("llbp-storesrv-{tag}-{}", std::process::id()))
+    }
+
+    fn spawn_server(tag: &str) -> (StoreServerHandle, std::net::SocketAddr, std::path::PathBuf) {
+        let root = scratch_root(tag);
+        let server = StoreServer::bind("127.0.0.1:0", &root).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.handle().expect("handle");
+        std::thread::spawn(move || server.run());
+        (handle, addr, root)
+    }
+
+    fn request(stream: &mut TcpStream, req: &Request) -> Response {
+        proto::write_request(stream, req).expect("send");
+        stream.flush().expect("flush");
+        proto::read_response(stream).expect("recv")
+    }
+
+    #[test]
+    fn serves_put_get_head_contains_over_one_connection() {
+        let (handle, addr, root) = spawn_server("basic");
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let fp = Fingerprint(0x1234);
+        let get =
+            Request { op: Op::Get, kind: ObjectKind::Result, fp, aux: 0, payload: Vec::new() };
+        assert_eq!(request(&mut conn, &get).status, proto::Status::Miss);
+        let put = Request {
+            op: Op::Put,
+            kind: ObjectKind::Result,
+            fp,
+            aux: 0,
+            payload: b"object bytes".to_vec(),
+        };
+        assert_eq!(request(&mut conn, &put).status, proto::Status::Ok);
+        assert_eq!(request(&mut conn, &get).payload, b"object bytes");
+        let head = Request { op: Op::Head, kind: ObjectKind::Result, fp, aux: 6, payload: vec![] };
+        assert_eq!(request(&mut conn, &head).payload, b"object");
+        let has =
+            Request { op: Op::Contains, kind: ObjectKind::Result, fp, aux: 0, payload: vec![] };
+        assert_eq!(request(&mut conn, &has).payload, vec![1]);
+        assert!(handle.requests_served() >= 5);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn torn_frames_close_the_connection_without_publishing() {
+        let (handle, addr, root) = spawn_server("torn");
+        let fp = Fingerprint(0x777);
+        let put =
+            Request { op: Op::Put, kind: ObjectKind::Result, fp, aux: 0, payload: vec![0xAB; 512] };
+        let wire = proto::encode_request(&put);
+        {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            conn.write_all(&wire[..wire.len() / 2]).expect("torn write");
+            // Sever with the frame incomplete.
+        }
+        // A fresh connection must see a healthy server with no trace of
+        // the torn object.
+        let mut conn = TcpStream::connect(addr).expect("reconnect");
+        let get = Request { op: Op::Get, kind: ObjectKind::Result, fp, aux: 0, payload: vec![] };
+        assert_eq!(request(&mut conn, &get).status, proto::Status::Miss);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end tests of the remote storage tier: a real `StoreServer`
+//! on a loopback socket, a `MemoStore` routed through `RemoteBackend`,
+//! injected network faults, and the degradation/republish lifecycle.
+
+use llbp_sim::store::remote::RemoteBackend;
+use llbp_sim::store::server::{StoreServer, StoreServerHandle};
+use llbp_sim::{FaultInjector, MemoStore, SimConfig, SimResult};
+use llbp_trace::fingerprint::Fingerprint;
+use llbp_trace::{Workload, WorkloadSpec};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "llbp-remote-it-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn spawn_server(tag: &str) -> (StoreServerHandle, SocketAddr, PathBuf) {
+    let root = scratch_dir(&format!("{tag}-srv"));
+    let server = StoreServer::bind("127.0.0.1:0", &root).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    std::thread::spawn(move || server.run());
+    (handle, addr, root)
+}
+
+fn remote_store(addr: SocketAddr, tag: &str) -> (MemoStore, Arc<RemoteBackend>, PathBuf) {
+    let overlay = scratch_dir(&format!("{tag}-ovl"));
+    let backend = Arc::new(RemoteBackend::open(addr.to_string(), &overlay).expect("overlay opens"));
+    let store = MemoStore::open_with_backend(&overlay, Arc::<RemoteBackend>::clone(&backend))
+        .expect("store opens");
+    (store, backend, overlay)
+}
+
+fn sample_result() -> SimResult {
+    let mut provider_counts: bputil::hash::FastHashMap<&'static str, u64> = Default::default();
+    provider_counts.insert("tage", 669);
+    SimResult {
+        label: "64K TSL".into(),
+        workload: "HTTP".into(),
+        instructions: 5_000,
+        conditional_branches: 700,
+        mispredictions: 31,
+        provider_counts,
+        per_branch_mispredicts: None,
+        per_branch_executions: None,
+        llbp: None,
+    }
+}
+
+#[test]
+fn memo_store_roundtrips_through_the_remote_tier() {
+    let (handle, addr, srv_root) = spawn_server("roundtrip");
+    let (store, _backend, overlay) = remote_store(addr, "roundtrip");
+    assert_eq!(store.tier(), "remote");
+
+    let result = sample_result();
+    let fp = store.result_fingerprint(
+        &llbp_sim::PredictorKind::Tsl64K,
+        &WorkloadSpec::named(Workload::Http).with_branches(700),
+        &SimConfig::default(),
+    );
+    assert!(store.load_result(fp).expect("reachable").is_none());
+    let digest =
+        store.store_result(fp, &result, Duration::from_millis(9), 700).expect("remote put");
+
+    // A *different* worker (fresh overlay, same server) sees the cell:
+    // the bytes really did travel through the socket.
+    let (peer, _peer_backend, peer_overlay) = remote_store(addr, "roundtrip-peer");
+    let cell = peer.load_result(fp).expect("reachable").expect("served by the shared store");
+    assert_eq!(cell.result, result);
+    assert_eq!(cell.digest, digest);
+    assert!(peer.has_result(fp));
+    assert_eq!(peer.recorded_cost(fp), Some(Duration::from_millis(9)));
+    assert!(peer.verify_result(fp, Some(digest)).expect("reachable"));
+
+    // Traces travel too.
+    let spec = WorkloadSpec::named(Workload::Kafka).with_branches(600);
+    let trace_fp = store.trace_fingerprint(&spec);
+    let trace = spec.generate();
+    store.store_trace(trace_fp, &trace).expect("remote trace put");
+    let back = peer.load_trace(trace_fp).expect("reachable").expect("trace served");
+    assert_eq!(back.records(), trace.records());
+
+    handle.shutdown();
+    for dir in [srv_root, overlay, peer_overlay] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn injected_net_faults_are_retried_away() {
+    let (handle, addr, srv_root) = spawn_server("faults");
+    let (mut store, backend, overlay) = remote_store(addr, "faults");
+    // Each operation gets a budget of REQUEST_RETRIES attempts, so two
+    // injected faults per operation must be absorbed by its retry loop.
+    store.attach_faults(Arc::new(
+        FaultInjector::parse("net:disconnect:count=1;net:drop:count=1").expect("spec parses"),
+    ));
+    let fp = Fingerprint(0x5eed);
+    let result = sample_result();
+    store.store_result(fp, &result, Duration::from_millis(3), 10).expect("put despite faults");
+    assert_eq!(backend.degraded_ops(), 0, "retries must absorb the faults, not degradation");
+
+    store.attach_faults(Arc::new(
+        FaultInjector::parse("net:timeout:count=1;net:torn-write:count=1").expect("spec parses"),
+    ));
+    let cell = store.load_result(fp).expect("reachable").expect("get despite faults");
+    assert_eq!(cell.result, result);
+    assert_eq!(backend.degraded_ops(), 0, "retries must absorb the faults, not degradation");
+
+    handle.shutdown();
+    for dir in [srv_root, overlay] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn unreachable_remote_degrades_to_overlay_and_republishes_on_reconnect() {
+    // Reserve a port with no listener behind it: binding then dropping
+    // a listener that never accepted a connection leaves the port
+    // closed but re-bindable.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = placeholder.local_addr().expect("addr");
+    drop(placeholder);
+
+    let (mut store, backend, overlay) = remote_store(addr, "degraded");
+    store.attach_faults(Arc::new(FaultInjector::parse("").expect("empty spec")));
+
+    // Remote down: every operation degrades to the overlay, none fails.
+    let fp = Fingerprint(0xd1e);
+    let result = sample_result();
+    let digest = store
+        .store_result(fp, &result, Duration::from_millis(2), 5)
+        .expect("degraded put must not fail the campaign");
+    assert!(backend.degraded_ops() > 0, "the outage must be counted");
+    let cell = store.load_result(fp).expect("degraded get").expect("served from overlay");
+    assert_eq!(cell.digest, digest);
+    assert!(store.has_result(fp), "contains degrades too");
+
+    // The server comes back *on the same address*: the next operation
+    // reconnects and republishes the overlay-only objects first.
+    let srv_root = scratch_dir("degraded-srv");
+    let server = StoreServer::bind(addr, &srv_root).expect("rebind");
+    let handle = server.handle().expect("handle");
+    std::thread::spawn(move || server.run());
+
+    assert!(store.has_result(fp), "first op after recovery");
+    assert_eq!(backend.republished(), 1, "the overlay object must be re-published");
+
+    // Proof it reached the shared store: a fresh worker with an empty
+    // overlay can read it.
+    let (peer, _pb, peer_overlay) = remote_store(addr, "degraded-peer");
+    let cell = peer.load_result(fp).expect("reachable").expect("republished cell served");
+    assert_eq!(cell.result, result);
+
+    handle.shutdown();
+    for dir in [srv_root, overlay, peer_overlay] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

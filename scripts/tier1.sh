@@ -182,4 +182,57 @@ cmp -s "$BACKEND_DIR/reference.out" "$BACKEND_DIR/env.out" || {
     exit 1
 }
 
+echo "== distributed chaos smoke =="
+# A 2-worker distributed campaign against a shared llbp_store — with one
+# injected network disconnect AND one worker killed mid-claim — must
+# recover via lease takeover and print stdout byte-identical to a plain
+# single-process run of the same grid.
+DIST_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR" "$VERIFY_DIR" "$TEL_DIR" "$BACKEND_DIR" "$DIST_DIR"' EXIT
+LLBP_CACHE_DIR="$DIST_DIR/serial" ./target/release/fig02_mpki_limits --quick \
+    --workloads HTTP,Kafka,Tomcat > "$DIST_DIR/serial.out" 2> /dev/null
+./target/release/llbp_store --root "$DIST_DIR/shared" --print-addr \
+    > "$DIST_DIR/store.addr" 2> "$DIST_DIR/store.err" &
+STORE_PID=$!
+for _ in $(seq 50); do [ -s "$DIST_DIR/store.addr" ] && break; sleep 0.1; done
+[ -s "$DIST_DIR/store.addr" ] || {
+    echo "distributed smoke: llbp_store never printed its address:"
+    cat "$DIST_DIR/store.err"; kill "$STORE_PID" 2>/dev/null || true; exit 1
+}
+DIST_STATUS=0
+LLBP_CACHE_DIR="$DIST_DIR/dist" LLBP_STORE="tcp://$(cat "$DIST_DIR/store.addr")" \
+    LLBP_FAULT_SPEC="net:disconnect:count=1" LLBP_WORKER_ABORT="1:1" \
+    ./target/release/llbp_coord --workers 2 --quick --workloads HTTP,Kafka,Tomcat \
+    > "$DIST_DIR/dist.out" 2> "$DIST_DIR/dist.err" || DIST_STATUS=$?
+kill "$STORE_PID" 2>/dev/null || true
+wait "$STORE_PID" 2>/dev/null || true
+[ "$DIST_STATUS" -eq 0 ] || {
+    echo "distributed smoke: coordinator exited $DIST_STATUS:"; cat "$DIST_DIR/dist.err"; exit 1
+}
+cmp -s "$DIST_DIR/serial.out" "$DIST_DIR/dist.out" || {
+    echo "distributed smoke: distributed stdout diverged from the serial run:"
+    diff "$DIST_DIR/serial.out" "$DIST_DIR/dist.out" || true
+    exit 1
+}
+grep -Eq '"lease_takeovers":[1-9]' "$DIST_DIR/dist.err" || {
+    echo "distributed smoke: killed worker's lease was never taken over:"
+    cat "$DIST_DIR/dist.err"; exit 1
+}
+
+echo "== remote-store degradation smoke =="
+# With the remote store unreachable from the start, a campaign must
+# degrade to its local overlay and still print the byte-identical
+# figure, exiting 0.
+LLBP_CACHE_DIR="$DIST_DIR/degraded" LLBP_STORE="tcp://127.0.0.1:1" \
+    ./target/release/fig02_mpki_limits --quick --workloads HTTP,Kafka,Tomcat \
+    > "$DIST_DIR/degraded.out" 2> "$DIST_DIR/degraded.err" || {
+    echo "degradation smoke: unreachable store failed the run:"
+    cat "$DIST_DIR/degraded.err"; exit 1
+}
+cmp -s "$DIST_DIR/serial.out" "$DIST_DIR/degraded.out" || {
+    echo "degradation smoke: degraded run changed the figure output:"
+    diff "$DIST_DIR/serial.out" "$DIST_DIR/degraded.out" || true
+    exit 1
+}
+
 echo "tier1 OK"
