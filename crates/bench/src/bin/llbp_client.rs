@@ -1,0 +1,85 @@
+//! `llbp-client` — thin command-line client for `llbp-serve`.
+//!
+//! The experiment binaries already route whole sweeps through the
+//! daemon (`--server`); this tool covers the operational verbs scripts
+//! need around them:
+//!
+//! ```text
+//! llbp_client --server tcp://HOST:PORT submit [fig02 options...]
+//! llbp_client --server tcp://HOST:PORT poll TICKET
+//! llbp_client --server tcp://HOST:PORT metrics
+//! llbp_client --server tcp://HOST:PORT shutdown
+//! ```
+//!
+//! `submit` submits Figure 2's grid (honoring the standard experiment
+//! flags) *without waiting*, printing the campaign ticket — fire, then
+//! `poll` later, from this or any other machine. `poll` prints the
+//! daemon's status text verbatim (`key value` lines). `metrics` scrapes
+//! the live Prometheus rendering to stdout. `shutdown` asks the daemon
+//! to stop accepting connections and exits once acknowledged.
+
+use llbp_bench::figures::fig02_spec;
+use llbp_bench::Opts;
+use llbp_sim::serve::client::ServeClient;
+use llbp_trace::fingerprint::Fingerprint;
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: llbp_client --server tcp://HOST:PORT \
+         (submit [fig02 options...] | poll TICKET | metrics | shutdown)"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn fail(e: &llbp_sim::SimError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(e.exit_code());
+}
+
+fn main() {
+    let mut server: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--server" => {
+                server = Some(args.next().unwrap_or_else(|| usage("--server needs an address")));
+            }
+            "--help" | "-h" => usage(""),
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let server = server.unwrap_or_else(|| usage("--server is required"));
+    let mut client = ServeClient::connect(&server).unwrap_or_else(|e| fail(&e));
+    let Some((verb, verb_args)) = rest.split_first() else { usage("missing command") };
+    match verb.as_str() {
+        "submit" => {
+            let opts = Opts::parse(verb_args.iter().cloned());
+            let spec = fig02_spec(&opts);
+            let ticket = client.submit(&spec).unwrap_or_else(|e| fail(&e));
+            println!("{ticket}");
+        }
+        "poll" => {
+            let [ticket] = verb_args else { usage("poll needs exactly one TICKET") };
+            let ticket = u128::from_str_radix(ticket.trim_start_matches("0x"), 16)
+                .unwrap_or_else(|e| usage(&format!("bad ticket `{ticket}`: {e}")));
+            let status = client.poll(Fingerprint(ticket)).unwrap_or_else(|e| fail(&e));
+            print!("{}", status.to_text());
+            std::process::exit(i32::from(status.error.is_some()));
+        }
+        "metrics" => {
+            print!("{}", client.metrics().unwrap_or_else(|e| fail(&e)));
+        }
+        "shutdown" => {
+            client.shutdown_daemon().unwrap_or_else(|e| fail(&e));
+            eprintln!("llbp-client: daemon acknowledged shutdown");
+        }
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}

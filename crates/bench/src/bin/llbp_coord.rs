@@ -80,7 +80,7 @@ fn main() {
 /// a metrics snapshot file for the coordinator to merge.
 fn worker_main(id: u32, opts: &Opts, store: &Arc<MemoStore>) -> ! {
     let spec = fig02_spec(opts);
-    let cfg = ShardConfig::from_env(id);
+    let cfg = shard_config(id);
     match run_shard(&spec, store, fault_injector().as_ref(), &cfg) {
         Ok(summary) => {
             eprintln!(
@@ -148,7 +148,7 @@ fn coordinator_main(workers: u32, forwarded: &[String], opts: &Opts, store: &Arc
 
     // Reconcile in-process: the coordinator takes the next worker id so
     // its shard journal merges like any other worker's.
-    let cfg = ShardConfig::from_env(workers);
+    let cfg = shard_config(workers);
     let merge =
         finish_campaign(&spec, store, fault_injector().as_ref(), &cfg, MAX_RECONCILE_PASSES)
             .unwrap_or_else(|e| {
@@ -204,6 +204,16 @@ fn coordinator_main(workers: u32, forwarded: &[String], opts: &Opts, store: &Arc
         std::process::exit(1);
     }
     std::process::exit(0);
+}
+
+/// [`ShardConfig::from_env`] with the standard knob-error exit: a
+/// malformed `LLBP_MAX_RETRIES` is a configuration error (status 2),
+/// the same contract every other `LLBP_*` knob follows.
+fn shard_config(worker: u32) -> ShardConfig {
+    ShardConfig::from_env(worker).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    })
 }
 
 /// The engine's all-zero placeholder for a failed cell, so the grid

@@ -74,6 +74,11 @@ pub struct Opts {
     /// falling back to `LLBP_BACKEND`, then `auto`). Parity-pinned: a
     /// pure throughput choice that never changes figure output.
     pub backend: BackendKind,
+    /// Route sweeps to a resident `llbp-serve` daemon
+    /// (`--server tcp://host:port`) instead of simulating in-process.
+    /// Stdout is byte-identical either way — the daemon streams back
+    /// the exact cells a local run would compute (DESIGN.md §12).
+    pub server: Option<String>,
 }
 
 impl Opts {
@@ -105,6 +110,7 @@ impl Opts {
             trace_events: None,
             metrics_out: None,
             backend: BackendKind::from_env().unwrap_or_else(|msg| usage(&msg)),
+            server: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -145,6 +151,10 @@ impl Opts {
                     let v = iter.next().unwrap_or_else(|| usage("missing value for --backend"));
                     opts.backend = v.parse::<BackendKind>().unwrap_or_else(|e| usage(&e));
                 }
+                "--server" => {
+                    let v = iter.next().unwrap_or_else(|| usage("missing value for --server"));
+                    opts.server = Some(v);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument: {other}")),
             }
@@ -175,7 +185,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <bin> [--quick] [--cold] [--resume] [--verify-resume] [--strict] [--branches N] \
          [--workloads A,B,C] [--trace-events PATH] [--metrics-out PATH] \
-         [--backend auto|reference|specialized|batch]"
+         [--backend auto|reference|specialized|batch] [--server tcp://HOST:PORT]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -286,10 +296,21 @@ pub fn memo_store(opts: &Opts) -> Option<Arc<MemoStore>> {
     Some(Arc::new(store))
 }
 
+/// The `--server` route the first [`engine`] call latched, if any. A
+/// process global (like the injector and telemetry) because the sweep
+/// entry points take only `(engine, spec)` and must not change
+/// signature for every experiment binary to gain the flag.
+fn server_route() -> &'static OnceLock<Option<String>> {
+    static ROUTE: OnceLock<Option<String>> = OnceLock::new();
+    &ROUTE
+}
+
 /// A [`SweepEngine`] wired to the persistent store and the
 /// `LLBP_FAULT_SPEC` injector, honoring `--cold` and `--resume`.
+/// Also latches the `--server` route for [`run_sweep`].
 #[must_use]
 pub fn engine(opts: &Opts) -> SweepEngine {
+    let _ = server_route().set(opts.server.clone());
     let mut engine = SweepEngine::new().with_telemetry(telemetry(opts));
     if let Some(store) = memo_store(opts) {
         engine = engine.with_store(store);
@@ -307,6 +328,10 @@ pub fn engine(opts: &Opts) -> SweepEngine {
 /// so campaign scripts can retry contended runs specifically.
 #[must_use]
 pub fn run_sweep(engine: &SweepEngine, spec: &llbp_sim::SweepSpec) -> SweepReport {
+    if let Some(addr) = server_route().get().and_then(|route| route.as_deref()) {
+        return llbp_sim::serve::client::run_remote_with(addr, spec, fault_injector())
+            .unwrap_or_else(|e| campaign_exit(&e));
+    }
     engine.try_run(spec).unwrap_or_else(|e| campaign_exit(&e))
 }
 
@@ -318,6 +343,12 @@ pub fn run_sweep_with_cache(
     spec: &llbp_sim::SweepSpec,
     cache: &TraceCache,
 ) -> SweepReport {
+    if let Some(addr) = server_route().get().and_then(|route| route.as_deref()) {
+        // The daemon owns its own trace cache; the caller's stays cold
+        // and any post-sweep trace reuse regenerates locally.
+        return llbp_sim::serve::client::run_remote_with(addr, spec, fault_injector())
+            .unwrap_or_else(|e| campaign_exit(&e));
+    }
     engine.try_run_with_cache(spec, cache).unwrap_or_else(|e| campaign_exit(&e))
 }
 
@@ -474,6 +505,14 @@ mod tests {
             let o = Opts::parse(Vec::<String>::new());
             assert_eq!(o.backend, BackendKind::Auto);
         }
+    }
+
+    #[test]
+    fn parse_server_flag() {
+        let o = Opts::parse(["--server", "tcp://127.0.0.1:9"].iter().map(ToString::to_string));
+        assert_eq!(o.server.as_deref(), Some("tcp://127.0.0.1:9"));
+        let o = Opts::parse(Vec::<String>::new());
+        assert_eq!(o.server, None);
     }
 
     #[test]

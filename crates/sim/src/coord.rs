@@ -34,7 +34,7 @@
 //! `scripts/tier1.sh` diffs exactly that.
 
 use crate::cache::TraceCache;
-use crate::engine::{SweepSpec, DEFAULT_MAX_RETRIES, MAX_RETRIES_ENV};
+use crate::engine::SweepSpec;
 use crate::error::{backoff_delay, panic_message, CancelToken, SimError};
 use crate::faultinject::FaultInjector;
 use crate::journal::{
@@ -99,7 +99,14 @@ pub fn read_worker_journals(
 /// Writes the merged campaign journal (`<campaign>.journal`) from folded
 /// shard outcomes, entries sorted by cell index — the canonical artifact
 /// a later single-process `--resume` run picks up. Durable:
-/// write-to-temp, fsync, rename.
+/// write-to-temp, fsync, rename, fsync the directory. Without the final
+/// directory sync the rename itself is not durable — a crash right
+/// after it could resurface the *old* journal (safe) or, on some
+/// filesystems, a zero-length one (torn), violating the fsynced-journal
+/// guarantee. The `crash:merge` fault rule aborts the process between
+/// the temp-file fsync and the rename, which is exactly the window the
+/// recipe protects: recovery must find either the old journal or none,
+/// never a partial one.
 ///
 /// # Errors
 ///
@@ -108,6 +115,7 @@ pub fn write_merged_journal(
     root: &Path,
     campaign: Fingerprint,
     outcomes: &HashMap<usize, CellOutcome>,
+    faults: Option<&FaultInjector>,
 ) -> Result<PathBuf, SimError> {
     let path = root.join(format!("{campaign}.journal"));
     let mut cells: Vec<&usize> = outcomes.keys().collect();
@@ -121,7 +129,12 @@ pub fn write_merged_journal(
     let mut file = File::create(&tmp).map_err(&err)?;
     file.write_all(text.as_bytes()).and_then(|()| file.sync_all()).map_err(&err)?;
     drop(file);
+    if faults.is_some_and(|f| f.check_crash(crate::faultinject::CrashSite::MergePublish)) {
+        eprintln!("llbp-coord: aborting before merged-journal rename (injected crash:merge)");
+        std::process::abort();
+    }
     std::fs::rename(&tmp, &path).map_err(&err)?;
+    File::open(root).and_then(|dir| dir.sync_all()).map_err(&err)?;
     Ok(path)
 }
 
@@ -174,13 +187,14 @@ pub struct ShardConfig {
 impl ShardConfig {
     /// The config for `worker`: retries from `LLBP_MAX_RETRIES` and the
     /// staged crash (if any) from [`WORKER_ABORT_ENV`].
-    #[must_use]
-    pub fn from_env(worker: u32) -> Self {
-        let max_retries = std::env::var(MAX_RETRIES_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(DEFAULT_MAX_RETRIES);
-        Self { worker, abort_after_claims: Self::abort_from_env(worker), max_retries }
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when `LLBP_MAX_RETRIES` is set but
+    /// unparsable.
+    pub fn from_env(worker: u32) -> Result<Self, SimError> {
+        let max_retries = crate::engine::retries_from_env()?;
+        Ok(Self { worker, abort_after_claims: Self::abort_from_env(worker), max_retries })
     }
 
     /// Parses [`WORKER_ABORT_ENV`] (`"<worker>:<nth>"`) for this worker.
@@ -211,6 +225,91 @@ pub struct ShardSummary {
     pub takeovers: u64,
 }
 
+/// Daemon-global exactly-once gate over *cell fingerprints*, the
+/// cross-campaign complement to leases (which are namespaced per
+/// campaign and so cannot see that two different grids share a cell).
+///
+/// The serve scheduler holds the cell's slot from just before the memo
+/// probe until just after publish: when two concurrent campaigns reach
+/// a shared cell, the second blocks here, and by the time it gets the
+/// slot the first has published — its probe turns into a memo hit. One
+/// simulation, two campaigns served.
+#[derive(Debug, Default)]
+pub struct CellInterlock {
+    running: std::sync::Mutex<std::collections::HashSet<u128>>,
+    freed: std::sync::Condvar,
+}
+
+impl CellInterlock {
+    /// An empty interlock (no cells in flight).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until no other holder is computing `fp`, then claims it.
+    /// The returned guard releases the slot (and wakes waiters) on drop.
+    pub fn acquire(&self, fp: Fingerprint) -> InterlockGuard<'_> {
+        let mut running = self.running.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut contended = false;
+        while running.contains(&fp.0) {
+            contended = true;
+            running = self.freed.wait(running).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        running.insert(fp.0);
+        InterlockGuard { lock: self, fp: fp.0, contended }
+    }
+}
+
+/// Slot held by [`CellInterlock::acquire`]; releases on drop.
+#[derive(Debug)]
+pub struct InterlockGuard<'a> {
+    lock: &'a CellInterlock,
+    fp: u128,
+    contended: bool,
+}
+
+impl InterlockGuard<'_> {
+    /// Whether acquiring had to wait for another holder — i.e. another
+    /// campaign was computing this very cell.
+    #[must_use]
+    pub fn contended(&self) -> bool {
+        self.contended
+    }
+}
+
+impl Drop for InterlockGuard<'_> {
+    fn drop(&mut self) {
+        let mut running =
+            self.lock.running.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        running.remove(&self.fp);
+        self.lock.freed.notify_all();
+    }
+}
+
+/// A per-cell completion callback (see [`ShardHooks::observer`]).
+pub type CellObserver<'a> = &'a (dyn Fn(usize, &CellOutcome) + Sync);
+
+/// Optional instrumentation for a shard pass ([`run_shard_observed`]).
+#[derive(Default)]
+pub struct ShardHooks<'a> {
+    /// Cross-campaign exactly-once gate; see [`CellInterlock`].
+    pub interlock: Option<&'a CellInterlock>,
+    /// Called after each cell outcome is journaled — the serve daemon
+    /// streams cells to waiting clients as they complete instead of
+    /// making them poll the journal files.
+    pub observer: Option<CellObserver<'a>>,
+}
+
+impl std::fmt::Debug for ShardHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHooks")
+            .field("interlock", &self.interlock.is_some())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
 /// Runs one shard pass over the whole grid: claim, probe, simulate,
 /// publish, journal. Returns what happened; cells other workers hold
 /// are skipped, not waited for.
@@ -226,12 +325,36 @@ pub fn run_shard(
     faults: Option<&Arc<FaultInjector>>,
     cfg: &ShardConfig,
 ) -> Result<ShardSummary, SimError> {
+    run_shard_observed(spec, store, faults, cfg, &ShardHooks::default())
+}
+
+/// [`run_shard`] with hooks: an optional cross-campaign
+/// [`CellInterlock`] and an optional per-cell completion observer. The
+/// plain worker path uses empty hooks and is unchanged; the serve
+/// daemon threads share one interlock across every campaign it runs.
+///
+/// # Errors
+///
+/// As [`run_shard`].
+pub fn run_shard_observed(
+    spec: &SweepSpec,
+    store: &Arc<MemoStore>,
+    faults: Option<&Arc<FaultInjector>>,
+    cfg: &ShardConfig,
+    hooks: &ShardHooks<'_>,
+) -> Result<ShardSummary, SimError> {
     let fps = grid_fingerprints(spec, store);
     let campaign = campaign_fingerprint(&fps);
-    let leases = LeaseSet::open(store.root(), campaign, lease_ttl_from_env())?;
+    let leases = LeaseSet::open(store.root(), campaign, lease_ttl_from_env()?)?;
     let mut journal = WorkerJournal::open(store.root(), campaign, cfg.worker)?;
     let cache = TraceCache::with_store(Arc::clone(store), false);
     let mut summary = ShardSummary::default();
+    let note = |journal: &mut WorkerJournal, index: usize, outcome: &CellOutcome| {
+        journal.record(index, outcome);
+        if let Some(observe) = hooks.observer {
+            observe(index, outcome);
+        }
+    };
     for (index, &fp) in fps.iter().enumerate() {
         let Some(lease) = leases.try_claim(index)? else {
             summary.skipped += 1;
@@ -247,8 +370,15 @@ pub fn run_shard(
             );
             std::process::abort();
         }
+        // Held across probe + simulate + publish so a concurrent
+        // campaign sharing this cell waits here and then memo-hits.
+        let _slot = hooks.interlock.map(|interlock| interlock.acquire(fp));
         if let Ok(Some(cell)) = store.load_result(fp) {
-            journal.record(index, &CellOutcome::Ok { fingerprint: fp, digest: Some(cell.digest) });
+            note(
+                &mut journal,
+                index,
+                &CellOutcome::Ok { fingerprint: fp, digest: Some(cell.digest) },
+            );
             summary.memo_served += 1;
             continue;
         }
@@ -256,14 +386,18 @@ pub fn run_shard(
             Ok((result, wall, branches)) => match lease.check(faults.map(Arc::as_ref)) {
                 Ok(()) => {
                     let digest = publish(store, fp, &result, wall, branches, cfg.max_retries);
-                    journal.record(index, &CellOutcome::Ok { fingerprint: fp, digest });
+                    note(&mut journal, index, &CellOutcome::Ok { fingerprint: fp, digest });
                     summary.completed += 1;
                 }
                 Err(SimError::LeaseLost { .. }) => summary.lost += 1,
                 Err(e) => return Err(e),
             },
             Err(error) => {
-                journal.record(index, &CellOutcome::Failed { class: error.class().to_string() });
+                note(
+                    &mut journal,
+                    index,
+                    &CellOutcome::Failed { class: error.class().to_string() },
+                );
                 summary.failed += 1;
             }
         }
@@ -344,7 +478,7 @@ pub fn finish_campaign(
         std::thread::sleep(backoff_delay(passes));
     }
     let outcomes = merge_outcomes(read_worker_journals(store.root(), campaign));
-    let journal = write_merged_journal(store.root(), campaign, &outcomes)?;
+    let journal = write_merged_journal(store.root(), campaign, &outcomes, faults.map(Arc::as_ref))?;
     let mut cells = Vec::with_capacity(fps.len());
     for (index, &fp) in fps.iter().enumerate() {
         if matches!(outcomes.get(&index), Some(CellOutcome::Failed { .. })) && !store.has_result(fp)

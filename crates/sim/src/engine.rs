@@ -81,30 +81,71 @@ pub const DEFAULT_MAX_RETRIES: u32 = 2;
 /// (fractional values accepted; unset or non-positive disables it).
 pub const JOB_TIMEOUT_ENV: &str = "LLBP_JOB_TIMEOUT_SECS";
 
-fn retries_from_env() -> u32 {
-    std::env::var(MAX_RETRIES_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(DEFAULT_MAX_RETRIES)
+/// Environment variable pinning the worker pool size (CI and shared
+/// hosts), else one worker per available core.
+pub const WORKERS_ENV: &str = "LLBP_WORKERS";
+
+/// The retry budget from [`MAX_RETRIES_ENV`], else
+/// [`DEFAULT_MAX_RETRIES`].
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the variable is set but unparsable.
+pub fn retries_from_env() -> Result<u32, SimError> {
+    crate::envknob::parse_env_or(MAX_RETRIES_ENV, DEFAULT_MAX_RETRIES)
 }
 
-fn timeout_from_env() -> Option<Duration> {
-    let raw = std::env::var(JOB_TIMEOUT_ENV).ok()?;
-    let secs: f64 = raw.trim().parse().ok()?;
-    (secs > 0.0 && secs.is_finite()).then(|| Duration::from_secs_f64(secs))
+/// The watchdog timeout from [`JOB_TIMEOUT_ENV`]: `Ok(None)` when unset
+/// or non-positive (disabled), `Ok(Some)` otherwise.
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the variable is set but not a finite
+/// number.
+pub fn timeout_from_env() -> Result<Option<Duration>, SimError> {
+    let secs: Option<f64> = crate::envknob::parse_env(JOB_TIMEOUT_ENV)?;
+    let Some(secs) = secs else { return Ok(None) };
+    if !secs.is_finite() {
+        return Err(SimError::Config {
+            detail: format!("{JOB_TIMEOUT_ENV} `{secs}`: expected a finite number of seconds"),
+        });
+    }
+    Ok((secs > 0.0).then(|| Duration::from_secs_f64(secs)))
 }
 
-/// Number of workers the engine uses by default: the `LLBP_WORKERS`
-/// environment variable when set (clamped to ≥ 1, so CI and shared hosts
-/// can pin the pool size), else one per available core.
+/// The worker-count override from [`WORKERS_ENV`]: `Ok(None)` when
+/// unset, else the value clamped to ≥ 1.
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the variable is set but unparsable.
+pub fn workers_from_env() -> Result<Option<usize>, SimError> {
+    Ok(crate::envknob::parse_env::<usize>(WORKERS_ENV)?.map(|n| n.max(1)))
+}
+
+/// One worker per available core (the default when [`WORKERS_ENV`] is
+/// unset).
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Number of workers the engine uses by default: [`WORKERS_ENV`] when
+/// set, else one per available core.
+///
+/// Infallible for legacy harness fan-out callers; an unparsable
+/// override is *warned about* and ignored here, while engine-routed
+/// runs surface it as a typed config error via
+/// [`workers_from_env`] (captured in [`SweepEngine::new`]).
 #[must_use]
 pub fn default_workers() -> usize {
-    if let Ok(v) = std::env::var("LLBP_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+    match workers_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => available_cores(),
+        Err(e) => {
+            eprintln!("warning: {e}; using one worker per core");
+            available_cores()
         }
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Runs `f(0..n)` on a pool of `workers` threads and returns the results
@@ -455,6 +496,12 @@ pub struct SweepEngine {
     resume: bool,
     verify_resume: bool,
     telemetry: Telemetry,
+    /// First malformed `LLBP_*` knob seen at construction. Constructors
+    /// stay infallible, so the typed error is deferred to the first
+    /// fallible entry point ([`SweepEngine::try_run_with_cache`]) where
+    /// it fails the campaign with exit code 2 instead of silently
+    /// running on defaults.
+    env_error: Option<SimError>,
 }
 
 impl Default for SweepEngine {
@@ -469,23 +516,40 @@ impl SweepEngine {
     /// read from `LLBP_MAX_RETRIES` / `LLBP_JOB_TIMEOUT_SECS`.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_workers(default_workers())
+        match workers_from_env() {
+            Ok(workers) => Self::with_workers(workers.unwrap_or_else(available_cores)),
+            Err(e) => {
+                let mut engine = Self::with_workers(available_cores());
+                engine.env_error.get_or_insert(e);
+                engine
+            }
+        }
     }
 
     /// An engine with an explicit worker count (`0` is clamped to 1).
     /// Results are identical at any worker count; only throughput varies.
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
+        let mut env_error = None;
+        let max_retries = retries_from_env().unwrap_or_else(|e| {
+            env_error = Some(e);
+            DEFAULT_MAX_RETRIES
+        });
+        let job_timeout = timeout_from_env().unwrap_or_else(|e| {
+            env_error.get_or_insert(e);
+            None
+        });
         Self {
             workers: workers.max(1),
             store: None,
             cold: false,
-            max_retries: retries_from_env(),
-            job_timeout: timeout_from_env(),
+            max_retries,
+            job_timeout,
             faults: None,
             resume: false,
             verify_resume: false,
             telemetry: Telemetry::disabled(),
+            env_error,
         }
     }
 
@@ -642,6 +706,9 @@ impl SweepEngine {
         spec: &SweepSpec,
         cache: &TraceCache,
     ) -> Result<SweepReport, SimError> {
+        if let Some(e) = &self.env_error {
+            return Err(e.clone());
+        }
         let started = Instant::now();
         let n = spec.num_jobs();
         let fingerprints: Vec<_> = self.store.as_ref().map_or_else(Vec::new, |store| {
@@ -806,7 +873,7 @@ impl SweepEngine {
             store.root(),
             campaign_fingerprint(fingerprints),
             self.resume,
-            crate::lock::lock_wait_from_env(),
+            crate::lock::lock_wait_from_env()?,
             &self.telemetry,
         ) {
             Ok(journal) => Ok(Some(journal)),
@@ -993,7 +1060,9 @@ impl SweepEngine {
 
     /// An all-zero stand-in result for a failed cell, carrying the
     /// correct labels so report tables still render the grid shape.
-    fn placeholder_record(spec: &SweepSpec, index: usize) -> JobRecord {
+    /// `pub(crate)` because the serve client rebuilds reports from
+    /// streamed cells and needs the identical placeholder shape.
+    pub(crate) fn placeholder_record(spec: &SweepSpec, index: usize) -> JobRecord {
         let job = spec.job(index);
         JobRecord {
             job,

@@ -27,6 +27,10 @@
 //! net:torn-write            send a truncated request frame, then sever
 //! net:disconnect:count=2    close the connection before the next 2 requests
 //! lease:expire              force the next lease-validity check to report expiry
+//! crash:merge               abort the process between the merged journal's
+//!                           temp-file fsync and its rename — the durability
+//!                           window the write-temp/fsync/rename/dir-fsync
+//!                           recipe protects
 //! ```
 //!
 //! The `LLBP_FAULT_SPEC` environment variable carries the spec into the
@@ -76,6 +80,20 @@ pub enum NetFaultKind {
     /// Close the connection before the request is sent
     /// (`net:disconnect`); the next request must reconnect.
     Disconnect,
+}
+
+/// Process-abort points a `crash:*` rule can target.
+///
+/// Unlike the other families (which inject recoverable errors), a crash
+/// rule kills the process outright at a chosen durability window, so
+/// subprocess tests can pin what a machine loss at that exact moment
+/// leaves on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Between the merged campaign journal's temp-file fsync and its
+    /// rename into place (`crash:merge`): recovery must find the old
+    /// journal or none, never a torn one.
+    MergePublish,
 }
 
 /// Where a `slow` rule injects its sleep.
@@ -148,6 +166,16 @@ pub enum FaultRule {
     /// lease.
     LeaseExpire {
         /// Number of checks that report expiry.
+        count: u32,
+    },
+    /// Abort the process at the given durability window for the first
+    /// `count` times it is reached.
+    Crash {
+        /// Which abort point fires.
+        site: CrashSite,
+        /// Number of reaches that abort (a restarted process re-reads
+        /// the spec, so `count` only bounds aborts *per process*;
+        /// subprocess tests clear the spec on rerun instead).
         count: u32,
     },
 }
@@ -322,6 +350,23 @@ impl FaultInjector {
         expired
     }
 
+    /// Whether a `crash` rule fires at `site` (each matching rule fires
+    /// for its first `count` reaches). The caller then aborts the
+    /// process — the check is separated from the abort so it stays
+    /// testable in-process.
+    #[must_use]
+    pub fn check_crash(&self, site: CrashSite) -> bool {
+        let mut fire = false;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let FaultRule::Crash { site: s, count } = *rule {
+                if s == site && self.fired[i].fetch_add(1, Ordering::Relaxed) < count {
+                    fire = true;
+                }
+            }
+        }
+        fire
+    }
+
     /// Consults the `io` rules before a memo-store operation.
     ///
     /// # Errors
@@ -357,7 +402,16 @@ fn parse_rule(rule: &str) -> Result<FaultRule, String> {
     // so for those the key=value arguments start after the sub-kind.
     let (mut kind, mut args) = rule.split_once(':').unwrap_or((rule, ""));
     let mut net_kind = None;
-    if kind.trim() == "net" {
+    let mut crash_site = None;
+    if kind.trim() == "crash" {
+        let (sub, rest) = args.split_once(':').unwrap_or((args, ""));
+        crash_site = Some(match sub.trim() {
+            "merge" => CrashSite::MergePublish,
+            other => return Err(format!("unknown crash site `{other}` (expected merge)")),
+        });
+        kind = "crash";
+        args = rest;
+    } else if kind.trim() == "net" {
         let (sub, rest) = args.split_once(':').unwrap_or((args, ""));
         net_kind = Some(match sub.trim() {
             "drop" => NetFaultKind::Drop,
@@ -434,8 +488,12 @@ fn parse_rule(rule: &str) -> Result<FaultRule, String> {
             count: count.unwrap_or(1),
         }),
         "lease" => Ok(FaultRule::LeaseExpire { count: count.unwrap_or(1) }),
+        "crash" => Ok(FaultRule::Crash {
+            site: crash_site.expect("crash rules parse their site above"),
+            count: count.unwrap_or(1),
+        }),
         other => Err(format!(
-            "unknown fault kind `{other}` (expected panic/io/slow/lock/stale/net/lease)"
+            "unknown fault kind `{other}` (expected panic/io/slow/lock/stale/net/lease/crash)"
         )),
     }
 }
@@ -520,6 +578,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_crash_family_and_counts_fires() {
+        let inj = FaultInjector::parse("crash:merge").expect("spec parses");
+        assert_eq!(inj.rules(), &[FaultRule::Crash { site: CrashSite::MergePublish, count: 1 }]);
+        assert!(inj.check_crash(CrashSite::MergePublish), "first reach fires");
+        assert!(!inj.check_crash(CrashSite::MergePublish), "count exhausted");
+        let counted = FaultInjector::parse("crash:merge:count=2").expect("counted parses");
+        assert!(counted.check_crash(CrashSite::MergePublish));
+        assert!(counted.check_crash(CrashSite::MergePublish));
+        assert!(!counted.check_crash(CrashSite::MergePublish));
+        let quiet = FaultInjector::parse("net:drop").expect("parse");
+        assert!(!quiet.check_crash(CrashSite::MergePublish), "net rules never crash merges");
+    }
+
+    #[test]
     fn malformed_specs_reject_with_typed_config_errors() {
         for bad in [
             "net",                   // missing sub-kind
@@ -528,6 +600,8 @@ mod tests {
             "lease",                 // missing sub-kind
             "lease:revoke",          // unknown sub-kind
             "net:disconnect:count:", // stray colon is not key=value
+            "crash",                 // missing site
+            "crash:reboot",          // unknown site
         ] {
             let err = FaultInjector::parse(bad).expect_err("spec `{bad}` should fail");
             assert_eq!(err.class(), "config", "spec `{bad}`");

@@ -205,7 +205,7 @@ impl CampaignJournal {
     /// lock past the wait budget; [`SimError::MemoIo`] when the journal
     /// file cannot be opened.
     pub fn open(root: &Path, campaign: Fingerprint, resume: bool) -> Result<Self, SimError> {
-        Self::open_with_wait(root, campaign, resume, lock_wait_from_env())
+        Self::open_with_wait(root, campaign, resume, lock_wait_from_env()?)
     }
 
     /// [`CampaignJournal::open`] with an explicit lock-wait budget

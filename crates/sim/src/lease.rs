@@ -60,12 +60,13 @@ pub const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(30);
 /// The lease TTL from [`LEASE_TTL_ENV`], else [`DEFAULT_LEASE_TTL`]
 /// (values are clamped to >= 1 ms so a zero TTL cannot make every claim
 /// instantly stealable).
-#[must_use]
-pub fn lease_ttl_from_env() -> Duration {
-    std::env::var(LEASE_TTL_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map_or(DEFAULT_LEASE_TTL, |ms| Duration::from_millis(ms.max(1)))
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the variable is set but unparsable.
+pub fn lease_ttl_from_env() -> Result<Duration, SimError> {
+    Ok(crate::envknob::parse_env::<u64>(LEASE_TTL_ENV)?
+        .map_or(DEFAULT_LEASE_TTL, |ms| Duration::from_millis(ms.max(1))))
 }
 
 /// Milliseconds since the Unix epoch (0 if the clock is before it).

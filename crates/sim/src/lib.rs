@@ -22,6 +22,7 @@ pub mod coord;
 pub mod driver;
 pub mod energy;
 pub mod engine;
+pub mod envknob;
 pub mod error;
 pub mod faultinject;
 pub mod journal;
@@ -31,13 +32,14 @@ pub mod lock;
 pub mod memo;
 pub mod patterns;
 pub mod report;
+pub mod serve;
 pub mod store;
 pub mod timing;
 
 pub use backend::{BackendKind, BACKEND_ENV, BATCH_BLOCK};
 pub use cache::TraceCache;
 pub use config::{PredictorKind, SimConfig};
-pub use coord::{finish_campaign, run_shard, ShardConfig, WORKER_ABORT_ENV};
+pub use coord::{finish_campaign, run_shard, CellInterlock, ShardConfig, WORKER_ABORT_ENV};
 pub use driver::{LlbpCellStats, SimResult, Simulator};
 pub use energy::EnergyModel;
 pub use engine::{JobError, SweepEngine, SweepReport, SweepSpec};

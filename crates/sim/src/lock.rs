@@ -51,14 +51,15 @@ pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_millis(200);
 /// Poll interval while waiting for a held lock.
 const RETRY_INTERVAL: Duration = Duration::from_millis(10);
 
-/// The configured wait budget: [`LOCK_WAIT_ENV`] if parsable, else
+/// The configured wait budget: [`LOCK_WAIT_ENV`] if set, else
 /// [`DEFAULT_LOCK_WAIT`].
-#[must_use]
-pub fn lock_wait_from_env() -> Duration {
-    std::env::var(LOCK_WAIT_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map_or(DEFAULT_LOCK_WAIT, Duration::from_millis)
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the variable is set but unparsable.
+pub fn lock_wait_from_env() -> Result<Duration, SimError> {
+    Ok(crate::envknob::parse_env::<u64>(LOCK_WAIT_ENV)?
+        .map_or(DEFAULT_LOCK_WAIT, Duration::from_millis))
 }
 
 /// Whether `pid` refers to a live process, as far as this platform lets

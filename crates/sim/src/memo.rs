@@ -372,6 +372,27 @@ impl MemoStore {
         Ok(Some(cell))
     }
 
+    /// The raw encoded bytes of the result cell addressed by `fp`, with
+    /// only the cheap structural checks (magic, version, trailer
+    /// checksum) applied — the serve daemon streams these to clients
+    /// verbatim, and the client decodes with the same
+    /// corruption-degrades-to-miss rules as a local load.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemoStore::load_result`]; `Ok(None)` is a miss or a cell
+    /// that fails validation.
+    pub fn result_bytes(&self, fp: Fingerprint) -> Result<Option<Vec<u8>>, SimError> {
+        self.check_faults("result_bytes")?;
+        let Some(bytes) = self.backend.get(ObjectKind::Result, fp)? else {
+            return Ok(None);
+        };
+        if decode_cell(&bytes).is_none() {
+            return Ok(None);
+        }
+        Ok(Some(bytes))
+    }
+
     /// Persists a result cell, returning the payload digest written into
     /// the cell's trailer (journaled with the cell's `ok` entry so a
     /// later `--verify-resume` can re-check it).
@@ -614,7 +635,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
+pub(crate) fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
     // magic + version + digest are the fixed overhead around the payload.
     if bytes.len() < 4 + 4 + 16 || bytes[0..4] != CELL_MAGIC {
         return None;

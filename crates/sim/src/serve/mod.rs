@@ -1,0 +1,715 @@
+//! `llbp-serve`: the resident sweep daemon (DESIGN.md §12).
+//!
+//! The distributed story so far shards **one** campaign across worker
+//! processes (`llbp-coord`) against a shared object store
+//! (`llbp-store`). What neither covers is *concurrent, independent*
+//! campaigns: two researchers sweeping overlapping grids each pay for
+//! the shared cells, because leases are namespaced per campaign and the
+//! memo probe only dedups cells that already finished. The daemon
+//! closes that gap by being the one process where every campaign runs:
+//!
+//! * Clients submit a [`SweepSpec`] over the same length-prefixed
+//!   framing the object store speaks ([`crate::store::proto`], ops
+//!   `SubmitSweep`/`PollSweep`/`StreamCells`), encoded field-exactly by
+//!   [`wire`] so cell fingerprints match a local run bit-for-bit.
+//! * Each campaign runs the `llbp-coord` shard machinery in-process:
+//!   worker threads race lease claims ([`crate::coord::run_shard_observed`])
+//!   and a reconcile loop recovers anything they drop — journals, lease
+//!   takeovers and the durable merged-journal publish all behave
+//!   exactly as in the multi-process deployment, which is what makes a
+//!   daemon restart resumable: the journals and the store on disk *are*
+//!   the campaign state.
+//! * A daemon-global [`CellInterlock`] spans campaigns: a cell two
+//!   in-flight grids share is held by whichever reached it first, the
+//!   second blocks until publish and then memo-hits. One simulation,
+//!   every campaign served.
+//! * Results stream back incrementally: `StreamCells` returns raw
+//!   published cell bytes in grid order as they complete, so a client
+//!   reconstructs the exact [`SweepReport`](crate::engine::SweepReport)
+//!   a local run would have produced (the `--server` byte-identity
+//!   guarantee), without waiting for the whole grid.
+//! * The `Metrics` op serves the live Prometheus rendering of the
+//!   daemon's [`Telemetry`] registry on the same listener.
+//!
+//! Submitting an identical grid while it is still running returns the
+//! *same* ticket (the campaign fingerprint is content-addressed), so
+//! whole-campaign dedup is free and poll/stream are idempotent reads.
+
+pub mod client;
+pub mod wire;
+
+use crate::coord::{
+    grid_fingerprints, read_worker_journals, run_shard_observed, write_merged_journal,
+    CellInterlock, ShardConfig, ShardHooks, ShardSummary,
+};
+use crate::engine::SweepSpec;
+use crate::error::{backoff_delay, SimError};
+use crate::faultinject::FaultInjector;
+use crate::journal::{campaign_fingerprint, merge_outcomes, CellOutcome};
+use crate::memo::MemoStore;
+use crate::store::proto::{self, Op, Request, Response};
+use llbp_obs::Telemetry;
+use llbp_trace::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Worker threads per campaign (`LLBP_SERVE_WORKERS`), default one per
+/// available core.
+pub const SERVE_WORKERS_ENV: &str = "LLBP_SERVE_WORKERS";
+
+/// Reconcile-pass budget per campaign (`LLBP_SERVE_MAX_PASSES`).
+pub const SERVE_MAX_PASSES_ENV: &str = "LLBP_SERVE_MAX_PASSES";
+
+/// Default for [`SERVE_MAX_PASSES_ENV`]: generous because passes are
+/// cheap once the grid is published (pure memo probes), and a wedged
+/// foreign lease needs time to age out.
+pub const DEFAULT_MAX_PASSES: u32 = 32;
+
+/// Per-connection idle timeout, matching the object store's.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Soft cap on one `StreamCells` response: half the frame bound, so a
+/// response of maximum-entropy cells still encodes comfortably.
+const STREAM_BUDGET: usize = (proto::MAX_FRAME / 2) as usize;
+
+/// Stream-entry tag: the entry payload is raw published cell bytes.
+pub(crate) const TAG_OK: u8 = 1;
+
+/// Stream-entry tag: the entry payload is the failure class string.
+pub(crate) const TAG_FAILED: u8 = 2;
+
+fn serve_workers() -> Result<usize, SimError> {
+    Ok(crate::envknob::parse_env::<usize>(SERVE_WORKERS_ENV)?.map_or_else(
+        || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        |n| n.max(1),
+    ))
+}
+
+fn serve_max_passes() -> Result<u32, SimError> {
+    Ok(crate::envknob::parse_env::<u32>(SERVE_MAX_PASSES_ENV)?
+        .map_or(DEFAULT_MAX_PASSES, |n| n.max(1)))
+}
+
+// ---------------------------------------------------------------------
+// Campaign status (PollSweep payload)
+// ---------------------------------------------------------------------
+
+/// A campaign's progress as reported by `PollSweep`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Grid cells in the campaign.
+    pub total: u64,
+    /// Cells with a published result so far.
+    pub done: u64,
+    /// Cells that deterministically failed.
+    pub failed: u64,
+    /// Cells this campaign simulated itself.
+    pub completed: u64,
+    /// Cells served from the memo store (including cells another
+    /// concurrent campaign computed).
+    pub memo_served: u64,
+    /// Stale leases stolen (dead incarnations taken over).
+    pub takeovers: u64,
+    /// Reconcile passes run so far.
+    pub passes: u32,
+    /// Worker threads driving the campaign.
+    pub workers: u64,
+    /// Whether the campaign finished (merged journal written, or the
+    /// error below set).
+    pub finished: bool,
+    /// Campaign-fatal error text, when the run died.
+    pub error: Option<String>,
+}
+
+impl CampaignStatus {
+    /// Renders the `key value` line format `PollSweep` responds with.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut text = format!(
+            "total {}\ndone {}\nfailed {}\ncompleted {}\nmemo_served {}\n\
+             takeovers {}\npasses {}\nworkers {}\nfinished {}\n",
+            self.total,
+            self.done,
+            self.failed,
+            self.completed,
+            self.memo_served,
+            self.takeovers,
+            self.passes,
+            self.workers,
+            u8::from(self.finished),
+        );
+        if let Some(error) = &self.error {
+            text.push_str("error ");
+            text.push_str(&error.replace('\n', "; "));
+            text.push('\n');
+        }
+        text
+    }
+
+    /// Parses [`CampaignStatus::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Network`] on malformed status text (a daemon/client
+    /// version skew, surfaced as a protocol failure).
+    pub fn from_text(text: &str) -> Result<Self, SimError> {
+        let bad = |detail: String| SimError::Network { op: "poll", detail };
+        let mut status = Self::default();
+        for line in text.lines() {
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| bad(format!("malformed status line `{line}`")))?;
+            let parse = |value: &str| {
+                value.parse::<u64>().map_err(|e| bad(format!("bad status {key} `{value}`: {e}")))
+            };
+            match key {
+                "total" => status.total = parse(value)?,
+                "done" => status.done = parse(value)?,
+                "failed" => status.failed = parse(value)?,
+                "completed" => status.completed = parse(value)?,
+                "memo_served" => status.memo_served = parse(value)?,
+                "takeovers" => status.takeovers = parse(value)?,
+                "passes" => status.passes = u32::try_from(parse(value)?).unwrap_or(u32::MAX),
+                "workers" => status.workers = parse(value)?,
+                "finished" => status.finished = parse(value)? != 0,
+                "error" => status.error = Some(value.to_string()),
+                // Unknown keys are future extensions, not errors.
+                _ => {}
+            }
+        }
+        Ok(status)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream-entry codec (StreamCells payload)
+// ---------------------------------------------------------------------
+
+/// One streamed grid cell: published bytes, or the failure class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamedCell {
+    /// Raw cell bytes exactly as published to the store (decode with
+    /// the memo layer's cell codec).
+    Ok(Vec<u8>),
+    /// The cell deterministically failed with this error class.
+    Failed(String),
+}
+
+pub(crate) fn push_entry(buf: &mut Vec<u8>, index: u32, tag: u8, bytes: &[u8]) {
+    buf.extend_from_slice(&index.to_le_bytes());
+    buf.push(tag);
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Parses a `StreamCells` response payload into `(index, cell)` pairs.
+///
+/// # Errors
+///
+/// [`SimError::Network`] on a torn or mistagged entry.
+pub(crate) fn parse_entries(payload: &[u8]) -> Result<Vec<(usize, StreamedCell)>, SimError> {
+    let bad = |detail: String| SimError::Network { op: "stream", detail };
+    let mut entries = Vec::new();
+    let mut at = 0usize;
+    while at < payload.len() {
+        let header = payload
+            .get(at..at + 9)
+            .ok_or_else(|| bad(format!("torn stream entry header at byte {at}")))?;
+        let index = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let tag = header[4];
+        let len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
+        at += 9;
+        let body = payload
+            .get(at..at + len)
+            .ok_or_else(|| bad(format!("torn stream entry body at byte {at}")))?;
+        at += len;
+        let cell = match tag {
+            TAG_OK => StreamedCell::Ok(body.to_vec()),
+            TAG_FAILED => StreamedCell::Failed(String::from_utf8_lossy(body).into_owned()),
+            other => return Err(bad(format!("unknown stream entry tag {other}"))),
+        };
+        entries.push((index, cell));
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------
+// Daemon state
+// ---------------------------------------------------------------------
+
+/// Progress of one resident campaign, updated by the shard observer and
+/// read by poll/stream handlers.
+#[derive(Debug, Default)]
+struct Progress {
+    outcomes: HashMap<usize, CellOutcome>,
+    completed: u64,
+    memo_served: u64,
+    takeovers: u64,
+    passes: u32,
+    finished: bool,
+    error: Option<String>,
+}
+
+/// One campaign resident in the daemon.
+#[derive(Debug)]
+struct CampaignState {
+    spec: SweepSpec,
+    fps: Vec<Fingerprint>,
+    campaign: Fingerprint,
+    workers: usize,
+    progress: Mutex<Progress>,
+}
+
+impl CampaignState {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Progress> {
+        self.progress.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Observer entry: a shard thread journaled this outcome.
+    fn note(&self, index: usize, outcome: &CellOutcome) {
+        self.lock().outcomes.insert(index, outcome.clone());
+    }
+
+    /// Folds one finished shard pass into the counters.
+    fn absorb(&self, summary: &ShardSummary) {
+        let mut progress = self.lock();
+        progress.completed += summary.completed;
+        progress.memo_served += summary.memo_served;
+        progress.takeovers += summary.takeovers;
+    }
+
+    fn finish(&self, error: Option<String>) {
+        let mut progress = self.lock();
+        progress.finished = true;
+        progress.error = error;
+    }
+
+    fn status(&self) -> CampaignStatus {
+        let progress = self.lock();
+        let (mut done, mut failed) = (0u64, 0u64);
+        for outcome in progress.outcomes.values() {
+            match outcome {
+                CellOutcome::Ok { .. } | CellOutcome::Stale { .. } => done += 1,
+                CellOutcome::Failed { .. } => failed += 1,
+            }
+        }
+        CampaignStatus {
+            total: self.fps.len() as u64,
+            done,
+            failed,
+            completed: progress.completed,
+            memo_served: progress.memo_served,
+            takeovers: progress.takeovers,
+            passes: progress.passes,
+            workers: self.workers as u64,
+            finished: progress.finished,
+            error: progress.error.clone(),
+        }
+    }
+
+    /// The contiguous run of resolved outcomes starting at `cursor`,
+    /// plus whether the campaign already finished (copied out so stream
+    /// IO happens outside the lock).
+    fn resolved_from(&self, cursor: usize) -> (Vec<(usize, CellOutcome)>, bool) {
+        let progress = self.lock();
+        let mut run = Vec::new();
+        for index in cursor..self.fps.len() {
+            match progress.outcomes.get(&index) {
+                Some(outcome) => run.push((index, outcome.clone())),
+                None => break,
+            }
+        }
+        (run, progress.finished)
+    }
+}
+
+/// Shared state behind every connection and campaign thread.
+struct DaemonState {
+    store: Arc<MemoStore>,
+    faults: Option<Arc<FaultInjector>>,
+    telemetry: Telemetry,
+    interlock: CellInterlock,
+    campaigns: Mutex<HashMap<u128, Arc<CampaignState>>>,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for DaemonState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonState")
+            .field("addr", &self.addr)
+            .field("root", &self.store.root())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bound-and-ready sweep daemon.
+#[derive(Debug)]
+pub struct ServeDaemon {
+    listener: TcpListener,
+    state: Arc<DaemonState>,
+}
+
+/// Handle for stopping a daemon from another thread.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    state: Arc<DaemonState>,
+}
+
+impl ServeHandle {
+    /// Asks the accept loop to exit and pokes it awake.
+    pub fn shutdown(&self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.state.addr, Duration::from_millis(200));
+    }
+
+    /// The daemon's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+}
+
+impl ServeDaemon {
+    /// Binds `addr` and serves campaigns against `store`. The injector
+    /// (usually from `LLBP_FAULT_SPEC`) reaches both the store IO and
+    /// the merged-journal crash hook, so fault campaigns exercise the
+    /// daemon exactly like the multi-process coordinator.
+    ///
+    /// # Errors
+    ///
+    /// The bind error.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<MemoStore>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let state = Arc::new(DaemonState {
+            store,
+            faults,
+            telemetry: Telemetry::enabled(),
+            interlock: CellInterlock::new(),
+            campaigns: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+            addr: bound,
+        });
+        Ok(Self { listener, state })
+    }
+
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A handle that can stop [`ServeDaemon::run`] from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { state: Arc::clone(&self.state) }
+    }
+
+    /// Serves connections until a `Shutdown` request or
+    /// [`ServeHandle::shutdown`]. Thread-per-connection; campaigns
+    /// already running keep running to completion even as the accept
+    /// loop exits (their journals and published cells are the durable
+    /// record either way).
+    pub fn run(self) {
+        for conn in self.listener.incoming() {
+            if self.state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || serve_connection(&stream, &state));
+        }
+    }
+}
+
+fn serve_connection(stream: &TcpStream, state: &Arc<DaemonState>) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let Ok(request) = proto::read_request(&mut reader) else {
+            return;
+        };
+        state.telemetry.counter("serve_requests_total").inc();
+        let shutdown = request.op == Op::Shutdown;
+        let response = answer(state, &request);
+        if proto::write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            // Stop *after* acknowledging, so the client's clean-shutdown
+            // check sees the Ok frame.
+            state.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect_timeout(&state.addr, Duration::from_millis(200));
+            return;
+        }
+    }
+}
+
+fn answer(state: &Arc<DaemonState>, request: &Request) -> Response {
+    match request.op {
+        Op::SubmitSweep => match submit(state, &request.payload) {
+            Ok(ticket) => Response::ok(ticket.0.to_le_bytes().to_vec()),
+            Err(e) => Response::err(&e.to_string()),
+        },
+        Op::PollSweep => match lookup(state, request.fp) {
+            Some(campaign) => Response::ok(campaign.status().to_text().into_bytes()),
+            None => Response::miss(),
+        },
+        Op::StreamCells => match lookup(state, request.fp) {
+            Some(campaign) => Response::ok(stream_cells(state, &campaign, request.aux as usize)),
+            None => Response::miss(),
+        },
+        Op::Metrics => {
+            Response::ok(llbp_obs::export::prometheus(&state.telemetry.metrics()).into_bytes())
+        }
+        Op::Shutdown => Response::ok(Vec::new()),
+        Op::Get | Op::Put | Op::Head | Op::Contains => {
+            Response::err("not a sweep-daemon operation (dial llbp-store instead)")
+        }
+    }
+}
+
+fn lookup(state: &DaemonState, ticket: Fingerprint) -> Option<Arc<CampaignState>> {
+    state.campaigns.lock().unwrap_or_else(PoisonError::into_inner).get(&ticket.0).cloned()
+}
+
+/// Registers a submitted grid and starts its runner thread — or, for a
+/// grid already resident (running *or* finished), returns the existing
+/// ticket: campaign fingerprints are content-addressed, so resubmission
+/// is idempotent.
+fn submit(state: &Arc<DaemonState>, payload: &[u8]) -> Result<Fingerprint, SimError> {
+    let spec = wire::decode_spec(payload)?;
+    let workers = serve_workers()?;
+    let max_passes = serve_max_passes()?;
+    let fps = grid_fingerprints(&spec, &state.store);
+    let campaign = campaign_fingerprint(&fps);
+    {
+        let mut campaigns = state.campaigns.lock().unwrap_or_else(PoisonError::into_inner);
+        if campaigns.contains_key(&campaign.0) {
+            state.telemetry.counter("serve_campaigns_deduped_total").inc();
+            return Ok(campaign);
+        }
+        let resident =
+            Arc::new(CampaignState { spec, fps, campaign, workers, progress: Mutex::default() });
+        campaigns.insert(campaign.0, Arc::clone(&resident));
+        state.telemetry.counter("serve_campaigns_total").inc();
+        let daemon = Arc::clone(state);
+        std::thread::Builder::new()
+            .name(format!("campaign-{campaign}"))
+            .spawn(move || {
+                let outcome = drive_campaign(&daemon, &resident, max_passes);
+                if let Err(e) = &outcome {
+                    daemon.telemetry.counter("serve_campaigns_failed_total").inc();
+                    eprintln!("llbp-serve: campaign {campaign} failed: {e}");
+                }
+                resident.finish(outcome.err().map(|e| e.to_string()));
+            })
+            .map_err(|e| SimError::MemoIo {
+                op: "serve_submit",
+                detail: format!("cannot spawn campaign runner: {e}"),
+            })?;
+    }
+    Ok(campaign)
+}
+
+/// Runs one campaign to completion inside the daemon: worker threads
+/// race lease claims over the grid (sharing the daemon-global
+/// interlock), a reconcile loop recovers dropped cells, and the merged
+/// canonical journal is published with the full durability recipe.
+fn drive_campaign(
+    daemon: &DaemonState,
+    campaign: &CampaignState,
+    max_passes: u32,
+) -> Result<(), SimError> {
+    let spec = &campaign.spec;
+    let store = &daemon.store;
+    let faults = daemon.faults.as_ref();
+    let observer = |index: usize, outcome: &CellOutcome| {
+        campaign.note(index, outcome);
+        if matches!(outcome, CellOutcome::Failed { .. }) {
+            daemon.telemetry.counter("serve_cells_failed_total").inc();
+        }
+    };
+    let hooks = ShardHooks { interlock: Some(&daemon.interlock), observer: Some(&observer) };
+
+    // Worker phase: same-pid leases look live to sibling threads, so
+    // the claim race shards the grid exactly as separate processes
+    // would; a previous daemon incarnation's dead-pid leases are stolen
+    // by the standard takeover path, and its published cells memo-hit.
+    let summaries: Vec<Result<ShardSummary, SimError>> = std::thread::scope(|scope| {
+        let hooks = &hooks;
+        let handles: Vec<_> = (0..campaign.workers)
+            .map(|wid| {
+                scope.spawn(move || -> Result<ShardSummary, SimError> {
+                    let cfg = ShardConfig::from_env(wid as u32)?;
+                    run_shard_observed(spec, store, faults, &cfg, hooks)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle.join().unwrap_or_else(|_| {
+                    Err(SimError::MemoIo {
+                        op: "serve_worker",
+                        detail: "campaign worker thread panicked".into(),
+                    })
+                })
+            })
+            .collect()
+    });
+    for summary in summaries {
+        let summary = summary?;
+        campaign.absorb(&summary);
+        daemon.telemetry.counter("serve_cells_simulated_total").add(summary.completed);
+        daemon.telemetry.counter("serve_cells_memo_total").add(summary.memo_served);
+    }
+
+    // Reconcile phase, with the same hooks so late cells still stream
+    // and stay interlocked against concurrent campaigns. Failed
+    // verdicts in our own outcome map are trustworthy (they exhausted
+    // this process's retry budget), so they count as resolved. Memo
+    // hits are deliberately NOT folded in here: every cell the worker
+    // phase already resolved re-probes as a memo hit on every pass, so
+    // counting them would inflate `memo_served` by up to `total` per
+    // pass — only simulation work and takeovers are new information.
+    let cfg = ShardConfig::from_env(campaign.workers as u32)?;
+    let mut passes = 0u32;
+    loop {
+        passes += 1;
+        let summary = run_shard_observed(spec, store, faults, &cfg, &hooks)?;
+        {
+            let mut progress = campaign.lock();
+            progress.completed += summary.completed;
+            progress.takeovers += summary.takeovers;
+            progress.passes = passes;
+        }
+        daemon.telemetry.counter("serve_cells_simulated_total").add(summary.completed);
+        let unresolved = {
+            let progress = campaign.lock();
+            campaign.fps.iter().enumerate().any(|(index, &fp)| {
+                !matches!(progress.outcomes.get(&index), Some(CellOutcome::Failed { .. }))
+                    && !store.has_result(fp)
+            })
+        };
+        if !unresolved {
+            break;
+        }
+        if passes >= max_passes {
+            return Err(SimError::MemoIo {
+                op: "serve_campaign",
+                detail: format!(
+                    "cells still unresolved after {passes} reconcile passes \
+                     (a live foreign process may hold their leases)"
+                ),
+            });
+        }
+        std::thread::sleep(backoff_delay(passes));
+    }
+
+    // Publish the merged canonical journal (temp + fsync + rename +
+    // directory fsync, with the crash:merge hook), then backfill any
+    // outcome recovered from a previous incarnation's journals that no
+    // shard pass of ours re-observed.
+    let outcomes = merge_outcomes(read_worker_journals(store.root(), campaign.campaign));
+    write_merged_journal(store.root(), campaign.campaign, &outcomes, faults.map(Arc::as_ref))?;
+    let mut progress = campaign.lock();
+    for (index, outcome) in outcomes {
+        progress.outcomes.entry(index).or_insert(outcome);
+    }
+    Ok(())
+}
+
+/// Builds a `StreamCells` response: contiguous resolved cells from
+/// `cursor`, stopping at the first unresolved index or the frame
+/// budget. Published cells stream as their raw store bytes (the client
+/// decodes with the same cell codec the store uses, digest check
+/// included).
+fn stream_cells(state: &DaemonState, campaign: &CampaignState, cursor: usize) -> Vec<u8> {
+    let (resolved, finished) = campaign.resolved_from(cursor);
+    let mut buf = Vec::new();
+    for (index, outcome) in resolved {
+        let wire_index = u32::try_from(index).unwrap_or(u32::MAX);
+        match outcome {
+            CellOutcome::Ok { .. } | CellOutcome::Stale { .. } => {
+                match state.store.result_bytes(campaign.fps[index]) {
+                    Ok(Some(bytes)) => push_entry(&mut buf, wire_index, TAG_OK, &bytes),
+                    // Journaled-ok but unreadable: transient unless the
+                    // campaign is over, in which case the gap is real.
+                    _ if finished => push_entry(&mut buf, wire_index, TAG_FAILED, b"memo_io"),
+                    _ => break,
+                }
+            }
+            CellOutcome::Failed { class } => {
+                push_entry(&mut buf, wire_index, TAG_FAILED, class.as_bytes());
+            }
+        }
+        if buf.len() >= STREAM_BUDGET {
+            break;
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_text_roundtrips() {
+        let status = CampaignStatus {
+            total: 42,
+            done: 17,
+            failed: 2,
+            completed: 10,
+            memo_served: 7,
+            takeovers: 1,
+            passes: 3,
+            workers: 4,
+            finished: true,
+            error: Some("boom: multi\nline".into()),
+        };
+        let back = CampaignStatus::from_text(&status.to_text()).expect("parses");
+        assert_eq!(back.error.as_deref(), Some("boom: multi; line"));
+        assert_eq!(CampaignStatus { error: back.error.clone(), ..status }, back);
+        assert!(CampaignStatus::from_text("garbage-without-space").is_err());
+        assert!(CampaignStatus::from_text("total x\n").is_err());
+    }
+
+    #[test]
+    fn stream_entries_roundtrip_and_reject_torn_payloads() {
+        let mut buf = Vec::new();
+        push_entry(&mut buf, 0, TAG_OK, b"cell bytes");
+        push_entry(&mut buf, 1, TAG_FAILED, b"timeout");
+        push_entry(&mut buf, 2, TAG_OK, b"");
+        let entries = parse_entries(&buf).expect("parses");
+        assert_eq!(
+            entries,
+            vec![
+                (0, StreamedCell::Ok(b"cell bytes".to_vec())),
+                (1, StreamedCell::Failed("timeout".into())),
+                (2, StreamedCell::Ok(Vec::new())),
+            ]
+        );
+        assert!(parse_entries(&buf[..buf.len() - 1]).is_err(), "torn body");
+        assert!(parse_entries(&buf[..5]).is_err(), "torn header");
+        let mut mistagged = Vec::new();
+        push_entry(&mut mistagged, 0, 9, b"x");
+        assert!(parse_entries(&mistagged).is_err(), "unknown tag");
+        assert!(parse_entries(&[]).expect("empty ok").is_empty());
+    }
+}

@@ -177,8 +177,7 @@ pub fn backend_from_spec(
                 detail: format!("{STORE_ENV} `{spec}`: expected tcp://host:port"),
             });
         }
-        let backend = remote::RemoteBackend::open(addr.to_string(), local_root)
-            .map_err(|e| SimError::MemoIo { op: "open_store", detail: e.to_string() })?;
+        let backend = remote::RemoteBackend::open(addr.to_string(), local_root)?;
         return Ok(Arc::new(backend));
     }
     Err(SimError::Config {

@@ -22,6 +22,7 @@
 //! [`SimError::Network`]: crate::error::SimError::Network
 
 use super::ObjectKind;
+use crate::error::SimError;
 use llbp_trace::fingerprint::Fingerprint;
 use std::io::{self, Read, Write};
 
@@ -30,6 +31,11 @@ use std::io::{self, Read, Write};
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
 /// Request opcodes.
+///
+/// Opcodes 1–4 are the object-store operations served by `llbp-store`;
+/// 5–9 are the sweep-daemon operations served by `llbp-serve` (see
+/// [`crate::serve`]), reusing the same framing so one listener (and one
+/// fault grammar) covers both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Fetch a whole object.
@@ -40,6 +46,20 @@ pub enum Op {
     Head,
     /// Existence probe.
     Contains,
+    /// Submit a sweep campaign (payload carries the wire-encoded
+    /// [`SweepSpec`](crate::engine::SweepSpec); the `Ok` response
+    /// payload is the 16-byte campaign ticket).
+    SubmitSweep,
+    /// Poll a campaign's progress (`fp` carries the ticket; the `Ok`
+    /// response payload is a progress text).
+    PollSweep,
+    /// Stream completed cells (`fp` carries the ticket, `aux` the cell
+    /// cursor; the `Ok` response payload is a batch of cell frames).
+    StreamCells,
+    /// Scrape the daemon's metrics in Prometheus text format.
+    Metrics,
+    /// Ask the daemon to shut down cleanly after this response.
+    Shutdown,
 }
 
 impl Op {
@@ -49,6 +69,11 @@ impl Op {
             Op::Put => 2,
             Op::Head => 3,
             Op::Contains => 4,
+            Op::SubmitSweep => 5,
+            Op::PollSweep => 6,
+            Op::StreamCells => 7,
+            Op::Metrics => 8,
+            Op::Shutdown => 9,
         }
     }
 
@@ -58,6 +83,11 @@ impl Op {
             2 => Some(Op::Put),
             3 => Some(Op::Head),
             4 => Some(Op::Contains),
+            5 => Some(Op::SubmitSweep),
+            6 => Some(Op::PollSweep),
+            7 => Some(Op::StreamCells),
+            8 => Some(Op::Metrics),
+            9 => Some(Op::Shutdown),
             _ => None,
         }
     }
@@ -141,6 +171,38 @@ fn bad_frame(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("malformed frame: {what}"))
 }
 
+/// Rejects payloads too large to frame *before* encoding, with a typed
+/// error the campaign layer surfaces as a network failure.
+///
+/// The frame length field is a `u32`: without this check a > 4 GiB
+/// payload would silently truncate its length (`len as u32`) and desync
+/// the stream — the peer would parse the tail of the payload as the
+/// next frame. Anything above [`MAX_FRAME`] is rejected symmetrically
+/// with the read side, which already refuses such frames.
+///
+/// # Errors
+///
+/// [`SimError::Network`] when `len` exceeds [`MAX_FRAME`]. This is
+/// deterministic — retrying the same payload cannot help — so callers
+/// must not burn retry budget on it.
+pub fn check_frame_len(op: &'static str, len: usize) -> Result<(), SimError> {
+    if len > MAX_FRAME as usize {
+        return Err(SimError::Network {
+            op,
+            detail: format!(
+                "payload of {len} bytes exceeds the {MAX_FRAME}-byte frame bound; \
+                 refusing to encode a frame the peer would reject"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// [`check_frame_len`] as an IO error, for the raw write paths.
+fn check_frame_len_io(op: &'static str, len: usize) -> io::Result<()> {
+    check_frame_len(op, len).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
 fn read_len(r: &mut impl Read) -> io::Result<usize> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
@@ -162,8 +224,10 @@ fn read_payload(r: &mut impl Read) -> io::Result<Vec<u8>> {
 ///
 /// # Errors
 ///
-/// Propagates the underlying IO error.
+/// `InvalidData` when the payload exceeds [`MAX_FRAME`] (checked before
+/// any encoding allocation); otherwise the underlying IO error.
 pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    check_frame_len_io("write_request", req.payload.len())?;
     let bytes = encode_request(req);
     w.write_all(&bytes)
 }
@@ -204,8 +268,10 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
 ///
 /// # Errors
 ///
-/// Propagates the underlying IO error.
+/// `InvalidData` when the payload exceeds [`MAX_FRAME`] (checked before
+/// any encoding allocation); otherwise the underlying IO error.
 pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    check_frame_len_io("write_response", resp.payload.len())?;
     let mut bytes = Vec::with_capacity(5 + resp.payload.len());
     bytes.push(resp.status.wire());
     bytes.extend_from_slice(&(resp.payload.len() as u32).to_le_bytes());
@@ -304,6 +370,53 @@ mod tests {
         let len_at = huge.len() - 4;
         huge[len_at..].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = read_request(&mut huge.as_slice()).expect_err("oversized frame");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn serve_opcodes_roundtrip_and_unknown_tags_reject() {
+        for op in [Op::SubmitSweep, Op::PollSweep, Op::StreamCells, Op::Metrics, Op::Shutdown] {
+            let req = Request {
+                op,
+                kind: ObjectKind::Result,
+                fp: Fingerprint(0xABCD),
+                aux: 9,
+                payload: b"spec".to_vec(),
+            };
+            let mut wire = Vec::new();
+            write_request(&mut wire, &req).expect("write");
+            assert_eq!(read_request(&mut wire.as_slice()).expect("read"), req);
+        }
+        assert_eq!(Op::from_wire(10), None, "tag 10 is unassigned");
+        assert_eq!(Op::from_wire(0), None);
+    }
+
+    #[test]
+    fn oversized_payloads_reject_at_encode_time() {
+        // The typed boundary: exactly MAX_FRAME is fine, one past is a
+        // deterministic Network error (never retried, never truncated).
+        assert!(check_frame_len("put", MAX_FRAME as usize).is_ok());
+        let err = check_frame_len("put", MAX_FRAME as usize + 1).expect_err("over the bound");
+        assert_eq!(err.class(), "network");
+        assert!(err.to_string().contains("frame bound"), "explains the bound: {err}");
+        // `len as u32` truncation territory (> 4 GiB) is a fortiori
+        // rejected — this is the original desync bug.
+        assert!(check_frame_len("put", u64::MAX as usize).is_err());
+        // The raw write paths refuse before allocating the wire buffer;
+        // the payload itself is never cloned, so a huge *claimed* vec is
+        // cheap to construct for the check… but Vec::with_capacity of
+        // 64 MiB+1 is real memory, so exercise the just-over case only.
+        let req = Request {
+            op: Op::Put,
+            kind: ObjectKind::Result,
+            fp: Fingerprint(1),
+            aux: 0,
+            payload: vec![0u8; MAX_FRAME as usize + 1],
+        };
+        let err = write_request(&mut Vec::new(), &req).expect_err("write refuses");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let resp = Response { status: Status::Ok, payload: vec![0u8; MAX_FRAME as usize + 1] };
+        let err = write_response(&mut Vec::new(), &resp).expect_err("response write refuses");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

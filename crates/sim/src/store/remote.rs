@@ -40,13 +40,15 @@ fn backoff_delay(attempt: u32) -> Duration {
     Duration::from_millis(ms.min(250))
 }
 
-/// The configured per-request timeout: [`STORE_TIMEOUT_ENV`] if
-/// parsable, else [`DEFAULT_REQUEST_TIMEOUT`].
-fn request_timeout_from_env() -> Duration {
-    std::env::var(STORE_TIMEOUT_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map_or(DEFAULT_REQUEST_TIMEOUT, Duration::from_millis)
+/// The configured per-request timeout: [`STORE_TIMEOUT_ENV`] if set,
+/// else [`DEFAULT_REQUEST_TIMEOUT`].
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the variable is set but unparsable.
+pub fn request_timeout_from_env() -> Result<Duration, SimError> {
+    Ok(crate::envknob::parse_env::<u64>(STORE_TIMEOUT_ENV)?
+        .map_or(DEFAULT_REQUEST_TIMEOUT, Duration::from_millis))
 }
 
 /// A remote object store with a local degradation overlay.
@@ -71,14 +73,16 @@ impl RemoteBackend {
     ///
     /// # Errors
     ///
-    /// Returns the underlying error when the overlay directory cannot
-    /// be created.
-    pub fn open(addr: String, overlay_root: &Path) -> std::io::Result<Self> {
+    /// [`SimError::MemoIo`] when the overlay directory cannot be
+    /// created, [`SimError::Config`] when the timeout knob is set but
+    /// unparsable.
+    pub fn open(addr: String, overlay_root: &Path) -> Result<Self, SimError> {
         Ok(Self {
             addr,
-            timeout: request_timeout_from_env(),
+            timeout: request_timeout_from_env()?,
             conn: Mutex::new(None),
-            overlay: LocalDir::open(overlay_root)?,
+            overlay: LocalDir::open(overlay_root)
+                .map_err(|e| SimError::MemoIo { op: "open_overlay", detail: e.to_string() })?,
             pending: Mutex::new(Vec::new()),
             faults: Mutex::new(None),
             degraded_ops: AtomicU64::new(0),
@@ -270,6 +274,11 @@ impl RemoteBackend {
     /// budget returns the last network error — the caller then serves
     /// the operation from the overlay.
     fn with_retries(&self, op: &'static str, request: &Request) -> Result<Response, SimError> {
+        // An over-bound payload is deterministic — the same bytes fail
+        // the same way every attempt — so reject it typed, before the
+        // retry loop can waste its budget (or a torn `len as u32` frame
+        // can desync the stream).
+        proto::check_frame_len(op, request.payload.len())?;
         let mut attempt = 0;
         loop {
             match self.round_trip(op, request) {

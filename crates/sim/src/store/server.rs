@@ -152,6 +152,12 @@ fn answer(store: &LocalDir, request: &Request) -> Response {
         Op::Contains => {
             store.contains(kind, fp).map(|present| Response::ok(vec![u8::from(present)]))
         }
+        // Sweep-daemon opcodes share the framing but not this server;
+        // a client that dials the store with them gets a clean error
+        // instead of a severed connection.
+        Op::SubmitSweep | Op::PollSweep | Op::StreamCells | Op::Metrics | Op::Shutdown => {
+            return Response::err("not an object-store operation (dial llbp-serve instead)")
+        }
     };
     outcome.unwrap_or_else(|e| Response::err(&e.to_string()))
 }

@@ -147,6 +147,16 @@ impl WorkloadSpec {
         &self.name
     }
 
+    /// The number of branch records this spec generates (what
+    /// [`WorkloadSpec::with_branches`] set, else the preset default).
+    /// Wire codecs use it to reconstruct a spec field-exactly — the
+    /// fingerprint hashes the spec's debug form, so a lossy roundtrip
+    /// would fork cell identities.
+    #[must_use]
+    pub fn branches(&self) -> usize {
+        self.branches
+    }
+
     /// Builds the program skeleton without executing it (for analysis
     /// tooling that inspects behaviour classes or structure).
     #[must_use]

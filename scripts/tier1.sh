@@ -235,4 +235,90 @@ cmp -s "$DIST_DIR/serial.out" "$DIST_DIR/degraded.out" || {
     exit 1
 }
 
+echo "== merge-crash durability smoke =="
+# crash:merge aborts the coordinator between the merged journal's
+# temp-file fsync and its rename — the exact window the
+# write-temp/fsync/rename/dir-fsync recipe protects. Recovery must find
+# no (or an old) merged journal, never a torn one, and a fault-free
+# rerun must complete the campaign byte-identically.
+CRASH_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR" "$VERIFY_DIR" "$TEL_DIR" "$BACKEND_DIR" "$DIST_DIR" "$CRASH_DIR"' EXIT
+set +e
+LLBP_CACHE_DIR="$CRASH_DIR" LLBP_FAULT_SPEC="crash:merge" \
+    ./target/release/llbp_coord --workers 2 --quick --workloads HTTP,Kafka \
+    > /dev/null 2> "$CRASH_DIR/crash.err"
+CRASH_STATUS=$?
+set -e
+[ "$CRASH_STATUS" -ne 0 ] || {
+    echo "crash smoke: crash:merge did not abort the coordinator:"
+    cat "$CRASH_DIR/crash.err"; exit 1
+}
+MERGED="$(ls "$CRASH_DIR"/*.journal 2>/dev/null | grep -v '\.w[0-9]*\.journal' || true)"
+[ -z "$MERGED" ] || {
+    echo "crash smoke: merged journal published despite the pre-rename abort:"
+    ls -l "$CRASH_DIR"; exit 1
+}
+LLBP_CACHE_DIR="$CRASH_DIR/serial" ./target/release/fig02_mpki_limits --quick \
+    --workloads HTTP,Kafka > "$CRASH_DIR/serial.out" 2> /dev/null
+LLBP_CACHE_DIR="$CRASH_DIR" ./target/release/llbp_coord --workers 2 --quick \
+    --workloads HTTP,Kafka > "$CRASH_DIR/rerun.out" 2> "$CRASH_DIR/rerun.err" || {
+    echo "crash smoke: post-crash rerun failed:"; cat "$CRASH_DIR/rerun.err"; exit 1
+}
+cmp -s "$CRASH_DIR/serial.out" "$CRASH_DIR/rerun.out" || {
+    echo "crash smoke: post-crash rerun changed the figure output:"
+    diff "$CRASH_DIR/serial.out" "$CRASH_DIR/rerun.out" || true
+    exit 1
+}
+
+echo "== serve daemon smoke =="
+# A sweep routed through the resident daemon with --server — under one
+# injected client-side disconnect — must print stdout byte-identical to
+# a local run, expose live Prometheus metrics, and shut down cleanly.
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR" "$VERIFY_DIR" "$TEL_DIR" "$BACKEND_DIR" "$DIST_DIR" "$CRASH_DIR" "$SERVE_DIR"' EXIT
+LLBP_CACHE_DIR="$SERVE_DIR/local" ./target/release/fig02_mpki_limits --quick \
+    > "$SERVE_DIR/local.out" 2> /dev/null
+./target/release/llbp_serve --root "$SERVE_DIR/shared" --print-addr \
+    > "$SERVE_DIR/serve.addr" 2> "$SERVE_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -s "$SERVE_DIR/serve.addr" ] && break; sleep 0.1; done
+[ -s "$SERVE_DIR/serve.addr" ] || {
+    echo "serve smoke: llbp_serve never printed its address:"
+    cat "$SERVE_DIR/serve.err"; kill "$SERVE_PID" 2>/dev/null || true; exit 1
+}
+SERVE_ADDR="tcp://$(cat "$SERVE_DIR/serve.addr")"
+LLBP_CACHE_DIR="$SERVE_DIR/client" LLBP_FAULT_SPEC="net:disconnect:count=1" \
+    ./target/release/fig02_mpki_limits --quick --server "$SERVE_ADDR" \
+    > "$SERVE_DIR/remote.out" 2> "$SERVE_DIR/remote.err" || {
+    echo "serve smoke: remote run failed:"; cat "$SERVE_DIR/remote.err"
+    kill "$SERVE_PID" 2>/dev/null || true; exit 1
+}
+cmp -s "$SERVE_DIR/local.out" "$SERVE_DIR/remote.out" || {
+    echo "serve smoke: --server run diverged from the local run:"
+    diff "$SERVE_DIR/local.out" "$SERVE_DIR/remote.out" || true
+    kill "$SERVE_PID" 2>/dev/null || true; exit 1
+}
+grep -q '"store":"serve"' "$SERVE_DIR/remote.err" || {
+    echo "serve smoke: remote throughput record does not say serve tier:"
+    cat "$SERVE_DIR/remote.err"; kill "$SERVE_PID" 2>/dev/null || true; exit 1
+}
+./target/release/llbp_client --server "$SERVE_ADDR" metrics > "$SERVE_DIR/metrics.prom" || {
+    echo "serve smoke: metrics scrape failed"
+    kill "$SERVE_PID" 2>/dev/null || true; exit 1
+}
+grep -q '^llbp_serve_campaigns_total' "$SERVE_DIR/metrics.prom" || {
+    echo "serve smoke: metrics lack the campaign counter:"
+    cat "$SERVE_DIR/metrics.prom"; kill "$SERVE_PID" 2>/dev/null || true; exit 1
+}
+./target/release/llbp_client --server "$SERVE_ADDR" shutdown 2> /dev/null || {
+    echo "serve smoke: shutdown request failed"
+    kill "$SERVE_PID" 2>/dev/null || true; exit 1
+}
+SERVE_STATUS=0
+wait "$SERVE_PID" || SERVE_STATUS=$?
+[ "$SERVE_STATUS" -eq 0 ] || {
+    echo "serve smoke: daemon exited $SERVE_STATUS after shutdown:"
+    cat "$SERVE_DIR/serve.err"; exit 1
+}
+
 echo "tier1 OK"
