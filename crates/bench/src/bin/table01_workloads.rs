@@ -2,9 +2,9 @@
 //! their synthetic stand-ins (working set, branch mix — §IV-2 cites a
 //! 3.89 conditional-to-unconditional ratio).
 
+use llbp_bench::figures::table01_render;
 use llbp_bench::{trace_cache, workload_specs, Opts};
 use llbp_sim::engine::{default_workers, run_indexed};
-use llbp_sim::report::{f2, Table};
 use std::time::Instant;
 
 fn main() {
@@ -20,24 +20,7 @@ fn main() {
         run_indexed(default_workers(), specs.len(), |i| cache.get_or_generate(&specs[i]).stats());
     let wall = started.elapsed();
 
-    println!("# Table I — workloads (synthetic stand-ins; see DESIGN.md §3)\n");
-    let mut table = Table::new([
-        "application",
-        "description",
-        "static cond. branches",
-        "cond:uncond",
-        "taken rate",
-    ]);
-    for (w, s) in opts.workloads.iter().zip(&rows) {
-        table.row([
-            w.to_string(),
-            w.description().to_string(),
-            s.static_conditional.to_string(),
-            f2(s.cond_per_uncond().unwrap_or(0.0)),
-            f2(s.taken_rate().unwrap_or(0.0)),
-        ]);
-    }
-    println!("{}", table.to_markdown());
+    print!("{}", table01_render(&opts.workloads, &rows));
     eprintln!(
         "{{\"event\":\"sweep_throughput\",\"label\":\"table01\",\"jobs\":{},\"workers\":{},\
          \"wall_s\":{:.3},\"cache_misses\":{},\"trace_disk_hits\":{},\"trace_mib\":{:.1}}}",

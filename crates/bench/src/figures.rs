@@ -75,3 +75,33 @@ where
         table.to_markdown()
     )
 }
+
+/// Renders Table I's full stdout — header plus the measured workload
+/// characteristics — from per-workload trace statistics in `workloads`
+/// order. Returns the exact bytes the binary prints.
+#[must_use]
+pub fn table01_render(
+    workloads: &[llbp_trace::Workload],
+    rows: &[llbp_trace::TraceStats],
+) -> String {
+    let mut table = Table::new([
+        "application",
+        "description",
+        "static cond. branches",
+        "cond:uncond",
+        "taken rate",
+    ]);
+    for (w, s) in workloads.iter().zip(rows) {
+        table.row([
+            w.to_string(),
+            w.description().to_string(),
+            s.static_conditional.to_string(),
+            f2(s.cond_per_uncond().unwrap_or(0.0)),
+            f2(s.taken_rate().unwrap_or(0.0)),
+        ]);
+    }
+    format!(
+        "# Table I — workloads (synthetic stand-ins; see DESIGN.md §3)\n\n{}\n",
+        table.to_markdown()
+    )
+}

@@ -79,6 +79,12 @@ pub struct Opts {
     /// Stdout is byte-identical either way — the daemon streams back
     /// the exact cells a local run would compute (DESIGN.md §12).
     pub server: Option<String>,
+    /// Whether `--prov` was requested: record per-branch prediction
+    /// provenance for every simulated cell, persist the streams next to
+    /// the memo cells (for `prov_tool`), and append a `"prov"` section
+    /// to the throughput record. Off by default; off leaves every output
+    /// byte identical to a build without the subsystem (DESIGN.md §13).
+    pub prov: bool,
 }
 
 impl Opts {
@@ -111,6 +117,7 @@ impl Opts {
             metrics_out: None,
             backend: BackendKind::from_env().unwrap_or_else(|msg| usage(&msg)),
             server: None,
+            prov: false,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -155,9 +162,17 @@ impl Opts {
                     let v = iter.next().unwrap_or_else(|| usage("missing value for --server"));
                     opts.server = Some(v);
                 }
+                "--prov" => opts.prov = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument: {other}")),
             }
+        }
+        if opts.prov && opts.server.is_some() {
+            // The serve protocol streams result cells only; provenance
+            // streams stay on the daemon's disk where prov_tool can't
+            // see them from here. Refuse rather than silently record
+            // nothing.
+            usage("--prov cannot be combined with --server (run the sweep locally to record)");
         }
         opts
     }
@@ -185,7 +200,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <bin> [--quick] [--cold] [--resume] [--verify-resume] [--strict] [--branches N] \
          [--workloads A,B,C] [--trace-events PATH] [--metrics-out PATH] \
-         [--backend auto|reference|specialized|batch] [--server tcp://HOST:PORT]"
+         [--backend auto|reference|specialized|batch] [--server tcp://HOST:PORT] [--prov]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -317,6 +332,13 @@ pub fn engine(opts: &Opts) -> SweepEngine {
     }
     if let Some(faults) = fault_injector() {
         engine = engine.with_faults(faults);
+    }
+    if opts.prov {
+        let cfg = llbp_sim::engine::prov_config_from_env().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        });
+        engine = engine.with_prov(cfg);
     }
     engine.cold(opts.cold).resume(opts.resume).verify_resume(opts.verify_resume)
 }
@@ -513,6 +535,14 @@ mod tests {
         assert_eq!(o.server.as_deref(), Some("tcp://127.0.0.1:9"));
         let o = Opts::parse(Vec::<String>::new());
         assert_eq!(o.server, None);
+    }
+
+    #[test]
+    fn parse_prov_flag() {
+        let o = Opts::parse(["--prov"].iter().map(ToString::to_string));
+        assert!(o.prov);
+        let o = Opts::parse(Vec::<String>::new());
+        assert!(!o.prov);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::stats::{LlbpStats, OverrideKind};
 use bputil::history::FoldedHistory;
 use bputil::table::SetAssoc;
 use llbp_tage::tage::UpdateMode;
-use llbp_tage::{FrontEnd, Predictor, ProviderKind, TageScl, TslLookup};
+use llbp_tage::{FrontEnd, PredictionInfo, Predictor, ProviderKind, TageScl, TslLookup};
 use llbp_trace::{BranchKind, BranchRecord};
 
 /// A pattern set resident in the pattern buffer.
@@ -522,6 +522,21 @@ impl Predictor for LlbpPredictor {
         // `finish_lookup` already attributes injected predictions to LLBP
         // (or to the SC/loop predictor when they corrected it).
         self.pending.as_ref().map_or(ProviderKind::Bimodal, |p| p.tsl.provider)
+    }
+
+    fn last_prediction_info(&self, pred: bool) -> PredictionInfo {
+        let Some(p) = self.pending.as_ref() else {
+            return PredictionInfo::from_provider(pred, ProviderKind::Bimodal);
+        };
+        let mut info = p.tsl.prediction_info();
+        if let Some(m) = &p.llbp {
+            info.llbp_hit = true;
+            info.llbp_pred = m.pred;
+            info.llbp_weak = m.weak;
+            info.llbp_hist_len = m.hist_len.min(u16::MAX as usize) as u16;
+        }
+        info.llbp_override = p.overrode;
+        info
     }
 
     fn label(&self) -> &str {

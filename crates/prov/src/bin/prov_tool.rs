@@ -1,0 +1,185 @@
+//! `prov_tool` — inspect prediction provenance streams.
+//!
+//! ```text
+//! prov_tool why  <stream|dir> [--label S] [--workload S] [--top N]
+//! prov_tool diff <a> <b> [--label S] [--workload S]
+//!                        [--label2 S] [--workload2 S] [--top N]
+//! prov_tool info <stream|dir> [--label S] [--workload S]
+//! ```
+//!
+//! A positional argument may be a `.llpv` stream file, or a directory
+//! (e.g. the memo cache root or its `prov/` subdirectory) — directories
+//! are scanned for `*.llpv` streams and `--label`/`--workload`
+//! substring filters must select exactly one. `diff` filters its second
+//! operand with `--label2`/`--workload2` (falling back to
+//! `--label`/`--workload`).
+
+use llbp_prov::{read_stream, render_diff, render_info, render_why, ProvStream};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("why") => cmd_why(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: prov_tool why  <stream|dir> [--label S] [--workload S] [--top N]\n\
+     \x20      prov_tool diff <a> <b> [--label S] [--workload S] [--label2 S] [--workload2 S] [--top N]\n\
+     \x20      prov_tool info <stream|dir> [--label S] [--workload S]"
+        .into()
+}
+
+/// Flag values shared by the subcommands.
+#[derive(Default)]
+struct Flags {
+    label: Option<String>,
+    workload: Option<String>,
+    label2: Option<String>,
+    workload2: Option<String>,
+    top: Option<usize>,
+}
+
+/// Splits `args` into positionals and parsed flags.
+fn parse_flags(args: &[String]) -> Result<(Vec<&String>, Flags), String> {
+    let mut positionals = Vec::new();
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--label" => flags.label = Some(take("--label")?),
+            "--workload" => flags.workload = Some(take("--workload")?),
+            "--label2" => flags.label2 = Some(take("--label2")?),
+            "--workload2" => flags.workload2 = Some(take("--workload2")?),
+            "--top" => {
+                let v = take("--top")?;
+                flags.top = Some(v.parse().map_err(|e| format!("bad --top `{v}`: {e}"))?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            _ => positionals.push(arg),
+        }
+    }
+    Ok((positionals, flags))
+}
+
+fn load_file(path: &Path) -> Result<ProvStream, String> {
+    let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    read_stream(BufReader::new(file)).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+/// Collects candidate `*.llpv` files under `dir` (and its `prov/`
+/// subdirectory, so the memo cache root works directly), sorted for
+/// determinism.
+fn scan_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut found = Vec::new();
+    for root in [dir.to_path_buf(), dir.join("prov")] {
+        let Ok(entries) = std::fs::read_dir(&root) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "llpv") && path.is_file() {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Resolves one positional to a decoded stream: a file loads directly;
+/// a directory is scanned and filtered down to exactly one stream.
+fn resolve(raw: &str, label: Option<&str>, workload: Option<&str>) -> Result<ProvStream, String> {
+    let path = Path::new(raw);
+    if path.is_file() {
+        return load_file(path);
+    }
+    if !path.is_dir() {
+        return Err(format!("{raw}: no such file or directory"));
+    }
+    let candidates = scan_dir(path)?;
+    if candidates.is_empty() {
+        return Err(format!("{raw}: no .llpv streams found"));
+    }
+    let mut matches: Vec<(PathBuf, ProvStream)> = Vec::new();
+    for p in candidates {
+        // Unreadable or foreign-version streams are skipped during
+        // selection; naming a file directly still reports its error.
+        let Ok(s) = load_file(&p) else { continue };
+        if label.is_none_or(|l| s.label.contains(l))
+            && workload.is_none_or(|w| s.workload.contains(w))
+        {
+            matches.push((p, s));
+        }
+    }
+    // Substring filters that catch several streams (e.g. `--label LLBP`
+    // against both "LLBP" and "LLBP-0Lat") narrow to the exact match
+    // when exactly one exists.
+    if matches.len() > 1 {
+        let exact: Vec<usize> = matches
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| {
+                label.is_none_or(|l| s.label == l) && workload.is_none_or(|w| s.workload == w)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if let [only] = exact.as_slice() {
+            return Ok(matches.remove(*only).1);
+        }
+    }
+    match matches.len() {
+        0 => Err(format!("{raw}: no stream matches the --label/--workload filters")),
+        1 => Ok(matches.remove(0).1),
+        n => {
+            let mut msg = format!("{raw}: {n} streams match; narrow with --label/--workload:\n");
+            for (p, s) in &matches {
+                msg.push_str(&format!("  {}  ({} on {})\n", p.display(), s.label, s.workload));
+            }
+            Err(msg.trim_end().to_string())
+        }
+    }
+}
+
+const DEFAULT_TOP: usize = 20;
+
+fn cmd_why(args: &[String]) -> Result<(), String> {
+    let (positionals, flags) = parse_flags(args)?;
+    let [path] = positionals.as_slice() else { return Err(usage()) };
+    let stream = resolve(path, flags.label.as_deref(), flags.workload.as_deref())?;
+    print!("{}", render_why(&stream, flags.top.unwrap_or(DEFAULT_TOP)));
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let (positionals, flags) = parse_flags(args)?;
+    let [a, b] = positionals.as_slice() else { return Err(usage()) };
+    let stream_a = resolve(a, flags.label.as_deref(), flags.workload.as_deref())?;
+    let label2 = flags.label2.as_deref().or(flags.label.as_deref());
+    let workload2 = flags.workload2.as_deref().or(flags.workload.as_deref());
+    let stream_b = resolve(b, label2, workload2)?;
+    print!("{}", render_diff(&stream_a, &stream_b, flags.top.unwrap_or(DEFAULT_TOP)));
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (positionals, flags) = parse_flags(args)?;
+    let [path] = positionals.as_slice() else { return Err(usage()) };
+    let stream = resolve(path, flags.label.as_deref(), flags.workload.as_deref())?;
+    print!("{}", render_info(&stream));
+    Ok(())
+}

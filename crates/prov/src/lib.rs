@@ -1,0 +1,37 @@
+//! Prediction provenance: a compact per-branch side-stream that records
+//! *why* each prediction came out the way it did.
+//!
+//! The paper's central claim is that LLBP rescues predictions TAGE loses
+//! to context thrash — but an aggregate MPKI cannot say *which* branches
+//! LLBP saved, or why a given branch still mispredicts. This crate turns
+//! the simulator into a debugger for predictors:
+//!
+//! * [`ProvRecorder`] sits in the simulation hot path and captures one
+//!   [`ProvEvent`] per sampled conditional branch (provider table,
+//!   provider/alternate directions and weakness, LLBP hit/override and
+//!   confidence, outcome) into a preallocated ring buffer, plus an exact
+//!   full-rate per-branch [`BranchProfile`] for every branch that ever
+//!   mispredicts or is overridden by LLBP. It follows the same zero-cost
+//!   discipline as `crates/obs`: the disabled recorder is a single
+//!   enum-tag test per branch, performs no allocation, and leaves every
+//!   simulator output byte-identical.
+//! * [`ProvStream`] is the persisted form — a versioned, checksummed
+//!   binary format (`LLPV`, same conventions as the `LLBT` trace format)
+//!   stored next to memo cells so warm campaigns regenerate reports
+//!   without re-simulating.
+//! * `prov_tool` is the offline inspector: `why` ranks the hottest
+//!   mispredicting branches with provider breakdown and LLBP attribution;
+//!   `diff` compares two cells (e.g. TAGE-only vs TAGE+LLBP)
+//!   branch-by-branch.
+
+pub mod record;
+pub mod recorder;
+pub mod report;
+pub mod stream;
+
+pub use record::{BranchProfile, ProvEvent};
+pub use recorder::{ProvConfig, ProvRecorder};
+pub use report::{render_diff, render_info, render_why};
+pub use stream::{
+    decode_stream, encode_stream, read_stream, write_stream, ProvIoError, ProvStream,
+};

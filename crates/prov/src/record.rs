@@ -1,0 +1,259 @@
+//! The two units of provenance data: sampled per-event records and
+//! exact per-branch profiles.
+
+use llbp_tage::{PredictionInfo, ProviderKind};
+
+/// Bit assignments for [`ProvEvent::flags`].
+pub mod flags {
+    /// Resolved direction of the branch.
+    pub const TAKEN: u16 = 1 << 0;
+    /// Final predicted direction.
+    pub const PRED: u16 = 1 << 1;
+    /// What the baseline (pre-override) path predicted.
+    pub const BASELINE_PRED: u16 = 1 << 2;
+    /// A tagged TAGE table hit.
+    pub const TAGE_HIT: u16 = 1 << 3;
+    /// Direction of the providing component counter.
+    pub const PROVIDER_PRED: u16 = 1 << 4;
+    /// The providing counter was weak.
+    pub const PROVIDER_WEAK: u16 = 1 << 5;
+    /// Direction of the alternate prediction.
+    pub const ALT_PRED: u16 = 1 << 6;
+    /// The alternate prediction was chosen over the provider.
+    pub const USED_ALT: u16 = 1 << 7;
+    /// LLBP matched a pattern for this branch.
+    pub const LLBP_HIT: u16 = 1 << 8;
+    /// Direction LLBP predicted (meaningful only with `LLBP_HIT`).
+    pub const LLBP_PRED: u16 = 1 << 9;
+    /// The matching LLBP counter was weak.
+    pub const LLBP_WEAK: u16 = 1 << 10;
+    /// LLBP's prediction replaced the baseline's.
+    pub const LLBP_OVERRIDE: u16 = 1 << 11;
+}
+
+/// One sampled prediction, 24 bytes on the wire — everything the
+/// predictor could say about how the direction was formed, plus the
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvEvent {
+    /// Index of this prediction among the run's measured conditional
+    /// branches (so sampled streams at different rates line up).
+    pub seq: u64,
+    /// Branch PC.
+    pub pc: u64,
+    /// Packed booleans, see [`flags`].
+    pub flags: u16,
+    /// Providing component, as a [`ProviderKind`] ordinal.
+    pub provider: u8,
+    /// Index of the providing tagged TAGE table (0 otherwise).
+    pub provider_table: u8,
+    /// Geometric history length of the providing table.
+    pub provider_hist_len: u16,
+    /// History length of the matching LLBP pattern (0 = no hit).
+    pub llbp_hist_len: u16,
+}
+
+impl ProvEvent {
+    /// Serialized size in bytes.
+    pub const WIRE_BYTES: usize = 24;
+
+    /// Builds an event from a predictor's provenance record and the
+    /// resolved outcome.
+    #[must_use]
+    pub fn from_info(seq: u64, pc: u64, taken: bool, info: &PredictionInfo) -> Self {
+        let mut f = 0u16;
+        let mut set = |bit: u16, on: bool| {
+            if on {
+                f |= bit;
+            }
+        };
+        set(flags::TAKEN, taken);
+        set(flags::PRED, info.pred);
+        set(flags::BASELINE_PRED, info.baseline_pred);
+        set(flags::TAGE_HIT, info.tage_hit);
+        set(flags::PROVIDER_PRED, info.provider_pred);
+        set(flags::PROVIDER_WEAK, info.provider_weak);
+        set(flags::ALT_PRED, info.alt_pred);
+        set(flags::USED_ALT, info.used_alt);
+        set(flags::LLBP_HIT, info.llbp_hit);
+        set(flags::LLBP_PRED, info.llbp_pred);
+        set(flags::LLBP_WEAK, info.llbp_weak);
+        set(flags::LLBP_OVERRIDE, info.llbp_override);
+        ProvEvent {
+            seq,
+            pc,
+            flags: f,
+            provider: info.provider.ordinal() as u8,
+            provider_table: info.provider_table(),
+            provider_hist_len: info.provider_hist_len,
+            llbp_hist_len: info.llbp_hist_len,
+        }
+    }
+
+    /// Tests one flag bit.
+    #[must_use]
+    pub fn flag(&self, bit: u16) -> bool {
+        self.flags & bit != 0
+    }
+
+    /// Resolved direction.
+    #[must_use]
+    pub fn taken(&self) -> bool {
+        self.flag(flags::TAKEN)
+    }
+
+    /// Final predicted direction.
+    #[must_use]
+    pub fn pred(&self) -> bool {
+        self.flag(flags::PRED)
+    }
+
+    /// Whether the final prediction was wrong.
+    #[must_use]
+    pub fn mispredicted(&self) -> bool {
+        self.taken() != self.pred()
+    }
+
+    /// Label of the providing component (`"?"` for out-of-range
+    /// ordinals from a foreign stream).
+    #[must_use]
+    pub fn provider_label(&self) -> &'static str {
+        ProviderKind::LABELS.get(self.provider as usize).copied().unwrap_or("?")
+    }
+}
+
+/// Exact (not sampled) per-branch counters, kept for every branch that
+/// ever mispredicted or was overridden by LLBP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// Branch PC.
+    pub pc: u64,
+    /// Final-prediction mispredictions.
+    pub mispredicts: u64,
+    /// Mispredictions attributed to each provider, in
+    /// [`ProviderKind::LABELS`] order.
+    pub wrong_by_provider: [u64; ProviderKind::COUNT],
+    /// Times LLBP's prediction replaced the baseline's.
+    pub llbp_overrides: u64,
+    /// Overrides whose final direction was wrong.
+    pub llbp_override_wrong: u64,
+    /// Overrides where LLBP was right and the baseline would have been
+    /// wrong — the branches LLBP *saved*.
+    pub llbp_saved: u64,
+    /// Overrides where LLBP was wrong and the baseline would have been
+    /// right — the branches LLBP *hurt*.
+    pub llbp_hurt: u64,
+}
+
+impl BranchProfile {
+    /// A zeroed profile for `pc`.
+    #[must_use]
+    pub fn new(pc: u64) -> Self {
+        BranchProfile {
+            pc,
+            mispredicts: 0,
+            wrong_by_provider: [0; ProviderKind::COUNT],
+            llbp_overrides: 0,
+            llbp_override_wrong: 0,
+            llbp_saved: 0,
+            llbp_hurt: 0,
+        }
+    }
+
+    /// Folds one resolved prediction into the counters.
+    pub fn observe(&mut self, taken: bool, info: &PredictionInfo) {
+        let wrong = info.pred != taken;
+        if wrong {
+            self.mispredicts += 1;
+            self.wrong_by_provider[info.provider.ordinal()] += 1;
+        }
+        if info.llbp_override {
+            self.llbp_overrides += 1;
+            if wrong {
+                self.llbp_override_wrong += 1;
+                if info.baseline_pred == taken {
+                    self.llbp_hurt += 1;
+                }
+            } else if info.baseline_pred != taken {
+                self.llbp_saved += 1;
+            }
+        }
+    }
+
+    /// Label of the provider most often responsible for this branch's
+    /// mispredictions (ties break toward the lower ordinal).
+    #[must_use]
+    pub fn dominant_wrong_provider(&self) -> &'static str {
+        let (idx, _) = self
+            .wrong_by_provider
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+            .expect("COUNT > 0");
+        ProviderKind::LABELS[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(pred: bool, provider: ProviderKind) -> PredictionInfo {
+        PredictionInfo::from_provider(pred, provider)
+    }
+
+    #[test]
+    fn event_roundtrips_info_fields() {
+        let mut i = info(true, ProviderKind::Tage { table: 5 });
+        i.provider_weak = true;
+        i.llbp_hit = true;
+        i.llbp_pred = true;
+        i.llbp_override = true;
+        i.llbp_hist_len = 211;
+        i.provider_hist_len = 27;
+        let e = ProvEvent::from_info(42, 0x1234, false, &i);
+        assert_eq!(e.seq, 42);
+        assert_eq!(e.pc, 0x1234);
+        assert!(e.pred() && !e.taken() && e.mispredicted());
+        assert!(e.flag(flags::PROVIDER_WEAK) && e.flag(flags::LLBP_OVERRIDE));
+        assert_eq!(e.provider_label(), "tage");
+        assert_eq!(e.provider_table, 5);
+        assert_eq!(e.provider_hist_len, 27);
+        assert_eq!(e.llbp_hist_len, 211);
+    }
+
+    #[test]
+    fn profile_attributes_saves_and_hurts() {
+        let mut p = BranchProfile::new(0x10);
+        // LLBP overrode, was right, baseline would have been wrong: saved.
+        let mut i = info(true, ProviderKind::Llbp);
+        i.baseline_pred = false;
+        i.llbp_override = true;
+        p.observe(true, &i);
+        // LLBP overrode, was wrong, baseline would have been right: hurt.
+        let mut i = info(false, ProviderKind::Llbp);
+        i.baseline_pred = true;
+        i.llbp_override = true;
+        p.observe(true, &i);
+        // Plain TAGE misprediction.
+        p.observe(false, &info(true, ProviderKind::Tage { table: 2 }));
+        assert_eq!(p.mispredicts, 2);
+        assert_eq!(p.llbp_overrides, 2);
+        assert_eq!(p.llbp_saved, 1);
+        assert_eq!(p.llbp_hurt, 1);
+        assert_eq!(p.llbp_override_wrong, 1);
+        assert_eq!(p.wrong_by_provider[ProviderKind::Llbp.ordinal()], 1);
+        assert_eq!(p.wrong_by_provider[ProviderKind::Tage { table: 2 }.ordinal()], 1);
+    }
+
+    #[test]
+    fn dominant_provider_breaks_ties_low() {
+        let mut p = BranchProfile::new(0);
+        assert_eq!(p.dominant_wrong_provider(), "bim");
+        p.wrong_by_provider[1] = 3;
+        p.wrong_by_provider[4] = 3;
+        assert_eq!(p.dominant_wrong_provider(), "tage");
+        p.wrong_by_provider[4] = 4;
+        assert_eq!(p.dominant_wrong_provider(), "llbp");
+    }
+}

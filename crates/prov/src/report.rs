@@ -1,0 +1,265 @@
+//! Deterministic text renderers for provenance streams — the offline
+//! half of the subsystem, shared by `prov_tool` and tests.
+
+use crate::record::BranchProfile;
+use crate::stream::ProvStream;
+use bputil::hash::FastHashMap;
+use llbp_tage::ProviderKind;
+use std::fmt::Write as _;
+
+fn header(out: &mut String, s: &ProvStream) {
+    let _ = writeln!(out, "provenance: {} on {}", s.label, s.workload);
+    let rate = if s.branches == 0 { 0.0 } else { s.mispredicts as f64 * 100.0 / s.branches as f64 };
+    let _ = writeln!(
+        out,
+        "branches:   {} measured conditional, {} mispredicted ({rate:.3}%)",
+        s.branches, s.mispredicts
+    );
+    let _ = writeln!(
+        out,
+        "sampling:   every {}th event, ring {} ({} sampled, {} kept)",
+        s.sample,
+        s.ring,
+        s.sampled,
+        s.events.len()
+    );
+}
+
+/// Nonzero per-provider misprediction counts, highest first (ties break
+/// toward the lower ordinal), e.g. `"tage:7 bim:2"`.
+fn provider_breakdown(p: &BranchProfile) -> String {
+    let mut entries: Vec<(usize, u64)> = p
+        .wrong_by_provider
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(i, &n)| (i, n))
+        .collect();
+    entries.sort_by_key(|&(i, n)| (std::cmp::Reverse(n), i));
+    if entries.is_empty() {
+        return "-".into();
+    }
+    entries
+        .iter()
+        .map(|&(i, n)| format!("{}:{n}", ProviderKind::LABELS[i]))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn llbp_summary(p: &BranchProfile) -> String {
+    if p.llbp_overrides == 0 {
+        return "-".into();
+    }
+    format!(
+        "ovr {} (wrong {}, saved {}, hurt {})",
+        p.llbp_overrides, p.llbp_override_wrong, p.llbp_saved, p.llbp_hurt
+    )
+}
+
+/// Profiles ranked hottest-first: mispredictions descending, PC
+/// ascending on ties — the deterministic order every report uses.
+#[must_use]
+pub fn rank_profiles(stream: &ProvStream) -> Vec<&BranchProfile> {
+    let mut ranked: Vec<&BranchProfile> = stream.profiles.iter().collect();
+    ranked.sort_by_key(|p| (std::cmp::Reverse(p.mispredicts), p.pc));
+    ranked
+}
+
+/// Renders the `why` report: the `top` hottest mispredicting branches,
+/// their provider breakdown, and what LLBP did at each.
+#[must_use]
+pub fn render_why(stream: &ProvStream, top: usize) -> String {
+    let mut out = String::new();
+    header(&mut out, stream);
+    let ranked = rank_profiles(stream);
+    let shown = ranked.iter().take(top).filter(|p| p.mispredicts > 0).count();
+    let _ = writeln!(
+        out,
+        "hottest mispredicting branches ({shown} of {} profiled):",
+        stream.profiles.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>4}  {:18} {:>9}  {:24}  llbp",
+        "rank", "pc", "mispred", "provider breakdown"
+    );
+    for (rank, p) in ranked.iter().take(top).enumerate() {
+        if p.mispredicts == 0 {
+            break;
+        }
+        let _ = writeln!(
+            out,
+            "{:>4}  {:#018x} {:>9}  {:24}  {}",
+            rank + 1,
+            p.pc,
+            p.mispredicts,
+            provider_breakdown(p),
+            llbp_summary(p)
+        );
+    }
+    out
+}
+
+/// Renders the header summary alone (the `info` subcommand).
+#[must_use]
+pub fn render_info(stream: &ProvStream) -> String {
+    let mut out = String::new();
+    header(&mut out, stream);
+    let _ = writeln!(out, "profiled:   {} branches", stream.profiles.len());
+    out
+}
+
+/// Renders the `diff` report: branch-by-branch misprediction deltas
+/// between two cells (`a` is the base, `b` the comparison), largest
+/// absolute change first.
+#[must_use]
+pub fn render_diff(a: &ProvStream, b: &ProvStream, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "diff: [A] {} on {}  vs  [B] {} on {}",
+        a.label, a.workload, b.label, b.workload
+    );
+    let delta_total = b.mispredicts as i64 - a.mispredicts as i64;
+    let _ = writeln!(
+        out,
+        "totals: A {} mispredicts, B {} ({:+} in B)",
+        a.mispredicts, b.mispredicts, delta_total
+    );
+    let a_by_pc: FastHashMap<u64, &BranchProfile> = a.profiles.iter().map(|p| (p.pc, p)).collect();
+    let b_by_pc: FastHashMap<u64, &BranchProfile> = b.profiles.iter().map(|p| (p.pc, p)).collect();
+    let mut pcs: Vec<u64> = a_by_pc.keys().chain(b_by_pc.keys()).copied().collect();
+    pcs.sort_unstable();
+    pcs.dedup();
+    struct Row {
+        pc: u64,
+        a_mis: u64,
+        b_mis: u64,
+        delta: i64,
+        b_llbp: String,
+    }
+    let mut rows: Vec<Row> = pcs
+        .into_iter()
+        .map(|pc| {
+            let a_mis = a_by_pc.get(&pc).map_or(0, |p| p.mispredicts);
+            let b_prof = b_by_pc.get(&pc);
+            let b_mis = b_prof.map_or(0, |p| p.mispredicts);
+            Row {
+                pc,
+                a_mis,
+                b_mis,
+                delta: b_mis as i64 - a_mis as i64,
+                b_llbp: b_prof.map_or_else(|| "-".into(), |p| llbp_summary(p)),
+            }
+        })
+        .filter(|r| r.a_mis > 0 || r.b_mis > 0)
+        .collect();
+    rows.sort_by_key(|r| (std::cmp::Reverse(r.delta.unsigned_abs()), r.delta, r.pc));
+    let _ = writeln!(
+        out,
+        "largest changes ({} branches differ):",
+        rows.iter().filter(|r| r.delta != 0).count()
+    );
+    let _ =
+        writeln!(out, "{:>4}  {:18} {:>9} {:>9} {:>7}  B llbp", "rank", "pc", "A", "B", "delta");
+    for (rank, r) in rows.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:#018x} {:>9} {:>9} {:>+7}  {}",
+            rank + 1,
+            r.pc,
+            r.a_mis,
+            r.b_mis,
+            r.delta,
+            r.b_llbp
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(label: &str, profiles: Vec<BranchProfile>) -> ProvStream {
+        let mispredicts = profiles.iter().map(|p| p.mispredicts).sum();
+        ProvStream {
+            label: label.into(),
+            workload: "tomcat".into(),
+            sample: 64,
+            ring: 1024,
+            branches: 1000,
+            mispredicts,
+            sampled: 16,
+            profiles,
+            events: vec![],
+        }
+    }
+
+    fn profile(pc: u64, mispredicts: u64, provider: usize) -> BranchProfile {
+        let mut p = BranchProfile::new(pc);
+        p.mispredicts = mispredicts;
+        p.wrong_by_provider[provider] = mispredicts;
+        p
+    }
+
+    #[test]
+    fn why_ranks_by_mispredicts_then_pc() {
+        let s =
+            stream("64K TSL", vec![profile(0x30, 5, 1), profile(0x10, 9, 0), profile(0x20, 5, 2)]);
+        let r = render_why(&s, 10);
+        let pos = |pat: &str| r.find(pat).unwrap_or_else(|| panic!("missing {pat} in:\n{r}"));
+        assert!(pos("0x0000000000000010") < pos("0x0000000000000020"));
+        assert!(pos("0x0000000000000020") < pos("0x0000000000000030"));
+        assert!(r.contains("bim:9"));
+        assert!(r.contains("tage:5"));
+        assert!(r.contains("sc:5"));
+    }
+
+    #[test]
+    fn why_is_deterministic_and_respects_top() {
+        let s = stream("64K TSL", vec![profile(0x10, 3, 0), profile(0x20, 2, 1)]);
+        assert_eq!(render_why(&s, 5), render_why(&s, 5));
+        let top1 = render_why(&s, 1);
+        assert!(top1.contains("0x0000000000000010"));
+        assert!(!top1.contains("0x0000000000000020"));
+    }
+
+    #[test]
+    fn why_surfaces_llbp_attribution() {
+        let mut p = profile(0x40, 4, 4);
+        p.llbp_overrides = 6;
+        p.llbp_override_wrong = 4;
+        p.llbp_saved = 1;
+        p.llbp_hurt = 2;
+        let s = stream("LLBP", vec![p]);
+        let r = render_why(&s, 5);
+        assert!(r.contains("ovr 6 (wrong 4, saved 1, hurt 2)"), "llbp column missing:\n{r}");
+        assert!(r.contains("llbp:4"));
+    }
+
+    #[test]
+    fn diff_orders_by_largest_change() {
+        let a = stream("64K TSL", vec![profile(0x10, 10, 1), profile(0x20, 4, 1)]);
+        let b = stream("LLBP", vec![profile(0x10, 2, 1), profile(0x30, 5, 4)]);
+        let r = render_diff(&a, &b, 10);
+        assert!(r.contains("A 14 mispredicts, B 7 (-7 in B)"), "totals wrong:\n{r}");
+        let pos = |pat: &str| r.find(pat).unwrap_or_else(|| panic!("missing {pat} in:\n{r}"));
+        // 0x10 changed by -8, 0x30 by +5, 0x20 by -4.
+        assert!(pos("0x0000000000000010") < pos("0x0000000000000030"));
+        assert!(pos("0x0000000000000030") < pos("0x0000000000000020"));
+        assert!(r.contains("-8"));
+        assert!(r.contains("+5"));
+    }
+
+    #[test]
+    fn diff_is_symmetric_in_coverage() {
+        // A branch present only in one stream still shows, with 0 on the
+        // other side.
+        let a = stream("A", vec![profile(0x50, 3, 0)]);
+        let b = stream("B", vec![]);
+        let r = render_diff(&a, &b, 10);
+        assert!(r.contains("0x0000000000000050"));
+        assert!(r.contains("-3"));
+    }
+}

@@ -1,0 +1,439 @@
+//! The persisted provenance stream: a versioned, checksummed binary
+//! format following the `LLBT` trace-file conventions.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic    [u8; 4] = b"LLPV"
+//! version  u16     = 1
+//! label    u16 length + UTF-8 bytes      predictor label
+//! workload u16 length + UTF-8 bytes
+//! sample   u64     sampling period
+//! ring     u64     configured ring capacity
+//! branches u64     measured conditional branches observed
+//! mispred  u64     total final-prediction mispredictions (exact)
+//! sampled  u64     events pushed into the ring (incl. overwritten)
+//! nprof    u64     profile count
+//! profiles nprof × { pc u64, mispredicts u64, wrong[5] u64,
+//!                    overrides u64, override_wrong u64,
+//!                    saved u64, hurt u64 }                 (88 bytes)
+//! nevents  u64     surviving ring events, oldest first
+//! events   nevents × { seq u64, pc u64, flags u16, provider u8,
+//!                      table u8, phl u16, lhl u16 }        (24 bytes)
+//! crc      u64     FNV-1a over every byte after the version field
+//! ```
+
+use crate::record::{BranchProfile, ProvEvent};
+use llbp_tage::ProviderKind;
+use std::io::{Read, Write};
+
+/// Magic bytes identifying a provenance stream.
+pub const MAGIC: [u8; 4] = *b"LLPV";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// A finished provenance side-stream, ready to persist or inspect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvStream {
+    /// Predictor label the cell ran with (e.g. `"64K TSL"`).
+    pub label: String,
+    /// Workload name the cell ran on.
+    pub workload: String,
+    /// Sampling period the recorder used.
+    pub sample: u64,
+    /// Configured ring capacity.
+    pub ring: u64,
+    /// Measured conditional branches observed.
+    pub branches: u64,
+    /// Total final-prediction mispredictions (exact, not sampled).
+    pub mispredicts: u64,
+    /// Events pushed into the ring, including overwritten ones.
+    pub sampled: u64,
+    /// Exact per-branch counters, sorted by PC.
+    pub profiles: Vec<BranchProfile>,
+    /// Surviving sampled events, oldest first.
+    pub events: Vec<ProvEvent>,
+}
+
+/// Errors produced while reading or writing provenance streams.
+#[derive(Debug)]
+pub enum ProvIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The payload does not start with the `LLPV` magic.
+    BadMagic([u8; 4]),
+    /// The payload uses an unsupported format version.
+    UnsupportedVersion(u16),
+    /// The payload ended before the declared contents.
+    Truncated,
+    /// An embedded string is not valid UTF-8.
+    BadString(std::string::FromUtf8Error),
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        found: u64,
+    },
+    /// Bytes remain after the checksum trailer.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for ProvIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvIoError::Io(e) => write!(f, "prov io failure: {e}"),
+            ProvIoError::BadMagic(m) => write!(f, "bad prov magic {m:02x?}"),
+            ProvIoError::UnsupportedVersion(v) => write!(f, "unsupported prov version {v}"),
+            ProvIoError::Truncated => write!(f, "prov stream truncated"),
+            ProvIoError::BadString(e) => write!(f, "prov string is not utf-8: {e}"),
+            ProvIoError::ChecksumMismatch { expected, found } => {
+                write!(f, "prov checksum mismatch: expected {expected:#x}, found {found:#x}")
+            }
+            ProvIoError::TrailingBytes => write!(f, "prov stream has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for ProvIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProvIoError::Io(e) => Some(e),
+            ProvIoError::BadString(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProvIoError {
+    fn from(e: std::io::Error) -> Self {
+        ProvIoError::Io(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    put_u16(buf, len as u16);
+    buf.extend_from_slice(&bytes[..len]);
+}
+
+/// Serialises `stream` to bytes (magic + version + payload + checksum).
+#[must_use]
+pub fn encode_stream(stream: &ProvStream) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(
+        64 + stream.profiles.len() * 88 + stream.events.len() * ProvEvent::WIRE_BYTES,
+    );
+    put_str(&mut payload, &stream.label);
+    put_str(&mut payload, &stream.workload);
+    put_u64(&mut payload, stream.sample);
+    put_u64(&mut payload, stream.ring);
+    put_u64(&mut payload, stream.branches);
+    put_u64(&mut payload, stream.mispredicts);
+    put_u64(&mut payload, stream.sampled);
+    put_u64(&mut payload, stream.profiles.len() as u64);
+    for p in &stream.profiles {
+        put_u64(&mut payload, p.pc);
+        put_u64(&mut payload, p.mispredicts);
+        for &n in &p.wrong_by_provider {
+            put_u64(&mut payload, n);
+        }
+        put_u64(&mut payload, p.llbp_overrides);
+        put_u64(&mut payload, p.llbp_override_wrong);
+        put_u64(&mut payload, p.llbp_saved);
+        put_u64(&mut payload, p.llbp_hurt);
+    }
+    put_u64(&mut payload, stream.events.len() as u64);
+    for e in &stream.events {
+        put_u64(&mut payload, e.seq);
+        put_u64(&mut payload, e.pc);
+        put_u16(&mut payload, e.flags);
+        payload.push(e.provider);
+        payload.push(e.provider_table);
+        put_u16(&mut payload, e.provider_hist_len);
+        put_u16(&mut payload, e.llbp_hist_len);
+    }
+    let mut out = Vec::with_capacity(4 + 2 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    let crc = fnv1a(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProvIoError> {
+        let end = self.pos.checked_add(n).ok_or(ProvIoError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ProvIoError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, ProvIoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("slice length")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProvIoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("slice length")))
+    }
+
+    fn u8(&mut self) -> Result<u8, ProvIoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn string(&mut self) -> Result<String, ProvIoError> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(ProvIoError::BadString)
+    }
+
+    fn count(&mut self, item_bytes: usize) -> Result<usize, ProvIoError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| ProvIoError::Truncated)?;
+        // A declared count that cannot fit in the remaining bytes is
+        // corruption; reject before reserving.
+        if n.checked_mul(item_bytes).is_none_or(|total| total > self.bytes.len() - self.pos) {
+            return Err(ProvIoError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+/// Deserialises a stream from `bytes` (integrity-checked).
+///
+/// # Errors
+///
+/// Returns a [`ProvIoError`] describing the first malformation found.
+pub fn decode_stream(bytes: &[u8]) -> Result<ProvStream, ProvIoError> {
+    if bytes.len() < 4 + 2 + 8 {
+        if bytes.len() >= 4 && bytes[0..4] != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&bytes[0..4]);
+            return Err(ProvIoError::BadMagic(m));
+        }
+        return Err(ProvIoError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&bytes[0..4]);
+        return Err(ProvIoError::BadMagic(m));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("slice length"));
+    if version != VERSION {
+        return Err(ProvIoError::UnsupportedVersion(version));
+    }
+    let payload = &bytes[6..bytes.len() - 8];
+    let expected = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("slice length"));
+    let found = fnv1a(payload);
+    if expected != found {
+        return Err(ProvIoError::ChecksumMismatch { expected, found });
+    }
+    let mut c = Cursor { bytes: payload, pos: 0 };
+    let label = c.string()?;
+    let workload = c.string()?;
+    let sample = c.u64()?;
+    let ring = c.u64()?;
+    let branches = c.u64()?;
+    let mispredicts = c.u64()?;
+    let sampled = c.u64()?;
+    let nprof = c.count(88)?;
+    let mut profiles = Vec::with_capacity(nprof);
+    for _ in 0..nprof {
+        let pc = c.u64()?;
+        let mut p = BranchProfile::new(pc);
+        p.mispredicts = c.u64()?;
+        for slot in &mut p.wrong_by_provider {
+            *slot = c.u64()?;
+        }
+        debug_assert_eq!(ProviderKind::COUNT, 5, "profile wire layout is five providers wide");
+        p.llbp_overrides = c.u64()?;
+        p.llbp_override_wrong = c.u64()?;
+        p.llbp_saved = c.u64()?;
+        p.llbp_hurt = c.u64()?;
+        profiles.push(p);
+    }
+    let nevents = c.count(ProvEvent::WIRE_BYTES)?;
+    let mut events = Vec::with_capacity(nevents);
+    for _ in 0..nevents {
+        events.push(ProvEvent {
+            seq: c.u64()?,
+            pc: c.u64()?,
+            flags: c.u16()?,
+            provider: c.u8()?,
+            provider_table: c.u8()?,
+            provider_hist_len: c.u16()?,
+            llbp_hist_len: c.u16()?,
+        });
+    }
+    if c.pos != payload.len() {
+        return Err(ProvIoError::TrailingBytes);
+    }
+    Ok(ProvStream {
+        label,
+        workload,
+        sample,
+        ring,
+        branches,
+        mispredicts,
+        sampled,
+        profiles,
+        events,
+    })
+}
+
+/// Writes an encoded stream to `writer`.
+///
+/// # Errors
+///
+/// Returns [`ProvIoError::Io`] on any underlying write failure.
+pub fn write_stream<W: Write>(mut writer: W, stream: &ProvStream) -> Result<(), ProvIoError> {
+    writer.write_all(&encode_stream(stream))?;
+    Ok(())
+}
+
+/// Reads and decodes a stream from `reader`.
+///
+/// # Errors
+///
+/// As [`decode_stream`], plus [`ProvIoError::Io`] on read failures.
+pub fn read_stream<R: Read>(mut reader: R) -> Result<ProvStream, ProvIoError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    decode_stream(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::flags;
+
+    fn sample_stream() -> ProvStream {
+        let mut p1 = BranchProfile::new(0x4010);
+        p1.mispredicts = 9;
+        p1.wrong_by_provider[1] = 7;
+        p1.wrong_by_provider[0] = 2;
+        p1.llbp_overrides = 4;
+        p1.llbp_saved = 3;
+        let p2 = BranchProfile::new(0x8020);
+        ProvStream {
+            label: "64K TSL + LLBP".into(),
+            workload: "tomcat".into(),
+            sample: 64,
+            ring: 1024,
+            branches: 10_000,
+            mispredicts: 9,
+            sampled: 157,
+            profiles: vec![p1, p2],
+            events: vec![
+                ProvEvent {
+                    seq: 0,
+                    pc: 0x4010,
+                    flags: flags::TAKEN | flags::TAGE_HIT,
+                    provider: 1,
+                    provider_table: 3,
+                    provider_hist_len: 27,
+                    llbp_hist_len: 0,
+                },
+                ProvEvent {
+                    seq: 64,
+                    pc: 0x8020,
+                    flags: flags::PRED | flags::LLBP_HIT | flags::LLBP_OVERRIDE,
+                    provider: 4,
+                    provider_table: 0,
+                    provider_hist_len: 0,
+                    llbp_hist_len: 211,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = sample_stream();
+        let bytes = encode_stream(&s);
+        assert_eq!(decode_stream(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let s = sample_stream();
+        let mut buf = Vec::new();
+        write_stream(&mut buf, &s).unwrap();
+        assert_eq!(read_stream(buf.as_slice()).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_stream(&sample_stream());
+        bytes[0] = b'X';
+        assert!(matches!(decode_stream(&bytes), Err(ProvIoError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = encode_stream(&sample_stream());
+        bytes[4] = 0xFF;
+        assert!(matches!(decode_stream(&bytes), Err(ProvIoError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let good = encode_stream(&sample_stream());
+        // Flip one bit in every payload byte; each corruption must fail
+        // the checksum (the header and trailer fail their own checks).
+        for i in 6..good.len() - 8 {
+            let mut bytes = good.clone();
+            bytes[i] ^= 0x40;
+            assert!(decode_stream(&bytes).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_rejected() {
+        let good = encode_stream(&sample_stream());
+        for len in 0..good.len() {
+            assert!(decode_stream(&good[..len]).is_err(), "prefix of {len} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let s = ProvStream {
+            label: String::new(),
+            workload: String::new(),
+            sample: 1,
+            ring: 1,
+            branches: 0,
+            mispredicts: 0,
+            sampled: 0,
+            profiles: vec![],
+            events: vec![],
+        };
+        assert_eq!(decode_stream(&encode_stream(&s)).unwrap(), s);
+    }
+}

@@ -35,6 +35,7 @@ use crate::driver::{finish_provider_counts, warmup_len, LlbpCellStats, SimResult
 use crate::error::{CancelToken, SimError};
 use bputil::hash::FastHashMap;
 use llbp_core::LlbpPredictor;
+use llbp_prov::ProvRecorder;
 use llbp_tage::classic::{Gshare, HashedPerceptron, TwoLevelLocal};
 use llbp_tage::{Predictor, ProviderKind, TageScl, TslConfig};
 use llbp_trace::{BranchKind, Trace};
@@ -160,17 +161,18 @@ pub(crate) fn run_specialized(
     trace: &Trace,
     token: &CancelToken,
     progress: &llbp_obs::Counter,
+    prov: &mut ProvRecorder,
 ) -> Result<SimResult, SimError> {
     if let PredictorKind::Llbp(params) = kind {
         let mut predictor = LlbpPredictor::new(params.clone());
-        let mut result = specialized_loop(cfg, &mut predictor, trace, token, progress)?;
+        let mut result = specialized_loop(cfg, &mut predictor, trace, token, progress, prov)?;
         result.llbp = Some(LlbpCellStats {
             llbp: predictor.stats().clone(),
             frontend: *predictor.frontend().stats(),
         });
         return Ok(result);
     }
-    build_and_drive(kind, SpecializedDrive { cfg, trace, token, progress })
+    build_and_drive(kind, SpecializedDrive { cfg, trace, token, progress, prov })
 }
 
 /// Runs one cell on the **batch/SoA** tier.
@@ -184,17 +186,18 @@ pub(crate) fn run_batch(
     trace: &Trace,
     token: &CancelToken,
     progress: &llbp_obs::Counter,
+    prov: &mut ProvRecorder,
 ) -> Result<SimResult, SimError> {
     if let PredictorKind::Llbp(params) = kind {
         let mut predictor = LlbpPredictor::new(params.clone());
-        let mut result = batch_loop(cfg, &mut predictor, trace, token, progress)?;
+        let mut result = batch_loop(cfg, &mut predictor, trace, token, progress, prov)?;
         result.llbp = Some(LlbpCellStats {
             llbp: predictor.stats().clone(),
             frontend: *predictor.frontend().stats(),
         });
         return Ok(result);
     }
-    build_and_drive(kind, BatchDrive { cfg, trace, token, progress })
+    build_and_drive(kind, BatchDrive { cfg, trace, token, progress, prov })
 }
 
 /// A loop implementation generic over the concrete predictor type — the
@@ -236,11 +239,12 @@ struct SpecializedDrive<'a> {
     trace: &'a Trace,
     token: &'a CancelToken,
     progress: &'a llbp_obs::Counter,
+    prov: &'a mut ProvRecorder,
 }
 
 impl MonoDrive for SpecializedDrive<'_> {
     fn go<P: Predictor>(self, mut predictor: P) -> Result<SimResult, SimError> {
-        specialized_loop(self.cfg, &mut predictor, self.trace, self.token, self.progress)
+        specialized_loop(self.cfg, &mut predictor, self.trace, self.token, self.progress, self.prov)
     }
 }
 
@@ -249,11 +253,12 @@ struct BatchDrive<'a> {
     trace: &'a Trace,
     token: &'a CancelToken,
     progress: &'a llbp_obs::Counter,
+    prov: &'a mut ProvRecorder,
 }
 
 impl MonoDrive for BatchDrive<'_> {
     fn go<P: Predictor>(self, mut predictor: P) -> Result<SimResult, SimError> {
-        batch_loop(self.cfg, &mut predictor, self.trace, self.token, self.progress)
+        batch_loop(self.cfg, &mut predictor, self.trace, self.token, self.progress, self.prov)
     }
 }
 
@@ -303,23 +308,37 @@ fn warmup_step<P: Predictor>(predictor: &mut P, record: &llbp_trace::BranchRecor
     predictor.update_history_fast(record);
 }
 
-/// One measured record. `TRACK` is a compile-time split: the untracked
-/// instantiation carries no map probes at all.
+/// One measured record. `TRACK` and `PROV` are compile-time splits: the
+/// untracked instantiation carries no map probes, and the non-recording
+/// instantiation carries no provenance work at all — the common
+/// `PROV = false` loops are instruction-for-instruction what they were
+/// before the recorder existed. The `PROV = true` variant switches to
+/// the fused [`Predictor::predict_train_info`] (bit-identical to
+/// `predict_train`, pinned by the predictor parity tests) and offers
+/// each measured conditional to the recorder.
 #[inline(always)]
-fn measure_step<P: Predictor, const TRACK: bool>(
+fn measure_step<P: Predictor, const TRACK: bool, const PROV: bool>(
     predictor: &mut P,
     record: &llbp_trace::BranchRecord,
     tally: &mut Tally,
+    prov: &mut ProvRecorder,
 ) {
     tally.instructions += record.instructions();
     if record.kind() == BranchKind::Conditional {
         let pc = record.pc();
         let taken = record.taken();
-        let (pred, provider) = predictor.predict_train(pc, taken);
+        let (pred, ordinal) = if PROV {
+            let (pred, info) = predictor.predict_train_info(pc, taken);
+            prov.record(pc, taken, &info);
+            (pred, info.provider.ordinal())
+        } else {
+            let (pred, provider) = predictor.predict_train(pc, taken);
+            (pred, provider.ordinal())
+        };
         let wrong = pred != taken;
         tally.conditional_branches += 1;
         tally.mispredictions += u64::from(wrong);
-        tally.providers[provider.ordinal()] += 1;
+        tally.providers[ordinal] += 1;
         if TRACK {
             *tally.per_branch_executions.entry(pc).or_default() += 1;
             if wrong {
@@ -336,20 +355,31 @@ fn specialized_loop<P: Predictor>(
     trace: &Trace,
     token: &CancelToken,
     progress: &llbp_obs::Counter,
+    prov: &mut ProvRecorder,
 ) -> Result<SimResult, SimError> {
-    if cfg.track_per_branch {
-        specialized_loop_inner::<P, true>(cfg, predictor, trace, token, progress)
-    } else {
-        specialized_loop_inner::<P, false>(cfg, predictor, trace, token, progress)
+    match (cfg.track_per_branch, prov.is_enabled()) {
+        (false, false) => {
+            specialized_loop_inner::<P, false, false>(cfg, predictor, trace, token, progress, prov)
+        }
+        (false, true) => {
+            specialized_loop_inner::<P, false, true>(cfg, predictor, trace, token, progress, prov)
+        }
+        (true, false) => {
+            specialized_loop_inner::<P, true, false>(cfg, predictor, trace, token, progress, prov)
+        }
+        (true, true) => {
+            specialized_loop_inner::<P, true, true>(cfg, predictor, trace, token, progress, prov)
+        }
     }
 }
 
-fn specialized_loop_inner<P: Predictor, const TRACK: bool>(
+fn specialized_loop_inner<P: Predictor, const TRACK: bool, const PROV: bool>(
     cfg: &SimConfig,
     predictor: &mut P,
     trace: &Trace,
     token: &CancelToken,
     progress: &llbp_obs::Counter,
+    prov: &mut ProvRecorder,
 ) -> Result<SimResult, SimError> {
     let warmup = warmup_len(cfg, trace);
     let records = trace.records();
@@ -375,7 +405,7 @@ fn specialized_loop_inner<P: Predictor, const TRACK: bool>(
         }
         let end = (i + Simulator::CANCEL_POLL_INTERVAL).min(records.len());
         for record in &records[i..end] {
-            measure_step::<P, TRACK>(predictor, record, &mut tally);
+            measure_step::<P, TRACK, PROV>(predictor, record, &mut tally, prov);
         }
         progress.add((end - i) as u64);
         i = end;
@@ -389,11 +419,21 @@ fn batch_loop<P: Predictor>(
     trace: &Trace,
     token: &CancelToken,
     progress: &llbp_obs::Counter,
+    prov: &mut ProvRecorder,
 ) -> Result<SimResult, SimError> {
-    if cfg.track_per_branch {
-        batch_loop_inner::<P, true>(cfg, predictor, trace, token, progress)
-    } else {
-        batch_loop_inner::<P, false>(cfg, predictor, trace, token, progress)
+    match (cfg.track_per_branch, prov.is_enabled()) {
+        (false, false) => {
+            batch_loop_inner::<P, false, false>(cfg, predictor, trace, token, progress, prov)
+        }
+        (false, true) => {
+            batch_loop_inner::<P, false, true>(cfg, predictor, trace, token, progress, prov)
+        }
+        (true, false) => {
+            batch_loop_inner::<P, true, false>(cfg, predictor, trace, token, progress, prov)
+        }
+        (true, true) => {
+            batch_loop_inner::<P, true, true>(cfg, predictor, trace, token, progress, prov)
+        }
     }
 }
 
@@ -402,12 +442,13 @@ const META_KIND_MASK: u32 = 0x7;
 const META_COND: u32 = 0; // BranchKind::Conditional encoding
 const META_TAKEN_BIT: u32 = 0x8;
 
-fn batch_loop_inner<P: Predictor, const TRACK: bool>(
+fn batch_loop_inner<P: Predictor, const TRACK: bool, const PROV: bool>(
     cfg: &SimConfig,
     predictor: &mut P,
     trace: &Trace,
     token: &CancelToken,
     progress: &llbp_obs::Counter,
+    prov: &mut ProvRecorder,
 ) -> Result<SimResult, SimError> {
     let warmup = warmup_len(cfg, trace);
     let soa = trace.soa();
@@ -448,11 +489,18 @@ fn batch_loop_inner<P: Predictor, const TRACK: bool>(
             if meta & META_KIND_MASK == META_COND {
                 let pc = pcs[j];
                 let taken = meta & META_TAKEN_BIT != 0;
-                let (pred, provider) = predictor.predict_train(pc, taken);
+                let (pred, ordinal) = if PROV {
+                    let (pred, info) = predictor.predict_train_info(pc, taken);
+                    prov.record(pc, taken, &info);
+                    (pred, info.provider.ordinal())
+                } else {
+                    let (pred, provider) = predictor.predict_train(pc, taken);
+                    (pred, provider.ordinal())
+                };
                 let wrong = pred != taken;
                 tally.conditional_branches += 1;
                 tally.mispredictions += u64::from(wrong);
-                tally.providers[provider.ordinal()] += 1;
+                tally.providers[ordinal] += 1;
                 if TRACK {
                     *tally.per_branch_executions.entry(pc).or_default() += 1;
                     if wrong {

@@ -4,6 +4,7 @@ use crate::backend::BackendKind;
 use crate::driver::{LlbpCellStats, SimResult, Simulator};
 use crate::error::{CancelToken, SimError};
 use llbp_core::{LlbpParams, LlbpPredictor};
+use llbp_prov::ProvRecorder;
 use llbp_tage::classic::{Gshare, HashedPerceptron, TwoLevelLocal};
 use llbp_tage::{Predictor, TageScl, TslConfig};
 use llbp_trace::Trace;
@@ -183,12 +184,34 @@ impl SimConfig {
         token: &CancelToken,
         records: &llbp_obs::Counter,
     ) -> Result<SimResult, SimError> {
+        self.run_recorded(kind, trace, token, records, &mut ProvRecorder::disabled())
+    }
+
+    /// [`SimConfig::run_observed`] with a provenance recorder threaded
+    /// into whichever execution backend runs the cell (see
+    /// [`Simulator::run_recorded`]). A disabled recorder leaves every
+    /// backend's loop — and therefore every result and output byte —
+    /// exactly as it was without the recorder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the token fires mid-run.
+    pub fn run_recorded(
+        &self,
+        kind: PredictorKind,
+        trace: &Trace,
+        token: &CancelToken,
+        records: &llbp_obs::Counter,
+        prov: &mut ProvRecorder,
+    ) -> Result<SimResult, SimError> {
         match self.backend.resolve() {
-            BackendKind::Reference => self.run_reference(kind, trace, token, records),
+            BackendKind::Reference => self.run_reference(kind, trace, token, records, prov),
             BackendKind::Specialized => {
-                crate::backend::run_specialized(self, &kind, trace, token, records)
+                crate::backend::run_specialized(self, &kind, trace, token, records, prov)
             }
-            BackendKind::Batch => crate::backend::run_batch(self, &kind, trace, token, records),
+            BackendKind::Batch => {
+                crate::backend::run_batch(self, &kind, trace, token, records, prov)
+            }
             BackendKind::Auto => unreachable!("resolve() always returns a concrete backend"),
         }
     }
@@ -200,11 +223,12 @@ impl SimConfig {
         trace: &Trace,
         token: &CancelToken,
         records: &llbp_obs::Counter,
+        prov: &mut ProvRecorder,
     ) -> Result<SimResult, SimError> {
         if let PredictorKind::Llbp(params) = kind {
             let mut predictor = LlbpPredictor::new(params);
             let mut result =
-                Simulator::new(*self).run_observed(&mut predictor, trace, token, records)?;
+                Simulator::new(*self).run_recorded(&mut predictor, trace, token, records, prov)?;
             result.llbp = Some(LlbpCellStats {
                 llbp: predictor.stats().clone(),
                 frontend: *predictor.frontend().stats(),
@@ -212,7 +236,7 @@ impl SimConfig {
             return Ok(result);
         }
         let mut predictor = kind.build();
-        Simulator::new(*self).run_observed(predictor.as_mut(), trace, token, records)
+        Simulator::new(*self).run_recorded(predictor.as_mut(), trace, token, records, prov)
     }
 
     /// Runs a pre-built predictor (for callers that need to inspect its

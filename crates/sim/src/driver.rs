@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use crate::error::{CancelToken, SimError};
 use bputil::hash::FastHashMap;
 use llbp_core::LlbpStats;
+use llbp_prov::ProvRecorder;
 use llbp_tage::{FrontEndStats, Predictor, ProviderKind};
 use llbp_trace::{BranchKind, Trace};
 
@@ -140,6 +141,30 @@ impl Simulator {
         token: &CancelToken,
         records: &llbp_obs::Counter,
     ) -> Result<SimResult, SimError> {
+        self.run_recorded(predictor, trace, token, records, &mut ProvRecorder::disabled())
+    }
+
+    /// [`Simulator::run_observed`] with a provenance recorder: every
+    /// *measured* conditional branch is offered to `prov` together with
+    /// the predictor's [`PredictionInfo`] (warmup branches are never
+    /// recorded). With a disabled recorder this is the exact reference
+    /// loop — the recorder hook costs one predictable branch per
+    /// measured conditional and touches nothing else, so results and
+    /// output stay byte-identical.
+    ///
+    /// [`PredictionInfo`]: llbp_tage::PredictionInfo
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the token fires mid-run.
+    pub fn run_recorded(
+        &self,
+        predictor: &mut dyn Predictor,
+        trace: &Trace,
+        token: &CancelToken,
+        records: &llbp_obs::Counter,
+        prov: &mut ProvRecorder,
+    ) -> Result<SimResult, SimError> {
         let warmup = warmup_len(&self.config, trace);
         let mut result = SimResult {
             label: predictor.label().to_string(),
@@ -178,6 +203,10 @@ impl Simulator {
                     result.conditional_branches += 1;
                     result.mispredictions += u64::from(wrong);
                     provider_counts[predictor.last_provider().ordinal()] += 1;
+                    if prov.is_enabled() {
+                        let info = predictor.last_prediction_info(pred);
+                        prov.record(record.pc(), record.taken(), &info);
+                    }
                     if let Some(map) = &mut result.per_branch_executions {
                         *map.entry(record.pc()).or_default() += 1;
                     }

@@ -63,6 +63,7 @@ use crate::journal::{campaign_fingerprint, CampaignJournal, CellOutcome};
 use crate::memo::MemoStore;
 use bputil::hash::FastHashMap;
 use llbp_obs::{HistogramSnapshot, Telemetry};
+use llbp_prov::{ProvConfig, ProvRecorder};
 use llbp_trace::{Fingerprint, WorkloadSpec};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,6 +85,29 @@ pub const JOB_TIMEOUT_ENV: &str = "LLBP_JOB_TIMEOUT_SECS";
 /// Environment variable pinning the worker pool size (CI and shared
 /// hosts), else one worker per available core.
 pub const WORKERS_ENV: &str = "LLBP_WORKERS";
+
+/// Environment variable setting the provenance sampling period (keep
+/// every Nth event; default [`ProvConfig::DEFAULT_SAMPLE`]).
+pub const PROV_SAMPLE_ENV: &str = "LLBP_PROV_SAMPLE";
+
+/// Environment variable setting the provenance ring capacity in events
+/// (default [`ProvConfig::DEFAULT_RING`]).
+pub const PROV_RING_ENV: &str = "LLBP_PROV_RING";
+
+/// The recorder tuning from [`PROV_SAMPLE_ENV`] / [`PROV_RING_ENV`],
+/// with crate defaults for whichever is unset.
+///
+/// # Errors
+///
+/// [`SimError::Config`] when either variable is set but unparsable —
+/// silently recording at a default rate would misrepresent a campaign
+/// that asked for full-rate capture.
+pub fn prov_config_from_env() -> Result<ProvConfig, SimError> {
+    Ok(ProvConfig {
+        sample: crate::envknob::parse_env_or(PROV_SAMPLE_ENV, ProvConfig::DEFAULT_SAMPLE)?,
+        ring: crate::envknob::parse_env_or(PROV_RING_ENV, ProvConfig::DEFAULT_RING)?,
+    })
+}
 
 /// The retry budget from [`MAX_RETRIES_ENV`], else
 /// [`DEFAULT_MAX_RETRIES`].
@@ -315,6 +339,29 @@ impl std::fmt::Display for JobError {
     }
 }
 
+/// Campaign-level provenance summary, aggregated from the streams on
+/// disk after the run loop (so memo-served *and* freshly simulated cells
+/// contribute — a fully warm campaign regenerates this without
+/// simulating anything).
+#[derive(Debug, Clone, Default)]
+pub struct ProvSummary {
+    /// Cells whose provenance stream was loadable.
+    pub streams: u64,
+    /// Measured conditional branches recorded across all streams.
+    pub branches: u64,
+    /// Mispredictions recorded across all streams (full-rate exact).
+    pub mispredicts: u64,
+    /// Sampled events captured across all streams.
+    pub sampled: u64,
+    /// The campaign's hottest mispredicting branch (ties break toward
+    /// the lower pc, so the summary is deterministic).
+    pub hottest_pc: Option<u64>,
+    /// Mispredictions of [`ProvSummary::hottest_pc`].
+    pub hottest_mispredicts: u64,
+    /// Directory holding the streams (`prov_tool`'s input).
+    pub dir: String,
+}
+
 /// Everything a sweep produced, in deterministic grid order
 /// (workload-major: all predictors of workload 0, then workload 1, …).
 #[derive(Debug, Clone)]
@@ -369,6 +416,10 @@ pub struct SweepReport {
     /// `"none"` for storeless sweeps), so archived throughput records
     /// say where the cells came from.
     pub store_tier: &'static str,
+    /// Provenance summary, `Some` only when the engine ran with
+    /// [`SweepEngine::with_prov`] — absent means no recorder touched the
+    /// run and every output byte matches a build without the subsystem.
+    pub prov: Option<ProvSummary>,
 }
 
 impl SweepReport {
@@ -476,6 +527,24 @@ impl SweepReport {
             }
             line.push(']');
         }
+        if let Some(p) = &self.prov {
+            let hottest =
+                p.hottest_pc.map_or_else(|| "null".to_string(), |pc| format!("\"{pc:#x}\""));
+            line.push_str(&format!(
+                concat!(
+                    ",\"prov\":{{\"streams\":{},\"branches\":{},",
+                    "\"mispredicts\":{},\"sampled\":{},\"hottest_pc\":{},",
+                    "\"hottest_mispredicts\":{},\"dir\":\"{}\"}}"
+                ),
+                p.streams,
+                p.branches,
+                p.mispredicts,
+                p.sampled,
+                hottest,
+                p.hottest_mispredicts,
+                sanitize(&p.dir),
+            ));
+        }
         line.push('}');
         line
     }
@@ -495,6 +564,7 @@ pub struct SweepEngine {
     faults: Option<Arc<FaultInjector>>,
     resume: bool,
     verify_resume: bool,
+    prov: Option<ProvConfig>,
     telemetry: Telemetry,
     /// First malformed `LLBP_*` knob seen at construction. Constructors
     /// stay infallible, so the typed error is deferred to the first
@@ -548,6 +618,7 @@ impl SweepEngine {
             faults: None,
             resume: false,
             verify_resume: false,
+            prov: None,
             telemetry: Telemetry::disabled(),
             env_error,
         }
@@ -637,6 +708,20 @@ impl SweepEngine {
         self
     }
 
+    /// Enables provenance recording: every simulated cell runs with a
+    /// live [`ProvRecorder`], its stream is persisted next to the memo
+    /// cell (keyed by the same result fingerprint), and the report gains
+    /// a [`SweepReport::prov`] summary plus a `"prov"` section in
+    /// [`SweepReport::throughput_json`]. Memo probes additionally require
+    /// the stream to exist — a warm cell without one re-simulates once to
+    /// backfill it. Requires a store; [`SweepEngine::try_run`] fails with
+    /// a config error otherwise.
+    #[must_use]
+    pub fn with_prov(mut self, cfg: ProvConfig) -> Self {
+        self.prov = Some(cfg);
+        self
+    }
+
     /// The worker count this engine schedules with.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -708,6 +793,13 @@ impl SweepEngine {
     ) -> Result<SweepReport, SimError> {
         if let Some(e) = &self.env_error {
             return Err(e.clone());
+        }
+        if self.prov.is_some() && self.store.is_none() {
+            return Err(SimError::Config {
+                detail: "provenance recording requires a persistent store \
+                         (streams are persisted next to memo cells)"
+                    .into(),
+            });
         }
         let started = Instant::now();
         let n = spec.num_jobs();
@@ -829,6 +921,7 @@ impl SweepEngine {
             cell_wall,
             backend: spec.sim.backend.resolve().label(),
             store_tier: self.store.as_ref().map_or("none", |store| store.tier()),
+            prov: self.prov_summary(&fingerprints),
         };
         // Mirror the campaign summary into the metrics registry so a
         // Prometheus snapshot is self-contained without the report.
@@ -973,7 +1066,11 @@ impl SweepEngine {
             // A cell demoted by verify-resume must not be served from the
             // memo probe: the on-disk bytes are exactly what failed
             // verification (`force_fresh` bypasses straight to re-run).
-            if (!self.cold && !force_fresh) || resumable {
+            // With provenance on, a warm cell whose stream is missing (a
+            // campaign memoized before `--prov`) also falls through, so
+            // one re-simulation backfills the stream.
+            let prov_ok = self.prov.is_none() || store.has_prov(fp);
+            if ((!self.cold && !force_fresh) || resumable) && prov_ok {
                 let probe_started = Instant::now();
                 let probed = {
                     let _span = self.telemetry.span("memo_probe").with_cell(index as i64);
@@ -1005,11 +1102,15 @@ impl SweepEngine {
         let kind = spec.predictors[job.predictor].clone();
         let label = kind.label();
         let sim_records = self.telemetry.counter("sim_records_total");
+        let mut recorder = match self.prov {
+            Some(cfg) => ProvRecorder::enabled(cfg),
+            None => ProvRecorder::disabled(),
+        };
         let sim_started = Instant::now();
         let result = {
             let _span = self.telemetry.span("simulation").with_cell(index as i64);
             catch_unwind(AssertUnwindSafe(|| {
-                spec.sim.run_observed(kind, &trace, &token, &sim_records)
+                spec.sim.run_recorded(kind, &trace, &token, &sim_records, &mut recorder)
             }))
             .map_err(|payload| SimError::PredictorPanic {
                 label,
@@ -1021,6 +1122,16 @@ impl SweepEngine {
         // the counter still reads "cells simulated" under retries.
         memo_misses.fetch_add(1, Ordering::Relaxed);
         let digest = if let (Some(store), Some(fp)) = (&self.store, fingerprint) {
+            // Publish the stream first: the memo probe treats the cell as
+            // warm only when both objects exist, so this order means a
+            // crash between the two writes re-simulates rather than
+            // serving a cell whose stream never landed.
+            if let Some(stream) = recorder.finish(&result.label, &result.workload) {
+                let _span = self.telemetry.span("write_back").with_cell(index as i64);
+                // Best-effort, like the trace store: a failed stream
+                // write degrades the next warm run to one re-simulation.
+                let _ = store.store_prov(fp, &stream);
+            }
             let _span = self.telemetry.span("write_back").with_cell(index as i64);
             self.write_back(store, fp, &result, wall, trace.len() as u64)
         } else {
@@ -1056,6 +1167,41 @@ impl SweepEngine {
                 Err(_) => return None,
             }
         }
+    }
+
+    /// Aggregates the campaign's provenance streams from disk into a
+    /// [`ProvSummary`] (`None` when provenance is off). Reading back
+    /// from the store — rather than from this run's recorders — is what
+    /// lets a fully warm campaign rebuild the summary without simulating.
+    fn prov_summary(&self, fingerprints: &[Fingerprint]) -> Option<ProvSummary> {
+        self.prov?;
+        let store = self.store.as_ref()?;
+        let mut summary = ProvSummary {
+            dir: store.root().join(crate::store::ObjectKind::Prov.dir()).display().to_string(),
+            ..ProvSummary::default()
+        };
+        let mut seen: HashSet<Fingerprint> = HashSet::new();
+        for &fp in fingerprints {
+            if !seen.insert(fp) {
+                continue;
+            }
+            let Ok(Some(stream)) = store.load_prov(fp) else { continue };
+            summary.streams += 1;
+            summary.branches += stream.branches;
+            summary.mispredicts += stream.mispredicts;
+            summary.sampled += stream.sampled;
+            for p in &stream.profiles {
+                let hotter = p.mispredicts > summary.hottest_mispredicts
+                    || (p.mispredicts == summary.hottest_mispredicts
+                        && p.mispredicts > 0
+                        && summary.hottest_pc.is_none_or(|h| p.pc < h));
+                if hotter {
+                    summary.hottest_pc = Some(p.pc);
+                    summary.hottest_mispredicts = p.mispredicts;
+                }
+            }
+        }
+        Some(summary)
     }
 
     /// An all-zero stand-in result for a failed cell, carrying the
@@ -1186,5 +1332,88 @@ mod tests {
         assert!(line.contains("\"jobs\":6"));
         // Quotes in the label must not break the JSON.
         assert!(!line.contains("unit \"test\""));
+        // Provenance off: no trace of the subsystem in the record.
+        assert!(report.prov.is_none());
+        assert!(!line.contains("\"prov\""));
+    }
+
+    #[test]
+    fn prov_config_from_env_validates_knobs() {
+        // Unset knobs: crate defaults.
+        std::env::remove_var(PROV_SAMPLE_ENV);
+        std::env::remove_var(PROV_RING_ENV);
+        assert_eq!(prov_config_from_env().expect("defaults"), ProvConfig::default());
+        // Set knobs parse; garbage is a typed config error (exit 2), not
+        // a silent fallback.
+        std::env::set_var(PROV_SAMPLE_ENV, "16");
+        std::env::set_var(PROV_RING_ENV, "512");
+        assert_eq!(prov_config_from_env().expect("parses"), ProvConfig { sample: 16, ring: 512 });
+        std::env::set_var(PROV_SAMPLE_ENV, "every-other");
+        let err = prov_config_from_env().expect_err("garbage must fail");
+        assert_eq!(err.class(), "config");
+        assert_eq!(err.exit_code(), 2);
+        std::env::remove_var(PROV_SAMPLE_ENV);
+        std::env::remove_var(PROV_RING_ENV);
+    }
+
+    #[test]
+    fn prov_requires_a_store() {
+        let err = SweepEngine::with_workers(1)
+            .with_prov(ProvConfig::default())
+            .try_run(&small_spec())
+            .expect_err("storeless prov must be rejected");
+        assert_eq!(err.class(), "config");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn prov_campaign_persists_streams_and_summarizes_warm_runs() {
+        let dir = std::env::temp_dir().join(format!("llbp-engine-prov-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(crate::memo::MemoStore::open(&dir).expect("scratch store"));
+        let spec = small_spec();
+        let engine = SweepEngine::with_workers(2)
+            .with_store(Arc::clone(&store))
+            .with_prov(ProvConfig { sample: 8, ring: 1024 });
+
+        let cold = engine.run(&spec);
+        assert!(cold.is_complete());
+        assert_eq!(cold.memo_misses, 6, "every cell simulates on a cold store");
+        let summary = cold.prov.as_ref().expect("prov summary present");
+        assert_eq!(summary.streams, 6, "one stream per distinct cell");
+        assert!(summary.branches > 0);
+        assert!(summary.mispredicts > 0, "synthetic workloads always mispredict somewhere");
+        let hottest = summary.hottest_pc.expect("a hottest branch exists");
+        assert!(summary.hottest_mispredicts > 0);
+        let line = cold.throughput_json("prov unit");
+        assert!(line.contains("\"prov\":{\"streams\":6"));
+
+        // Warm: every cell (and its stream) is served from disk; the
+        // summary regenerates from the persisted streams byte-for-byte.
+        let warm = engine.run(&spec);
+        assert_eq!(warm.memo_hits, 6, "warm prov campaign must not re-simulate");
+        assert_eq!(warm.memo_misses, 0);
+        let warm_summary = warm.prov.as_ref().expect("warm summary present");
+        assert_eq!(warm_summary.streams, 6);
+        assert_eq!(warm_summary.branches, summary.branches);
+        assert_eq!(warm_summary.mispredicts, summary.mispredicts);
+        assert_eq!(warm_summary.sampled, summary.sampled);
+        assert_eq!(warm_summary.hottest_pc, Some(hottest));
+
+        // A memoized cell whose stream vanished re-simulates to backfill
+        // it instead of reporting a hole.
+        let fp = store.result_fingerprint(&spec.predictors[0], &spec.workloads[0], &spec.sim);
+        std::fs::remove_file(store.prov_path(fp)).expect("stream exists on disk");
+        let backfill = engine.run(&spec);
+        assert_eq!(backfill.memo_misses, 1, "only the streamless cell re-simulates");
+        assert_eq!(backfill.prov.as_ref().expect("summary").streams, 6);
+        assert!(store.has_prov(fp), "stream backfilled");
+
+        // The same engine without prov serves every cell warm and emits
+        // nothing prov-shaped.
+        let off = SweepEngine::with_workers(2).with_store(Arc::clone(&store)).run(&spec);
+        assert_eq!(off.memo_hits, 6);
+        assert!(off.prov.is_none());
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

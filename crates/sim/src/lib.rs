@@ -42,7 +42,7 @@ pub use config::{PredictorKind, SimConfig};
 pub use coord::{finish_campaign, run_shard, CellInterlock, ShardConfig, WORKER_ABORT_ENV};
 pub use driver::{LlbpCellStats, SimResult, Simulator};
 pub use energy::EnergyModel;
-pub use engine::{JobError, SweepEngine, SweepReport, SweepSpec};
+pub use engine::{JobError, ProvSummary, SweepEngine, SweepReport, SweepSpec};
 pub use error::{CancelToken, SimError};
 pub use faultinject::{FaultInjector, FAULT_SPEC_ENV};
 pub use journal::{campaign_fingerprint, merge_outcomes, CampaignJournal, CellOutcome};
@@ -56,3 +56,9 @@ pub use timing::TimingModel;
 /// The observability crate, re-exported so downstream harnesses can build
 /// [`llbp_obs::Telemetry`] handles without naming a second dependency.
 pub use llbp_obs as obs;
+
+/// The provenance crate, re-exported so harnesses can configure
+/// [`llbp_prov::ProvRecorder`] recording without naming a second
+/// dependency.
+pub use llbp_prov as prov;
+pub use llbp_prov::{ProvConfig, ProvRecorder};

@@ -86,6 +86,8 @@ pub struct MemoStore {
     trace_stores: AtomicU64,
     result_loads: AtomicU64,
     result_stores: AtomicU64,
+    prov_loads: AtomicU64,
+    prov_stores: AtomicU64,
     faults: Option<Arc<FaultInjector>>,
     telemetry: llbp_obs::Telemetry,
 }
@@ -141,6 +143,8 @@ impl MemoStore {
             trace_stores: AtomicU64::new(0),
             result_loads: AtomicU64::new(0),
             result_stores: AtomicU64::new(0),
+            prov_loads: AtomicU64::new(0),
+            prov_stores: AtomicU64::new(0),
             faults: None,
             telemetry: llbp_obs::Telemetry::disabled(),
         }
@@ -223,6 +227,18 @@ impl MemoStore {
     #[must_use]
     pub fn result_stores(&self) -> u64 {
         self.result_stores.load(Ordering::Relaxed)
+    }
+
+    /// Provenance streams successfully loaded from disk.
+    #[must_use]
+    pub fn prov_loads(&self) -> u64 {
+        self.prov_loads.load(Ordering::Relaxed)
+    }
+
+    /// Provenance streams written to disk.
+    #[must_use]
+    pub fn prov_stores(&self) -> u64 {
+        self.prov_stores.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------------
@@ -441,6 +457,68 @@ impl MemoStore {
             return Ok(false);
         };
         Ok(expected.is_none_or(|want| cell.digest == want))
+    }
+
+    // ------------------------------------------------------------------
+    // Provenance streams
+    // ------------------------------------------------------------------
+
+    /// The local-layout path of a provenance stream. Streams are keyed by
+    /// the *result* fingerprint of the cell they annotate, so `prov_tool`
+    /// can walk from a campaign cell to its stream without re-hashing.
+    #[must_use]
+    pub fn prov_path(&self, fp: Fingerprint) -> PathBuf {
+        self.root.join(ObjectKind::Prov.dir()).join(format!("{fp}.{}", ObjectKind::Prov.ext()))
+    }
+
+    /// Whether a provenance stream exists for the result cell `fp` (no
+    /// validation; a corrupt stream is rejected by
+    /// [`MemoStore::load_prov`]).
+    #[must_use]
+    pub fn has_prov(&self, fp: Fingerprint) -> bool {
+        self.backend.contains(ObjectKind::Prov, fp).unwrap_or(false)
+    }
+
+    /// Loads the provenance stream of the result cell `fp`. `Ok(None)`
+    /// is a miss — no stream, or one that fails validation (corruption
+    /// degrades to re-simulation, never to a wrong report).
+    ///
+    /// # Errors
+    ///
+    /// Returns a *transient* [`SimError`] when the backend could not
+    /// answer, as [`MemoStore::load_result`].
+    pub fn load_prov(&self, fp: Fingerprint) -> Result<Option<llbp_prov::ProvStream>, SimError> {
+        self.check_faults("load_prov")?;
+        let Some(bytes) = self.backend.get(ObjectKind::Prov, fp)? else {
+            return Ok(None);
+        };
+        let Ok(stream) = llbp_prov::decode_stream(&bytes) else {
+            return Ok(None);
+        };
+        self.prov_loads.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("memo_prov_loads").inc();
+        Ok(Some(stream))
+    }
+
+    /// Persists the provenance stream of the result cell `fp`
+    /// (best-effort, like [`MemoStore::store_trace`]: the stream is a
+    /// report input, not a correctness requirement).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when the write or rename fails.
+    pub fn store_prov(
+        &self,
+        fp: Fingerprint,
+        stream: &llbp_prov::ProvStream,
+    ) -> std::io::Result<()> {
+        self.check_faults("store_prov").map_err(std::io::Error::other)?;
+        let bytes = llbp_prov::encode_stream(stream);
+        self.backend.put(ObjectKind::Prov, fp, &bytes).map_err(std::io::Error::other)?;
+        self.prov_stores.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("memo_prov_stores").inc();
+        self.telemetry.counter("memo_bytes_written").add(bytes.len() as u64);
+        Ok(())
     }
 }
 
@@ -809,6 +887,34 @@ mod tests {
         let back = store.load_trace(fp).expect("no io fault").expect("load trace");
         assert_eq!(back.records(), trace.records());
         assert_eq!(back.name(), trace.name());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_roundtrips_prov_streams() {
+        let (store, dir) = scratch_store();
+        let fp = Fingerprint(0xbeef);
+        assert!(!store.has_prov(fp));
+        assert!(store.load_prov(fp).expect("clean store").is_none());
+
+        let mut recorder = llbp_prov::ProvRecorder::enabled(llbp_prov::ProvConfig::default());
+        let info = llbp_tage::PredictionInfo::from_provider(true, llbp_tage::ProviderKind::Bimodal);
+        recorder.record(0x4000, false, &info);
+        let stream = recorder.finish("64K TSL", "http").expect("enabled");
+        store.store_prov(fp, &stream).expect("store prov");
+        assert!(store.has_prov(fp));
+        let back = store.load_prov(fp).expect("no io fault").expect("load prov");
+        assert_eq!(back, stream);
+        assert_eq!(store.prov_loads(), 1);
+        assert_eq!(store.prov_stores(), 1);
+
+        // A tampered stream degrades to a miss, exactly like a cell.
+        let path = store.prov_path(fp);
+        let mut bytes = fs::read(&path).expect("stream bytes");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).expect("rewrite");
+        assert!(store.load_prov(fp).expect("readable").is_none());
         let _ = fs::remove_dir_all(dir);
     }
 

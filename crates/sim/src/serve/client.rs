@@ -373,6 +373,9 @@ pub fn run_remote_with(
         cell_wall,
         backend: spec.sim.backend.resolve().label(),
         store_tier: "serve",
+        // The serve protocol streams result cells only; provenance runs
+        // locally (bench rejects `--prov --server` up front).
+        prov: None,
     })
 }
 

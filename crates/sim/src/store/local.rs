@@ -30,6 +30,7 @@ impl LocalDir {
         let root = root.into();
         fs::create_dir_all(root.join(ObjectKind::Trace.dir()))?;
         fs::create_dir_all(root.join(ObjectKind::Result.dir()))?;
+        fs::create_dir_all(root.join(ObjectKind::Prov.dir()))?;
         fs::create_dir_all(root.join("tmp"))?;
         Ok(Self { root })
     }
@@ -133,7 +134,7 @@ mod tests {
     fn blobs_roundtrip_per_kind() {
         let (store, dir) = scratch();
         let fp = Fingerprint(0xabcd);
-        for kind in [ObjectKind::Trace, ObjectKind::Result] {
+        for kind in [ObjectKind::Trace, ObjectKind::Result, ObjectKind::Prov] {
             assert_eq!(store.get(kind, fp).expect("clean"), None);
             assert!(!store.contains(kind, fp).expect("clean"));
             store.put(kind, fp, b"hello world").expect("put");

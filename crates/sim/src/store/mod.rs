@@ -44,13 +44,16 @@ pub const STORE_ENV: &str = "LLBP_STORE";
 /// [`remote::DEFAULT_REQUEST_TIMEOUT`]).
 pub const STORE_TIMEOUT_ENV: &str = "LLBP_STORE_TIMEOUT_MS";
 
-/// The two content-addressed object families a backend stores.
+/// The content-addressed object families a backend stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObjectKind {
     /// Serialized workload traces (`.llbt`).
     Trace,
     /// Serialized result cells (`.llbr`).
     Result,
+    /// Serialized provenance streams (`.llpv`), keyed by the same
+    /// fingerprint as the result cell they annotate.
+    Prov,
 }
 
 impl ObjectKind {
@@ -60,6 +63,7 @@ impl ObjectKind {
         match self {
             ObjectKind::Trace => "traces",
             ObjectKind::Result => "results",
+            ObjectKind::Prov => "prov",
         }
     }
 
@@ -69,6 +73,7 @@ impl ObjectKind {
         match self {
             ObjectKind::Trace => "llbt",
             ObjectKind::Result => "llbr",
+            ObjectKind::Prov => "llpv",
         }
     }
 
@@ -78,6 +83,7 @@ impl ObjectKind {
         match self {
             ObjectKind::Trace => 0,
             ObjectKind::Result => 1,
+            ObjectKind::Prov => 2,
         }
     }
 
@@ -87,6 +93,7 @@ impl ObjectKind {
         match tag {
             0 => Some(ObjectKind::Trace),
             1 => Some(ObjectKind::Result),
+            2 => Some(ObjectKind::Prov),
             _ => None,
         }
     }
@@ -191,7 +198,7 @@ mod tests {
 
     #[test]
     fn object_kind_wire_tags_roundtrip() {
-        for kind in [ObjectKind::Trace, ObjectKind::Result] {
+        for kind in [ObjectKind::Trace, ObjectKind::Result, ObjectKind::Prov] {
             assert_eq!(ObjectKind::from_wire(kind.wire()), Some(kind));
         }
         assert_eq!(ObjectKind::from_wire(7), None);

@@ -54,7 +54,7 @@ pub use config::{StorageKind, TageConfig, TslConfig};
 pub use frontend::{FrontEnd, FrontEndStats, ResetReason};
 pub use ittage::Ittage;
 pub use loop_pred::LoopPredictor;
-pub use predictor::{Predictor, ProviderKind};
+pub use predictor::{PredictionInfo, Predictor, ProviderKind};
 pub use ras::ReturnAddressStack;
 pub use sc::StatisticalCorrector;
 pub use tage::{Tage, TageLookup};

@@ -65,6 +65,100 @@ impl ProviderKind {
     }
 }
 
+/// Everything a predictor can say about how its most recent prediction
+/// was formed — the provenance record behind one `predict` call.
+///
+/// This is the unit the `llbp-prov` side-stream captures: which
+/// component provided, whether the providing counter was weak, what the
+/// alternate and baseline predictions were, and (for composite
+/// predictors) whether LLBP hit and overrode. Predictors that track
+/// less detail leave the extra fields at their defaults; the only
+/// fields every implementation must fill are `pred` and `provider`.
+///
+/// `pred` is filled by the *caller* of [`Predictor::last_prediction_info`]
+/// (the trait method is `&self` and some implementations cannot recover
+/// the final direction after the fact); the fused
+/// [`Predictor::predict_train_info`] returns it already filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictionInfo {
+    /// Final predicted direction.
+    pub pred: bool,
+    /// What the baseline (pre-override) predictor said. Equal to `pred`
+    /// for non-composite predictors.
+    pub baseline_pred: bool,
+    /// Component that supplied the final direction.
+    pub provider: ProviderKind,
+    /// A tagged TAGE table hit (`provider` may still be bimodal if the
+    /// alternate prediction was used or a corrector overrode).
+    pub tage_hit: bool,
+    /// Direction of the providing TAGE component counter.
+    pub provider_pred: bool,
+    /// The providing counter was weak (newly allocated / low confidence).
+    pub provider_weak: bool,
+    /// Direction of the alternate prediction (next-longest hit or bimodal).
+    pub alt_pred: bool,
+    /// The alternate prediction was chosen over the provider.
+    pub used_alt: bool,
+    /// Geometric history length of the providing table (0 = bimodal).
+    pub provider_hist_len: u16,
+    /// LLBP matched a pattern for this branch's context.
+    pub llbp_hit: bool,
+    /// Direction LLBP predicted (meaningful only when `llbp_hit`).
+    pub llbp_pred: bool,
+    /// The matching LLBP counter was weak.
+    pub llbp_weak: bool,
+    /// LLBP's prediction replaced the baseline's.
+    pub llbp_override: bool,
+    /// History length of the matching LLBP pattern (0 = no hit).
+    pub llbp_hist_len: u16,
+}
+
+impl Default for PredictionInfo {
+    fn default() -> Self {
+        PredictionInfo {
+            pred: false,
+            baseline_pred: false,
+            provider: ProviderKind::Bimodal,
+            tage_hit: false,
+            provider_pred: false,
+            provider_weak: false,
+            alt_pred: false,
+            used_alt: false,
+            provider_hist_len: 0,
+            llbp_hit: false,
+            llbp_pred: false,
+            llbp_weak: false,
+            llbp_override: false,
+            llbp_hist_len: 0,
+        }
+    }
+}
+
+impl PredictionInfo {
+    /// Minimal record for predictors that only track their provider:
+    /// the final direction stands in for every component direction.
+    #[must_use]
+    pub fn from_provider(pred: bool, provider: ProviderKind) -> Self {
+        PredictionInfo {
+            pred,
+            baseline_pred: pred,
+            provider,
+            provider_pred: pred,
+            alt_pred: pred,
+            ..PredictionInfo::default()
+        }
+    }
+
+    /// Index of the providing tagged table, 0 for every other provider.
+    #[must_use]
+    pub fn provider_table(&self) -> u8 {
+        match self.provider {
+            ProviderKind::Tage { table } => table.min(u8::MAX as usize) as u8,
+            _ => 0,
+        }
+    }
+}
+
 /// A trace-driven conditional branch direction predictor.
 ///
 /// The driving protocol, per retired branch record:
@@ -113,6 +207,30 @@ pub trait Predictor {
     /// The component that provided the most recent prediction.
     fn last_provider(&self) -> ProviderKind;
 
+    /// Full provenance of the most recent prediction. Valid between
+    /// [`Predictor::predict`] and [`Predictor::train`], like
+    /// [`Predictor::last_provider`]. `pred` is the direction `predict`
+    /// just returned — the default builds a minimal record from it and
+    /// [`Predictor::last_provider`]; implementations with richer
+    /// per-lookup state override, fill every field they track, and may
+    /// ignore the argument (their stashed lookup already knows it).
+    fn last_prediction_info(&self, pred: bool) -> PredictionInfo {
+        PredictionInfo::from_provider(pred, self.last_provider())
+    }
+
+    /// Fused [`Predictor::predict`] + [`Predictor::last_prediction_info`] +
+    /// [`Predictor::train`], the provenance-recording analogue of
+    /// [`Predictor::predict_train`]. Must predict and train observably
+    /// identically to the split sequence. The default performs the split
+    /// sequence; implementors may override to fill the info record from
+    /// the lookup they already computed.
+    fn predict_train_info(&mut self, pc: u64, taken: bool) -> (bool, PredictionInfo) {
+        let pred = self.predict(pc);
+        let info = self.last_prediction_info(pred);
+        self.train(pc, taken);
+        (pred, info)
+    }
+
     /// Human-readable configuration label (e.g. `"64K TSL"`).
     fn label(&self) -> &str;
 
@@ -129,6 +247,15 @@ mod tests {
         assert_eq!(ProviderKind::Bimodal.label(), "bim");
         assert_eq!(ProviderKind::Tage { table: 3 }.label(), "tage");
         assert_eq!(ProviderKind::Llbp.label(), "llbp");
+    }
+
+    #[test]
+    fn minimal_info_mirrors_the_final_direction() {
+        let info = PredictionInfo::from_provider(true, ProviderKind::Tage { table: 7 });
+        assert!(info.pred && info.baseline_pred && info.provider_pred && info.alt_pred);
+        assert!(!info.llbp_hit && !info.llbp_override);
+        assert_eq!(info.provider_table(), 7);
+        assert_eq!(PredictionInfo::from_provider(false, ProviderKind::Bimodal).provider_table(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::config::TslConfig;
 use crate::loop_pred::{LoopLookup, LoopPredictor};
-use crate::predictor::{Predictor, ProviderKind};
+use crate::predictor::{PredictionInfo, Predictor, ProviderKind};
 use crate::sc::{ScLookup, StatisticalCorrector};
 use crate::tage::{Tage, TageLookup, UpdateMode};
 use bputil::history::HistoryBuffer;
@@ -27,6 +27,27 @@ pub struct TslLookup {
     pub baseline_pred: bool,
     /// Which component provided the final direction.
     pub provider: ProviderKind,
+}
+
+impl TslLookup {
+    /// Provenance record of this lookup. The LLBP fields stay at their
+    /// defaults; the composite predictor in `crates/core` fills them in
+    /// when it wraps this lookup.
+    #[must_use]
+    pub fn prediction_info(&self) -> PredictionInfo {
+        PredictionInfo {
+            pred: self.pred,
+            baseline_pred: self.baseline_pred,
+            provider: self.provider,
+            tage_hit: self.tage.provider.is_some(),
+            provider_pred: self.tage.provider_pred,
+            provider_weak: self.tage.provider_weak,
+            alt_pred: self.tage.alt_pred,
+            used_alt: self.tage.used_alt,
+            provider_hist_len: self.tage.provider_hist_len.min(u16::MAX as usize) as u16,
+            ..PredictionInfo::default()
+        }
+    }
 }
 
 /// The full TAGE-SC-L predictor (the paper's `64K TSL` baseline and its
@@ -255,6 +276,17 @@ impl Predictor for TageScl {
         out
     }
 
+    fn predict_train_info(&mut self, pc: u64, taken: bool) -> (bool, PredictionInfo) {
+        // Same fusion as `predict_train`: the provenance record is filled
+        // straight from the lookup this frame already computed, so the
+        // recording path adds a few stores, not a second lookup.
+        let lookup = self.lookup(pc);
+        self.predictions += 1;
+        let out = (lookup.pred, lookup.prediction_info());
+        self.commit(&lookup, taken, UpdateMode::Full);
+        out
+    }
+
     fn update_history(&mut self, record: &BranchRecord) {
         TageScl::update_history(self, record);
     }
@@ -265,6 +297,13 @@ impl Predictor for TageScl {
 
     fn last_provider(&self) -> ProviderKind {
         self.pending.as_ref().map_or(ProviderKind::Bimodal, |l| l.provider)
+    }
+
+    fn last_prediction_info(&self, pred: bool) -> PredictionInfo {
+        self.pending.as_ref().map_or_else(
+            || PredictionInfo::from_provider(pred, ProviderKind::Bimodal),
+            TslLookup::prediction_info,
+        )
     }
 
     fn label(&self) -> &str {
@@ -334,20 +373,30 @@ mod tests {
         let trace = WorkloadSpec::named(Workload::Kafka).with_branches(20_000).generate();
         let mut slow = TageScl::new(TslConfig::cbp64k());
         let mut fast = slow.clone();
+        let mut prov = slow.clone();
         for (i, r) in trace.iter().enumerate() {
             if r.kind() == BranchKind::Conditional {
                 let pred = slow.predict(r.pc());
                 let provider = Predictor::last_provider(&slow);
+                let info = Predictor::last_prediction_info(&slow, pred);
                 slow.train(r.pc(), r.taken());
                 let (fast_pred, fast_provider) = fast.predict_train(r.pc(), r.taken());
                 assert_eq!(pred, fast_pred, "prediction diverged at record {i}");
                 assert_eq!(provider, fast_provider, "provider diverged at record {i}");
+                let (prov_pred, prov_info) = prov.predict_train_info(r.pc(), r.taken());
+                assert_eq!(pred, prov_pred, "info-path prediction diverged at record {i}");
+                assert_eq!(info, prov_info, "provenance record diverged at record {i}");
+                assert_eq!(info.pred, pred);
+                assert_eq!(info.provider, provider);
             }
             Predictor::update_history(&mut slow, r);
             Predictor::update_history_fast(&mut fast, r);
+            Predictor::update_history_fast(&mut prov, r);
             assert_eq!(slow.checkpoint(), fast.checkpoint(), "history diverged at record {i}");
+            assert_eq!(slow.checkpoint(), prov.checkpoint(), "info-path history diverged at {i}");
         }
         assert_eq!(slow.predictions(), fast.predictions());
+        assert_eq!(slow.predictions(), prov.predictions());
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! trace_tool info <file.llbt>                        print summary statistics
 //! trace_tool head <file.llbt> [count]                print the first records
 //! trace_tool csv  <file.llbt> <out.csv>              export as CSV
+//! trace_tool characterize <file.llbt>                per-branch entropy/working-set report
+//! trace_tool characterize all|<workload> [branches]  same, over synthetic workloads
 //! ```
 
-use llbp_trace::{read_trace, write_trace, BranchKind, Trace, Workload, WorkloadSpec};
+use llbp_trace::{
+    read_trace, write_trace, BranchKind, Characterization, Trace, Workload, WorkloadSpec,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::process::ExitCode;
@@ -19,6 +23,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("head") => cmd_head(&args[1..]),
         Some("csv") => cmd_csv(&args[1..]),
+        Some("characterize") => cmd_characterize(&args[1..]),
         _ => Err(usage()),
     };
     match result {
@@ -34,7 +39,9 @@ fn usage() -> String {
     "usage: trace_tool gen <workload> <branches> <out.llbt>\n\
             \x20      trace_tool info <file.llbt>\n\
             \x20      trace_tool head <file.llbt> [count]\n\
-            \x20      trace_tool csv <file.llbt> <out.csv>"
+            \x20      trace_tool csv <file.llbt> <out.csv>\n\
+            \x20      trace_tool characterize <file.llbt>\n\
+            \x20      trace_tool characterize all|<workload> [branches]"
         .into()
 }
 
@@ -123,4 +130,73 @@ fn cmd_csv(args: &[String]) -> Result<(), String> {
     }
     println!("wrote {} rows to {out}", trace.len());
     Ok(())
+}
+
+/// Default trace length for `characterize` over synthetic workloads.
+const CHARACTERIZE_BRANCHES: usize = 150_000;
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let (target, branches) = match args {
+        [target] => (target.as_str(), CHARACTERIZE_BRANCHES),
+        [target, n] => (target.as_str(), n.parse().map_err(|e| format!("bad count: {e}"))?),
+        _ => return Err(usage()),
+    };
+    if target == "all" {
+        characterize_workloads(&Workload::ALL, branches);
+        return Ok(());
+    }
+    if let Ok(workload) = target.parse::<Workload>() {
+        characterize_workloads(&[workload], branches);
+        return Ok(());
+    }
+    // Not a workload name: treat it as a trace file.
+    let trace = load(target)?;
+    characterize_one(&trace);
+    Ok(())
+}
+
+/// The per-workload characterization table (EXPERIMENTS.md §trace
+/// characterization is pasted from this output).
+fn characterize_workloads(workloads: &[Workload], branches: usize) {
+    println!("| workload | cond branches | static | ws 90% | ws 99% | entropy | wild | taken |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for &w in workloads {
+        let trace = WorkloadSpec::named(w).with_branches(branches).generate();
+        let c = Characterization::from_trace(&trace);
+        let taken: u64 = c.branches.iter().map(|b| b.taken).sum();
+        println!(
+            "| {} | {} | {} | {} | {} | {:.3} | {} | {:.3} |",
+            w,
+            c.conditional,
+            c.branches.len(),
+            c.working_set(0.90),
+            c.working_set(0.99),
+            c.weighted_entropy(),
+            c.wild_branches(),
+            if c.conditional == 0 { 0.0 } else { taken as f64 / c.conditional as f64 },
+        );
+    }
+}
+
+fn characterize_one(trace: &Trace) {
+    let c = Characterization::from_trace(trace);
+    println!("name:              {}", trace.name());
+    println!("cond branches:     {}", c.conditional);
+    println!("static cond:       {}", c.branches.len());
+    println!("working set 90%:   {}", c.working_set(0.90));
+    println!("working set 99%:   {}", c.working_set(0.99));
+    println!("weighted entropy:  {:.3} bits", c.weighted_entropy());
+    println!("wild branches:     {}", c.wild_branches());
+    println!();
+    println!("{:>4}  {:18} {:>10} {:>7} {:>8}", "#", "pc", "execs", "taken", "entropy");
+    for (i, b) in c.branches.iter().take(20).enumerate() {
+        println!(
+            "{:>4}  {:#018x} {:>10} {:>7.3} {:>8.3}",
+            i,
+            b.pc,
+            b.executions,
+            b.taken_rate(),
+            b.entropy()
+        );
+    }
 }

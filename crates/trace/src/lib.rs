@@ -33,5 +33,5 @@ pub mod synth;
 pub use fingerprint::{Fingerprint, StableHasher};
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use record::{BranchKind, BranchRecord, Trace, TraceSoa};
-pub use stats::TraceStats;
+pub use stats::{BranchCharacter, Characterization, TraceStats};
 pub use synth::{NoSink, ProgressSink, Workload, WorkloadParams, WorkloadSpec, GEN_POLL_INTERVAL};

@@ -1,7 +1,7 @@
-//! Trace summary statistics.
+//! Trace summary statistics and per-branch characterization.
 
 use crate::record::{BranchKind, Trace};
-use bputil::hash::FastHashSet;
+use bputil::hash::{FastHashMap, FastHashSet};
 
 /// Summary statistics of a branch trace, mirroring the characterisation
 /// numbers the paper reports in §IV-2 (e.g. the ≈3.89 conditional branches
@@ -75,6 +75,115 @@ impl TraceStats {
     }
 }
 
+/// One static conditional branch's dynamic behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchCharacter {
+    /// The branch's program counter.
+    pub pc: u64,
+    /// Dynamic executions.
+    pub executions: u64,
+    /// Taken executions.
+    pub taken: u64,
+}
+
+impl BranchCharacter {
+    /// Fraction of executions that were taken.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.executions as f64
+        }
+    }
+
+    /// The branch's direction entropy in bits:
+    /// `H(p) = -p·log2(p) - (1-p)·log2(1-p)` for taken rate `p`.
+    /// 0 for a monotone branch, 1 for a coin flip — the paper's "wild"
+    /// branches (the ones a larger predictor actually helps) sit near 1.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        let p = self.taken_rate();
+        if p <= 0.0 || p >= 1.0 {
+            return 0.0;
+        }
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+/// Entropy threshold above which [`Characterization::wild_branches`]
+/// counts a branch as wild (taken rate roughly within 30–70%).
+pub const WILD_ENTROPY: f64 = 0.88;
+
+/// Per-branch characterization of a trace's conditional branches, the
+/// working-set / predictability analysis behind `trace_tool
+/// characterize`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Characterization {
+    /// Static conditional branches, hottest first (ties toward lower pc,
+    /// so reports are deterministic).
+    pub branches: Vec<BranchCharacter>,
+    /// Dynamic conditional executions across all branches.
+    pub conditional: u64,
+}
+
+impl Characterization {
+    /// Characterizes `trace`'s conditional branches.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut map: FastHashMap<u64, (u64, u64)> = FastHashMap::default();
+        let mut conditional = 0u64;
+        for r in trace {
+            if r.kind() != BranchKind::Conditional {
+                continue;
+            }
+            conditional += 1;
+            let entry = map.entry(r.pc()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += u64::from(r.taken());
+        }
+        let mut branches: Vec<BranchCharacter> = map
+            .into_iter()
+            .map(|(pc, (executions, taken))| BranchCharacter { pc, executions, taken })
+            .collect();
+        branches.sort_unstable_by(|a, b| b.executions.cmp(&a.executions).then(a.pc.cmp(&b.pc)));
+        Self { branches, conditional }
+    }
+
+    /// Mean direction entropy weighted by execution count — the expected
+    /// unpredictability of the *next* conditional branch, in bits.
+    #[must_use]
+    pub fn weighted_entropy(&self) -> f64 {
+        if self.conditional == 0 {
+            return 0.0;
+        }
+        self.branches.iter().map(|b| b.entropy() * b.executions as f64).sum::<f64>()
+            / self.conditional as f64
+    }
+
+    /// Static branches whose entropy exceeds [`WILD_ENTROPY`].
+    #[must_use]
+    pub fn wild_branches(&self) -> usize {
+        self.branches.iter().filter(|b| b.entropy() > WILD_ENTROPY).count()
+    }
+
+    /// How many of the hottest static branches cover `fraction` of the
+    /// dynamic executions — the conditional working set the paper's §III
+    /// argues exceeds on-chip capacity for data-center workloads.
+    #[must_use]
+    pub fn working_set(&self, fraction: f64) -> usize {
+        let goal = (self.conditional as f64 * fraction).ceil() as u64;
+        let mut covered = 0u64;
+        for (i, b) in self.branches.iter().enumerate() {
+            covered += b.executions;
+            if covered >= goal {
+                return i + 1;
+            }
+        }
+        self.branches.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +213,39 @@ mod tests {
         assert_eq!(s.cond_per_uncond(), None);
         assert_eq!(s.taken_rate(), None);
         assert_eq!(s.instructions, 0);
+    }
+
+    #[test]
+    fn characterization_ranks_and_measures_branches() {
+        let mut t = Trace::new("c");
+        // 0x10: 4 executions, alternating — a coin flip (entropy 1).
+        for i in 0..4 {
+            t.push(BranchRecord::conditional(0x10, 0x20, i % 2 == 0, 1));
+        }
+        // 0x30: 2 executions, always taken — perfectly predictable.
+        for _ in 0..2 {
+            t.push(BranchRecord::conditional(0x30, 0x40, true, 1));
+        }
+        // Non-conditional records are ignored.
+        t.push(BranchRecord::unconditional(0x50, 0x60, BranchKind::Return, 2));
+        let c = Characterization::from_trace(&t);
+        assert_eq!(c.conditional, 6);
+        assert_eq!(c.branches.len(), 2);
+        assert_eq!(c.branches[0].pc, 0x10, "hottest first");
+        assert!((c.branches[0].entropy() - 1.0).abs() < 1e-12);
+        assert_eq!(c.branches[1].entropy(), 0.0);
+        assert!((c.weighted_entropy() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(c.wild_branches(), 1);
+        // 0x10 alone covers 4/6 ≈ 67%; 90% needs both branches.
+        assert_eq!(c.working_set(0.5), 1);
+        assert_eq!(c.working_set(0.9), 2);
+    }
+
+    #[test]
+    fn characterization_of_empty_trace_is_empty() {
+        let c = Characterization::from_trace(&Trace::new("e"));
+        assert_eq!(c.conditional, 0);
+        assert_eq!(c.weighted_entropy(), 0.0);
+        assert_eq!(c.working_set(0.9), 0);
     }
 }

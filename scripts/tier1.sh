@@ -321,4 +321,51 @@ wait "$SERVE_PID" || SERVE_STATUS=$?
     cat "$SERVE_DIR/serve.err"; exit 1
 }
 
+echo "== provenance smoke =="
+# Recording must be free when off and observational when on: stdout is
+# byte-identical either way, `prov_tool why` reports the same hottest
+# mispredicting branches on every invocation, and the recorder costs
+# <3% wall time (min of 3 cold runs per configuration).
+PROV_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FAULT_DIR" "$RACE_DIR" "$VERIFY_DIR" "$TEL_DIR" "$BACKEND_DIR" "$DIST_DIR" "$CRASH_DIR" "$SERVE_DIR" "$PROV_DIR"' EXIT
+for i in 1 2 3; do
+    LLBP_CACHE_DIR="$PROV_DIR/off$i" ./target/release/fig02_mpki_limits --quick --strict \
+        > "$PROV_DIR/off$i.out" 2> "$PROV_DIR/off$i.err"
+    LLBP_CACHE_DIR="$PROV_DIR/on$i" ./target/release/fig02_mpki_limits --quick --strict --prov \
+        > "$PROV_DIR/on$i.out" 2> "$PROV_DIR/on$i.err"
+done
+cmp -s "$PROV_DIR/off1.out" "$PROV_DIR/on1.out" || {
+    echo "prov smoke: --prov changed the figure output:"
+    diff "$PROV_DIR/off1.out" "$PROV_DIR/on1.out" || true
+    exit 1
+}
+grep -q '"prov":{"streams":' "$PROV_DIR/on1.err" || {
+    echo "prov smoke: recorded run has no prov section:"; cat "$PROV_DIR/on1.err"; exit 1
+}
+grep -q '"prov"' "$PROV_DIR/off1.err" && {
+    echo "prov smoke: plain run leaked a prov section:"; cat "$PROV_DIR/off1.err"; exit 1
+}
+OFF_MIN="$(grep -oh '"wall_s":[0-9.]*' "$PROV_DIR"/off?.err | cut -d: -f2 | sort -g | head -n 1)"
+ON_MIN="$(grep -oh '"wall_s":[0-9.]*' "$PROV_DIR"/on?.err | cut -d: -f2 | sort -g | head -n 1)"
+awk -v off="$OFF_MIN" -v on="$ON_MIN" 'BEGIN { exit !(on <= off * 1.03) }' || {
+    echo "prov smoke: recorder overhead exceeds 3% (off ${OFF_MIN}s, on ${ON_MIN}s)"
+    exit 1
+}
+./target/release/prov_tool why "$PROV_DIR/on1" --label "64K TSL" --workload Tomcat --top 10 \
+    > "$PROV_DIR/why1.md" || {
+    echo "prov smoke: prov_tool why failed on the recorded cache"; exit 1
+}
+./target/release/prov_tool why "$PROV_DIR/on1" --label "64K TSL" --workload Tomcat --top 10 \
+    > "$PROV_DIR/why2.md"
+cmp -s "$PROV_DIR/why1.md" "$PROV_DIR/why2.md" || {
+    echo "prov smoke: prov_tool why is not deterministic:"
+    diff "$PROV_DIR/why1.md" "$PROV_DIR/why2.md" || true
+    exit 1
+}
+# The top-ranked branch must be a real mispredictor with attribution.
+grep -Eq '^ +1  0x[0-9a-f]+ +[1-9][0-9]* +(bim|tage|sc|loop|llbp):' "$PROV_DIR/why1.md" || {
+    echo "prov smoke: why report lists no attributed hottest branch:"
+    cat "$PROV_DIR/why1.md"; exit 1
+}
+
 echo "tier1 OK"
